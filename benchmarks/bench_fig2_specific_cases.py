@@ -1,0 +1,57 @@
+"""Figure 2 — end-to-end comparison on specific cases.
+
+The paper's Figure 2 plots, for five queries (triangle count, degree
+distribution, diameter, community detection, eigenvector centrality) and four
+datasets (Facebook, CA-HepPh, Gnutella, ER), one error curve per algorithm as
+a function of ε.  This bench regenerates the same series as text tables: one
+block per (query, dataset), rows = algorithms, columns = ε.
+
+Expected shape: errors generally decrease as ε grows; DP-dK fluctuates heavily
+on triangle counting at small ε; TmF has very low triangle error on the ER
+graph; DP-dK attains the lowest degree-distribution KL at large ε.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_error_table
+
+FIGURE2_QUERIES = (
+    "triangle_count",
+    "degree_distribution",
+    "diameter",
+    "community_detection",
+    "eigenvector_centrality",
+)
+FIGURE2_DATASETS = ("facebook", "ca-hepph", "gnutella", "er")
+
+
+def test_fig2_specific_case_curves(benchmark, full_grid_results):
+    """Extract and print the Figure 2 error curves from the full grid."""
+
+    def extract():
+        tables = {}
+        for query in FIGURE2_QUERIES:
+            for dataset in FIGURE2_DATASETS:
+                tables[(query, dataset)] = render_error_table(full_grid_results, query, dataset)
+        return tables
+
+    tables = benchmark.pedantic(extract, rounds=1, iterations=1)
+    assert len(tables) == len(FIGURE2_QUERIES) * len(FIGURE2_DATASETS)
+
+    print("\n=== Figure 2: per-query error curves (rows: algorithms, columns: epsilon) ===")
+    for (query, dataset), table in tables.items():
+        print(f"\n--- query={query}  dataset={dataset} ---")
+        print(table)
+
+    # Shape check: averaged over the Figure 2 datasets, every algorithm's mean
+    # error at eps=10 should not exceed its mean error at eps=0.1 by much
+    # (utility does not systematically degrade with more budget).
+    results = full_grid_results
+    for algorithm in results.algorithms():
+        low, high = [], []
+        for query in FIGURE2_QUERIES:
+            for dataset in FIGURE2_DATASETS:
+                low.extend(c.error for c in results.filter(algorithm, dataset, 0.1, query))
+                high.extend(c.error for c in results.filter(algorithm, dataset, 10.0, query))
+        if low and high:
+            assert sum(high) / len(high) <= sum(low) / len(low) * 2.0 + 1.0

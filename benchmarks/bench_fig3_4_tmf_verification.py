@@ -1,0 +1,46 @@
+"""Figures 3 and 4 — verification of the TmF re-implementation on Facebook.
+
+The paper verifies TmF by comparing its degree-distribution KL divergence
+(Figure 3) and community-detection NMI (Figure 4) on the Facebook dataset
+against the curves published with PrivGraph.  This bench regenerates both
+series on the Facebook stand-in across the six benchmark budgets.
+
+Expected shape: the degree-distribution KL decreases (improves) as ε grows;
+the community-detection NMI increases with ε and is low (< 0.5) at small ε.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.tmf import TmF
+from repro.core.spec import PGB_EPSILONS
+from repro.graphs.datasets import load_dataset
+from repro.queries.registry import get_query
+
+
+def test_fig3_4_tmf_verification(benchmark, bench_scale, bench_seed):
+    """Compute TmF's degree-distribution KL and community NMI across budgets."""
+    graph = load_dataset("facebook", scale=bench_scale * 2, seed=bench_seed)
+    degree_query = get_query("degree_distribution")
+    community_query = get_query("community_detection")
+
+    def run():
+        series = {"kl": {}, "nmi": {}}
+        for epsilon in PGB_EPSILONS:
+            synthetic = TmF().generate_graph(graph, epsilon, rng=bench_seed)
+            series["kl"][epsilon] = degree_query.error(graph, synthetic)
+            series["nmi"][epsilon] = community_query.similarity(graph, synthetic)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== Figure 3: TmF degree-distribution KL divergence on Facebook ===")
+    for epsilon in PGB_EPSILONS:
+        print(f"  eps={epsilon:<5g} KL={series['kl'][epsilon]:.4f}")
+    print("\n=== Figure 4: TmF community-detection NMI on Facebook ===")
+    for epsilon in PGB_EPSILONS:
+        print(f"  eps={epsilon:<5g} NMI={series['nmi'][epsilon]:.4f}")
+
+    # Shape: the KL at the largest budget should not exceed the KL at the smallest.
+    assert series["kl"][10.0] <= series["kl"][0.1] + 0.5
+    # NMI values live in [0, 1].
+    assert all(0.0 <= value <= 1.0 for value in series["nmi"].values())

@@ -1,0 +1,73 @@
+"""Figure 7 — comparison of DER against TmF and PrivGraph.
+
+The paper's Appendix C compares the DER baseline with TmF and PrivGraph on the
+Facebook and Wiki-Vote datasets using the average clustering coefficient and
+the diameter, across the six benchmark budgets.  Expected shape: DER generally
+exhibits higher (worse) relative error than TmF and PrivGraph on both queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.spec import PGB_EPSILONS
+from repro.graphs.datasets import load_dataset
+from repro.queries.registry import get_query
+
+FIGURE7_ALGORITHMS = ("tmf", "privgraph", "der")
+FIGURE7_DATASETS = ("facebook", "wiki-vote")
+FIGURE7_QUERIES = ("average_clustering", "diameter")
+
+
+def test_fig7_der_comparison(benchmark, bench_scale, bench_seed):
+    """Compute the Figure 7 error curves for TmF, PrivGraph and DER."""
+    graphs = {name: load_dataset(name, scale=bench_scale, seed=bench_seed)
+              for name in FIGURE7_DATASETS}
+    queries = {name: get_query(name) for name in FIGURE7_QUERIES}
+
+    def run():
+        curves = {}
+        for dataset, graph in graphs.items():
+            truth = {name: query.evaluate(graph) for name, query in queries.items()}
+            for algorithm_name in FIGURE7_ALGORITHMS:
+                for epsilon in PGB_EPSILONS:
+                    synthetic = get_algorithm(algorithm_name).generate_graph(
+                        graph, epsilon, rng=bench_seed
+                    )
+                    for query_name, query in queries.items():
+                        from repro.metrics.errors import relative_error
+
+                        value = query.evaluate(synthetic)
+                        curves[(dataset, query_name, algorithm_name, epsilon)] = relative_error(
+                            truth[query_name], value
+                        )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== Figure 7: DER vs TmF vs PrivGraph (relative error) ===")
+    for dataset in FIGURE7_DATASETS:
+        for query_name in FIGURE7_QUERIES:
+            print(f"\n--- dataset={dataset}  query={query_name} ---")
+            header = f"{'algorithm':<12}" + "".join(
+                f"{'eps=' + format(eps, 'g'):>12}" for eps in PGB_EPSILONS
+            )
+            print(header)
+            for algorithm_name in FIGURE7_ALGORITHMS:
+                row = f"{algorithm_name:<12}"
+                for epsilon in PGB_EPSILONS:
+                    row += f"{curves[(dataset, query_name, algorithm_name, epsilon)]:>12.4f}"
+                print(row)
+
+    # Shape: averaged over datasets, queries and budgets, DER should not beat
+    # both stronger algorithms (it is the weakest baseline in the paper).
+    def mean_error(algorithm_name: str) -> float:
+        return float(np.mean([
+            curves[(dataset, query_name, algorithm_name, epsilon)]
+            for dataset in FIGURE7_DATASETS
+            for query_name in FIGURE7_QUERIES
+            for epsilon in PGB_EPSILONS
+        ]))
+
+    assert mean_error("der") + 1e-9 >= min(mean_error("tmf"), mean_error("privgraph")) * 0.5

@@ -1,0 +1,31 @@
+"""Table X — empirical memory consumption (MiB) per algorithm and dataset.
+
+Peak traced allocation of one generation run per (algorithm, dataset) at
+ε = 1.  Expected shape: PrivGraph is the most memory-efficient (it works with
+per-community structures), while the algorithms that materialise degree/joint
+-degree tables or dense candidate sets (DP-dK, DGG) consume more.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import PGB_ALGORITHM_NAMES
+from repro.core.profiling import profile_algorithms, profiles_as_tables
+from repro.core.report import render_resource_table
+from repro.graphs.datasets import PGB_DATASET_NAMES
+
+
+def test_table10_memory_consumption(benchmark, bench_scale, bench_seed):
+    """Profile every (algorithm, dataset) pair and print the memory table."""
+
+    def profile():
+        return profile_algorithms(
+            PGB_ALGORITHM_NAMES, PGB_DATASET_NAMES, epsilon=1.0, scale=bench_scale, seed=bench_seed
+        )
+
+    profiles = benchmark.pedantic(profile, rounds=1, iterations=1)
+    tables = profiles_as_tables(profiles)
+
+    print("\n=== Table X: peak traced memory in MiB (one generation run, eps=1) ===")
+    print(render_resource_table(tables["memory"], value_format="{:.2f}"))
+
+    assert all(profile.peak_mib >= 0.0 for profile in profiles)

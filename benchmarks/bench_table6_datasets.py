@@ -1,0 +1,64 @@
+"""Table VI — details of the graph datasets.
+
+The paper's Table VI lists, for each of the 8 benchmark graphs, the number of
+nodes, the number of edges, the average clustering coefficient and the domain
+type.  This bench builds every synthetic stand-in at bench scale, measures the
+same statistics, and prints them next to the paper's published values.
+
+Because the stand-ins are generated at reduced scale, node/edge counts are
+proportionally smaller; the *relative ordering* of the datasets — which graph
+is densest, which has the highest/lowest clustering — is what should match.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.datasets import PGB_DATASET_NAMES, get_dataset, load_dataset
+from repro.graphs.properties import average_clustering_coefficient, density
+
+
+def test_table6_dataset_statistics(benchmark, bench_scale, bench_seed):
+    """Measure |V|, |E|, ACC of every stand-in and compare ordering with the paper."""
+
+    def measure():
+        rows = {}
+        for name in PGB_DATASET_NAMES:
+            graph = load_dataset(name, scale=bench_scale, seed=bench_seed)
+            rows[name] = {
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+                "acc": average_clustering_coefficient(graph),
+                "density": density(graph),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\n=== Table VI: dataset details (measured stand-ins vs paper values) ===")
+    print(f"{'dataset':<12}{'type':<12}{'|V| paper':>10}{'|V| ours':>10}"
+          f"{'|E| paper':>10}{'|E| ours':>10}{'ACC paper':>11}{'ACC ours':>10}")
+    for name in PGB_DATASET_NAMES:
+        info = get_dataset(name)
+        row = rows[name]
+        print(f"{name:<12}{info.domain:<12}{info.paper_num_nodes:>10}{row['num_nodes']:>10}"
+              f"{info.paper_num_edges:>10}{row['num_edges']:>10}"
+              f"{info.paper_acc:>11.4f}{row['acc']:>10.4f}")
+
+    # Shape checks on the clustering ordering the paper's analysis relies on:
+    # the social / academic graphs are strongly clustered, the road / P2P / ER /
+    # BA graphs are not.
+    assert rows["facebook"]["acc"] > 0.3
+    assert rows["ca-hepph"]["acc"] > 0.3
+    # The wiki-vote stand-in keeps a dense core, so it is clustered relative to
+    # the P2P graph; at reduced scale its absolute ACC overshoots the paper's
+    # 0.14 (documented in EXPERIMENTS.md), so only the ordering vs gnutella is
+    # asserted here.
+    assert rows["wiki-vote"]["acc"] > rows["gnutella"]["acc"]
+    assert rows["minnesota"]["acc"] < 0.1
+    assert rows["gnutella"]["acc"] < 0.05
+    # The ER/BA graphs are far less clustered than the social/academic graphs.
+    # (At reduced scale their density — and therefore their ACC — is higher
+    # than the paper's full-size values, so the check is relative, not absolute.)
+    assert rows["er"]["acc"] < rows["facebook"]["acc"] / 2
+    assert rows["ba"]["acc"] < rows["facebook"]["acc"] / 2
+    # The ER benchmark graph is the densest of the two synthetic graphs.
+    assert rows["er"]["num_edges"] > rows["ba"]["num_edges"]

@@ -1,0 +1,38 @@
+"""Table VII — overall results: per-(dataset, ε) best counts over the 15 queries.
+
+Each entry of the table counts how often an algorithm achieved the lowest
+error among the 15 queries for a given dataset and privacy budget
+(Definition 5).  The expected shape (not the absolute numbers, since the
+datasets are synthetic stand-ins at reduced scale): TmF collects the most wins
+at large ε and on the ER graph, while degree-based methods (DP-dK, DGG) are
+relatively stronger at small ε on high-clustering graphs.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregate import best_count_by_dataset, overall_win_totals
+from repro.core.report import render_best_count_table, render_summary
+
+
+def test_table7_overall_best_counts(benchmark, full_grid_results):
+    """Aggregate the full grid into the Table VII layout and print it."""
+
+    def aggregate():
+        return best_count_by_dataset(full_grid_results)
+
+    counts = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+
+    # Sanity: every (epsilon, dataset) column awards at least one win.
+    results = full_grid_results
+    for epsilon in results.epsilons():
+        for dataset in results.datasets():
+            total = sum(
+                counts[(epsilon, dataset, algorithm)] for algorithm in results.algorithms()
+            )
+            assert total >= len(results.queries())
+
+    print("\n=== Table VII: overall results (best counts per dataset and epsilon) ===")
+    print(render_best_count_table(results))
+    print("\n=== Overall summary ===")
+    print(render_summary(results))
+    print("\nTotal wins per algorithm:", overall_win_totals(results))

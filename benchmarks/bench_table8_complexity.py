@@ -1,0 +1,51 @@
+"""Table VIII — theoretical time and space complexity of the algorithms.
+
+The table is static (it reflects the implementation choices described in the
+paper's Remark 5), but the bench also verifies the published scaling shape
+empirically: generation time on a 2x-larger graph should not grow by more than
+the complexity class allows (with generous slack, since constants dominate at
+bench scale).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.complexity import COMPLEXITY_TABLE
+from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm
+from repro.graphs.datasets import load_dataset
+
+
+def test_table8_complexity(benchmark, bench_scale, bench_seed):
+    """Print the complexity table and measure how generation time scales with size."""
+
+    def measure_scaling():
+        timings = {}
+        small = load_dataset("ba", scale=bench_scale, seed=bench_seed)
+        large = load_dataset("ba", scale=2 * bench_scale, seed=bench_seed)
+        for name in PGB_ALGORITHM_NAMES:
+            algorithm = get_algorithm(name)
+            start = time.perf_counter()
+            algorithm.generate_graph(small, 1.0, rng=0)
+            small_time = time.perf_counter() - start
+            algorithm = get_algorithm(name)
+            start = time.perf_counter()
+            algorithm.generate_graph(large, 1.0, rng=0)
+            large_time = time.perf_counter() - start
+            timings[name] = (small_time, large_time)
+        return timings
+
+    timings = benchmark.pedantic(measure_scaling, rounds=1, iterations=1)
+
+    print("\n=== Table VIII: theoretical time and space complexity ===")
+    print(f"{'algorithm':<12}{'time':<16}{'space':<12}notes")
+    for name in PGB_ALGORITHM_NAMES:
+        entry = COMPLEXITY_TABLE[name]
+        print(f"{entry.algorithm:<12}{entry.time:<16}{entry.space:<12}{entry.notes}")
+
+    print("\n=== Empirical scaling (1x vs 2x node count, seconds) ===")
+    for name, (small_time, large_time) in timings.items():
+        ratio = large_time / small_time if small_time > 0 else float("nan")
+        print(f"{name:<12}{small_time:8.3f}s -> {large_time:8.3f}s   ratio {ratio:5.2f}x")
+
+    assert set(COMPLEXITY_TABLE) == set(PGB_ALGORITHM_NAMES)

@@ -1,0 +1,32 @@
+"""Table IX — empirical time cost (seconds) per algorithm and dataset.
+
+One generation run per (algorithm, dataset) at ε = 1, exactly as in the paper.
+Expected shape at any scale: DGG and DP-dK are the fastest, TmF and PrivGraph
+are moderate, PrivSKG (smooth-sensitivity computation) and PrivHRG (MCMC) are
+the slowest per node.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import PGB_ALGORITHM_NAMES
+from repro.core.profiling import profile_algorithms, profiles_as_tables
+from repro.core.report import render_resource_table
+from repro.graphs.datasets import PGB_DATASET_NAMES
+
+
+def test_table9_time_cost(benchmark, bench_scale, bench_seed):
+    """Profile every (algorithm, dataset) pair and print the time table."""
+
+    def profile():
+        return profile_algorithms(
+            PGB_ALGORITHM_NAMES, PGB_DATASET_NAMES, epsilon=1.0, scale=bench_scale, seed=bench_seed
+        )
+
+    profiles = benchmark.pedantic(profile, rounds=1, iterations=1)
+    tables = profiles_as_tables(profiles)
+
+    print("\n=== Table IX: time cost in seconds (one generation run, eps=1) ===")
+    print(render_resource_table(tables["time"], value_format="{:.3f}"))
+
+    assert len(profiles) == len(PGB_ALGORITHM_NAMES) * len(PGB_DATASET_NAMES)
+    assert all(profile.seconds >= 0.0 for profile in profiles)

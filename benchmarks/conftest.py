@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has a ``bench_*.py`` module in this directory.  The
+heavy experiment grids are executed once per session (session-scoped fixtures)
+and the individual benches time their own piece and print the corresponding
+table, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the paper's reporting artefacts end to end.
+
+The scale of the dataset stand-ins is controlled by the ``PGB_BENCH_SCALE``
+environment variable (default 0.02, i.e. graphs of roughly 50-500 nodes) and
+the number of repetitions per cell by ``PGB_BENCH_REPETITIONS`` (default 1).
+Raising the scale toward 1.0 reproduces the paper's sizes at the cost of a
+much longer run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+
+BENCH_SCALE = float(os.environ.get("PGB_BENCH_SCALE", "0.02"))
+BENCH_REPETITIONS = int(os.environ.get("PGB_BENCH_REPETITIONS", "1"))
+BENCH_SEED = int(os.environ.get("PGB_BENCH_SEED", "2024"))
+
+
+@pytest.fixture(scope="session")
+def full_grid_results():
+    """The full (M × G × P × U) grid at bench scale — backs Tables VII/XII and Figure 2."""
+    spec = BenchmarkSpec.paper_instantiation(
+        scale=BENCH_SCALE, repetitions=BENCH_REPETITIONS, seed=BENCH_SEED
+    )
+    return run_benchmark(spec)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

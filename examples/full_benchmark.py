@@ -1,0 +1,51 @@
+"""Run the complete PGB instantiation (Table V) and print every summary table.
+
+Run with::
+
+    python examples/full_benchmark.py [scale] [repetitions]
+
+By default the dataset stand-ins are built at 2% of the paper's sizes and each
+cell is repeated once, which finishes in a few minutes on a laptop.  Passing
+``1.0 10`` reproduces the paper-scale grid (6 algorithms x 8 datasets x
+6 budgets x 15 queries x 10 repetitions = 43,200 single experiments), which
+takes many hours.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BenchmarkSpec, run_benchmark
+from repro.core.aggregate import overall_win_totals
+from repro.core.report import (
+    render_best_count_table,
+    render_per_query_table,
+    render_summary,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    repetitions = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    spec = BenchmarkSpec.paper_instantiation(scale=scale, repetitions=repetitions)
+    print(f"PGB full benchmark: scale={scale}, repetitions={repetitions}, "
+          f"{spec.num_experiments} single experiments\n")
+
+    results = run_benchmark(
+        spec, progress=lambda alg, ds, eps: print(f"  {alg:<10} {ds:<12} eps={eps:g}")
+    )
+
+    print("\n=== Table VII: overall results ===")
+    print(render_best_count_table(results))
+
+    print("\n=== Table XII: per-query results ===")
+    print(render_per_query_table(results))
+
+    print("\n=== Summary ===")
+    print(render_summary(results))
+    print("\nTotal wins:", overall_win_totals(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` keeps working on older tooling (and offline environments
+without the ``wheel`` package) through the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

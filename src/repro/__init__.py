@@ -1,0 +1,87 @@
+"""PGB reproduction: a benchmark for differentially private synthetic graph
+generation algorithms.
+
+The package follows the paper's 4-tuple decomposition:
+
+* **M** (mechanisms) — :mod:`repro.algorithms`, built on the DP substrate in
+  :mod:`repro.dp` and the graph constructors in :mod:`repro.generators`;
+* **G** (graph datasets) — :mod:`repro.graphs`;
+* **P** (privacy requirements) — :class:`repro.core.BenchmarkSpec` epsilons;
+* **U** (utility) — :mod:`repro.queries` and :mod:`repro.metrics`.
+
+Quick start::
+
+    from repro import BenchmarkSpec, run_benchmark, render_best_count_table
+
+    spec = BenchmarkSpec.smoke_test()
+    results = run_benchmark(spec)
+    print(render_best_count_table(results))
+"""
+
+from repro.algorithms import (
+    DGG,
+    DER,
+    DPdK,
+    GraphGenerator,
+    PrivGraph,
+    PrivHRG,
+    PrivSKG,
+    TmF,
+    get_algorithm,
+    list_algorithms,
+    make_default_algorithms,
+)
+from repro.core import (
+    BenchmarkRunner,
+    BenchmarkResults,
+    BenchmarkSpec,
+    best_count_by_dataset,
+    best_count_by_query,
+    profile_algorithms,
+    recommend_algorithm,
+    render_best_count_table,
+    render_error_table,
+    render_resource_table,
+)
+from repro.core.runner import run_benchmark
+from repro.graphs import Graph, get_dataset, list_datasets, load_dataset
+from repro.queries import get_query, list_queries, make_default_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "GraphGenerator",
+    "DPdK",
+    "TmF",
+    "PrivSKG",
+    "PrivHRG",
+    "PrivGraph",
+    "DGG",
+    "DER",
+    "get_algorithm",
+    "list_algorithms",
+    "make_default_algorithms",
+    # core
+    "BenchmarkSpec",
+    "BenchmarkRunner",
+    "BenchmarkResults",
+    "run_benchmark",
+    "best_count_by_dataset",
+    "best_count_by_query",
+    "profile_algorithms",
+    "recommend_algorithm",
+    "render_best_count_table",
+    "render_error_table",
+    "render_resource_table",
+    # graphs
+    "Graph",
+    "get_dataset",
+    "list_datasets",
+    "load_dataset",
+    # queries
+    "get_query",
+    "list_queries",
+    "make_default_queries",
+]

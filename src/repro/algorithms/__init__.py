@@ -1,0 +1,59 @@
+"""Differentially private synthetic graph generation algorithms (the M element).
+
+The six algorithms selected by the PGB benchmark plus the appendix baseline:
+
+=============  ============================================  ==================
+Algorithm      Representation → Perturbation → Construction  Guarantee
+=============  ============================================  ==================
+``DPdK``       dK-series → Laplace/smooth noise → dK target   (ε, δ) Edge CDP
+``TmF``        adjacency matrix → Laplace + top-m filter      ε Edge CDP
+``PrivSKG``    Kronecker moments → noisy moments → SKG sample (ε, δ) Edge CDP
+``PrivHRG``    HRG dendrogram → MCMC (exp. mech.) + Laplace θ ε Edge CDP
+``PrivGraph``  communities → exp. mech. + Laplace degrees     ε Edge CDP
+``DGG``        degree sequence → Laplace → BTER               ε Edge CDP
+``DER``        density-based quadtree → Laplace → sampling    ε Edge CDP
+=============  ============================================  ==================
+
+All follow the common Representation → Perturbation → Construction framework
+from the paper's Figure 1, take their randomness from an explicit ``rng``,
+and account for their ε spend through :class:`repro.dp.budget.PrivacyBudget`.
+"""
+
+from repro.algorithms.base import GraphGenerator, GenerationResult
+from repro.algorithms.dp_dk import DPdK
+from repro.algorithms.tmf import TmF
+from repro.algorithms.privskg import PrivSKG
+from repro.algorithms.privhrg import PrivHRG
+from repro.algorithms.privgraph import PrivGraph
+from repro.algorithms.dgg import DGG
+from repro.algorithms.der import DER
+from repro.algorithms.ldp import LDPGen, RandomizedNeighborLists
+from repro.algorithms.complexity import COMPLEXITY_TABLE, ComplexityEntry
+from repro.algorithms.registry import (
+    LDP_ALGORITHM_NAMES,
+    PGB_ALGORITHM_NAMES,
+    get_algorithm,
+    list_algorithms,
+    make_default_algorithms,
+)
+
+__all__ = [
+    "GraphGenerator",
+    "GenerationResult",
+    "DPdK",
+    "TmF",
+    "PrivSKG",
+    "PrivHRG",
+    "PrivGraph",
+    "DGG",
+    "DER",
+    "LDPGen",
+    "RandomizedNeighborLists",
+    "COMPLEXITY_TABLE",
+    "ComplexityEntry",
+    "PGB_ALGORITHM_NAMES",
+    "LDP_ALGORITHM_NAMES",
+    "get_algorithm",
+    "list_algorithms",
+    "make_default_algorithms",
+]

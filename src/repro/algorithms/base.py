@@ -1,0 +1,116 @@
+"""Abstract base class shared by every DP graph generation algorithm.
+
+The benchmark treats algorithms as black boxes (paper Remark 2): each exposes
+``generate(graph, epsilon, rng)`` and declares its privacy model, sensitivity
+type and whether it needs a δ.  The declarations are what the benchmark core
+uses to enforce the comparability principles M1–M3: it refuses to mix
+algorithms whose declared privacy models differ.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dp.budget import PrivacyBudget
+from repro.dp.definitions import PrivacyGuarantee, PrivacyModel
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class GenerationResult:
+    """A synthetic graph together with provenance information.
+
+    Attributes
+    ----------
+    graph:
+        The generated synthetic graph.
+    guarantee:
+        The (ε, δ) guarantee the generation run provides.
+    budget_ledger:
+        How the algorithm split its ε across stages (stage label → ε).
+    diagnostics:
+        Free-form per-algorithm diagnostics (e.g. noisy edge count, number of
+        communities) useful when interpreting benchmark results.
+    """
+
+    graph: Graph
+    guarantee: PrivacyGuarantee
+    budget_ledger: Dict[str, float] = field(default_factory=dict)
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+
+class GraphGenerator(abc.ABC):
+    """Base class for differentially private synthetic graph generators."""
+
+    #: Short machine-readable name used by the registry and the result tables.
+    name: str = "abstract"
+    #: Privacy model the algorithm satisfies (principle M1).
+    privacy_model: PrivacyModel = PrivacyModel.EDGE_CDP
+    #: "global" or "smooth" — which sensitivity notion calibrates the noise (M2).
+    sensitivity_type: str = "global"
+    #: True when the algorithm provides (ε, δ)-DP instead of pure ε-DP.
+    requires_delta: bool = False
+    #: True when the algorithm also protects node/edge attributes (M3);
+    #: every algorithm in the benchmark instantiation works on unattributed graphs.
+    handles_attributes: bool = False
+
+    def __init__(self, delta: float = 0.0) -> None:
+        if self.requires_delta and delta <= 0.0:
+            raise ValueError(f"{self.name} provides (ε, δ)-DP and needs delta > 0")
+        if not self.requires_delta and delta != 0.0:
+            raise ValueError(f"{self.name} provides pure ε-DP; delta must be 0")
+        self.delta = float(delta)
+
+    # -- public API ---------------------------------------------------------
+    def generate(self, graph: Graph, epsilon: float, rng: RngLike = None) -> GenerationResult:
+        """Generate a synthetic graph for ``graph`` under privacy budget ``epsilon``."""
+        check_positive(epsilon, "epsilon")
+        if graph.num_nodes < 2:
+            raise ValueError("input graph must have at least two nodes")
+        generator = ensure_rng(rng)
+        budget = PrivacyBudget(epsilon=epsilon, delta=self.delta)
+        synthetic = self._generate(graph, budget, generator)
+        guarantee = PrivacyGuarantee(self.privacy_model, epsilon=epsilon, delta=self.delta)
+        diagnostics = dict(getattr(self, "_last_diagnostics", {}))
+        return GenerationResult(
+            graph=synthetic,
+            guarantee=guarantee,
+            budget_ledger=budget.ledger,
+            diagnostics=diagnostics,
+        )
+
+    def generate_graph(self, graph: Graph, epsilon: float, rng: RngLike = None) -> Graph:
+        """Convenience wrapper returning only the synthetic graph."""
+        return self.generate(graph, epsilon, rng=rng).graph
+
+    # -- subclass hook ------------------------------------------------------
+    @abc.abstractmethod
+    def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
+        """Produce the synthetic graph, spending ε through ``budget``."""
+
+    # -- helpers ------------------------------------------------------------
+    def _record_diagnostics(self, **values: float) -> None:
+        """Stash per-run diagnostics retrieved by :meth:`generate`."""
+        self._last_diagnostics = {key: float(value) for key, value in values.items()}
+
+    def describe(self) -> Dict[str, object]:
+        """Static description used by reports and the algorithm registry."""
+        return {
+            "name": self.name,
+            "privacy_model": self.privacy_model.value,
+            "sensitivity": self.sensitivity_type,
+            "requires_delta": self.requires_delta,
+            "delta": self.delta,
+            "handles_attributes": self.handles_attributes,
+        }
+
+    def __repr__(self) -> str:
+        delta_part = f", delta={self.delta}" if self.requires_delta else ""
+        return f"{type(self).__name__}(name={self.name!r}{delta_part})"
+
+
+__all__ = ["GraphGenerator", "GenerationResult"]

@@ -1,0 +1,51 @@
+"""DGG: the degree-based baseline, a central-DP recast of LDPGen (Qin et al. 2017).
+
+The paper uses DGG as its naive baseline (Remark in Section II-A): node degrees
+are fundamental information, so a generator that measures nothing but the
+degree sequence is the natural floor for the comparison.  Following the
+paper's Edge-CDP recast of the originally local-DP algorithm:
+
+1. **Representation** — the degree of every node.
+2. **Perturbation** — Laplace noise with sensitivity 2 (one edge changes two
+   degrees) on the whole degree vector, using the full ε.
+3. **Construction** — the noisy degrees are repaired to a realisable sequence
+   and fed into the BTER constructor, which clusters nodes of similar degree
+   into dense blocks — the reason DGG performs surprisingly well on graphs
+   with high clustering coefficients (Facebook, ca-HepPh) in Table VII.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphGenerator
+from repro.dp.budget import PrivacyBudget
+from repro.dp.definitions import PrivacyModel
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.generators.bter import bter_graph
+from repro.generators.degree_sequence import repair_degree_sequence
+from repro.graphs.graph import Graph
+
+
+class DGG(GraphGenerator):
+    """Degree-based graph generation baseline (pure ε Edge CDP)."""
+
+    name = "dgg"
+    privacy_model = PrivacyModel.EDGE_CDP
+    sensitivity_type = "global"
+    requires_delta = False
+
+    def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
+        epsilon = budget.spend_all_remaining(label="degree_noise")
+        mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=2.0)
+        noisy_degrees = mechanism.randomize(graph.degrees().astype(float), rng=rng)
+        repaired = repair_degree_sequence(noisy_degrees, num_nodes=graph.num_nodes)
+        synthetic = bter_graph(repaired, rng=rng)
+        self._record_diagnostics(
+            noisy_total_degree=float(np.sum(repaired)),
+            target_edges=float(np.sum(repaired)) / 2.0,
+        )
+        return synthetic
+
+
+__all__ = ["DGG"]

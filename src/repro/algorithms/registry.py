@@ -1,0 +1,83 @@
+"""Algorithm registry: names → generator factories.
+
+The benchmark spec (the M element) names its algorithms by string; the
+registry turns those names into configured :class:`GraphGenerator` instances
+with the paper's default parameters (δ = 0.01 for the two (ε, δ) algorithms).
+User-defined generators can be registered at runtime, which is how a new
+publication plugs itself into PGB for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import GraphGenerator
+from repro.algorithms.dgg import DGG
+from repro.algorithms.der import DER
+from repro.algorithms.dp_dk import DPdK
+from repro.algorithms.ldp import LDPGen, RandomizedNeighborLists
+from repro.algorithms.privgraph import PrivGraph
+from repro.algorithms.privhrg import PrivHRG
+from repro.algorithms.privskg import PrivSKG
+from repro.algorithms.tmf import TmF
+
+AlgorithmFactory = Callable[[], GraphGenerator]
+
+#: The six algorithms of the benchmark instantiation (paper Table V), in the
+#: order the result tables list them.
+PGB_ALGORITHM_NAMES = ("dp-dk", "tmf", "privskg", "privhrg", "privgraph", "dgg")
+
+_FACTORIES: Dict[str, AlgorithmFactory] = {
+    "dp-dk": lambda: DPdK(order=2, delta=0.01),
+    "dp-1k": lambda: DPdK(order=1, delta=0.01),
+    "tmf": TmF,
+    "privskg": lambda: PrivSKG(delta=0.01),
+    "privhrg": PrivHRG,
+    "privgraph": PrivGraph,
+    "dgg": DGG,
+    "der": DER,
+    # Edge-LDP algorithms (not part of the default Edge-CDP line-up; the spec
+    # refuses to mix privacy models unless strict=False — principle M1).
+    "ldpgen": LDPGen,
+    "rnl": RandomizedNeighborLists,
+}
+
+#: The two bundled Edge-LDP algorithms, usable as an LDP-only benchmark M set.
+LDP_ALGORITHM_NAMES = ("ldpgen", "rnl")
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory, overwrite: bool = False) -> None:
+    """Register a user-defined generator factory under ``name``."""
+    key = name.lower()
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def list_algorithms() -> List[str]:
+    """All registered algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def get_algorithm(name: str) -> GraphGenerator:
+    """Instantiate the generator registered under ``name``."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        available = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown algorithm {name!r}; available: {available}")
+    return _FACTORIES[key]()
+
+
+def make_default_algorithms() -> List[GraphGenerator]:
+    """The paper's six-algorithm benchmark line-up, freshly instantiated."""
+    return [get_algorithm(name) for name in PGB_ALGORITHM_NAMES]
+
+
+__all__ = [
+    "PGB_ALGORITHM_NAMES",
+    "LDP_ALGORITHM_NAMES",
+    "register_algorithm",
+    "list_algorithms",
+    "get_algorithm",
+    "make_default_algorithms",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface for the PGB benchmark.
+
+Mirrors the public benchmark platform's workflows from the terminal::
+
+    python -m repro list                      # algorithms, datasets, queries
+    python -m repro run --datasets ba --algorithms tmf dgg --epsilons 0.5 2 \
+                        --queries num_edges modularity --scale 0.03
+    python -m repro profile --datasets ba facebook --scale 0.03
+    python -m repro recommend --nodes 5000 --acc 0.4 --epsilon 1.0
+    python -m repro generate --dataset facebook --algorithm privgraph --epsilon 1 \
+                        --output synthetic.txt
+
+Every subcommand prints the same plain-text tables the benchmark harness uses,
+so CLI output and bench output stay consistent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm, list_algorithms
+from repro.core.profiling import profile_algorithms, profiles_as_tables
+from repro.core.guidelines import recommend_algorithm
+from repro.core.report import (
+    render_best_count_table,
+    render_per_query_table,
+    render_resource_table,
+    render_summary,
+)
+from repro.core.runner import run_benchmark
+from repro.core.spec import PGB_EPSILONS, BenchmarkSpec
+from repro.graphs.datasets import PGB_DATASET_NAMES, get_dataset, list_datasets, load_dataset
+from repro.graphs.io import write_edge_list
+from repro.queries.registry import PGB_QUERY_NAMES, list_queries
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PGB: benchmark differentially private synthetic graph generation algorithms.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered algorithms, datasets and queries")
+
+    run_parser = subparsers.add_parser("run", help="run a benchmark grid and print the tables")
+    run_parser.add_argument("--algorithms", nargs="+", default=list(PGB_ALGORITHM_NAMES))
+    run_parser.add_argument("--datasets", nargs="+", default=list(PGB_DATASET_NAMES))
+    run_parser.add_argument("--epsilons", nargs="+", type=float, default=list(PGB_EPSILONS))
+    run_parser.add_argument("--queries", nargs="+", default=list(PGB_QUERY_NAMES))
+    run_parser.add_argument("--repetitions", type=int, default=1)
+    run_parser.add_argument("--scale", type=float, default=0.02)
+    run_parser.add_argument("--seed", type=int, default=2024)
+    run_parser.add_argument("--no-strict", action="store_true",
+                            help="allow mixing privacy models / unusual epsilons")
+    run_parser.add_argument("--output-json", default=None,
+                            help="save the full results (spec + cells) as JSON")
+    run_parser.add_argument("--output-csv", default=None,
+                            help="export one CSV row per benchmark cell")
+
+    profile_parser = subparsers.add_parser("profile", help="measure time and memory per algorithm")
+    profile_parser.add_argument("--algorithms", nargs="+", default=list(PGB_ALGORITHM_NAMES))
+    profile_parser.add_argument("--datasets", nargs="+", default=["ba"])
+    profile_parser.add_argument("--epsilon", type=float, default=1.0)
+    profile_parser.add_argument("--scale", type=float, default=0.02)
+    profile_parser.add_argument("--seed", type=int, default=0)
+
+    recommend_parser = subparsers.add_parser("recommend", help="suggest an algorithm for a scenario")
+    recommend_parser.add_argument("--nodes", type=int, required=True)
+    recommend_parser.add_argument("--acc", type=float, required=True,
+                                  help="average clustering coefficient of the graph")
+    recommend_parser.add_argument("--epsilon", type=float, required=True)
+    recommend_parser.add_argument("--query", default=None,
+                                  help="optional priority query (e.g. degree_distribution)")
+
+    generate_parser = subparsers.add_parser("generate", help="generate one synthetic graph")
+    generate_parser.add_argument("--dataset", required=True)
+    generate_parser.add_argument("--algorithm", required=True)
+    generate_parser.add_argument("--epsilon", type=float, required=True)
+    generate_parser.add_argument("--scale", type=float, default=0.05)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.add_argument("--output", default=None,
+                                 help="write the synthetic graph as an edge list to this path")
+    return parser
+
+
+def _command_list() -> int:
+    print("algorithms:")
+    for name in list_algorithms():
+        algorithm = get_algorithm(name)
+        marker = " (PGB default)" if name in PGB_ALGORITHM_NAMES else ""
+        print(f"  {name:<12} {algorithm.privacy_model.value:<10}{marker}")
+    print("\ndatasets:")
+    for name in list_datasets(include_verification=True):
+        info = get_dataset(name)
+        print(f"  {name:<12} |V|={info.paper_num_nodes:<7} |E|={info.paper_num_edges:<8} "
+              f"ACC={info.paper_acc:<7} {info.domain}")
+    print("\nqueries:")
+    for name in list_queries():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = BenchmarkSpec(
+        algorithms=tuple(args.algorithms),
+        datasets=tuple(args.datasets),
+        epsilons=tuple(args.epsilons),
+        queries=tuple(args.queries),
+        repetitions=args.repetitions,
+        scale=args.scale,
+        seed=args.seed,
+        strict=not args.no_strict,
+    )
+    print(f"running {spec.num_experiments} single experiments...")
+    results = run_benchmark(spec)
+    print("\n=== best counts per (dataset, epsilon) — Definition 5 ===")
+    print(render_best_count_table(results))
+    print("\n=== best counts per query — Definition 6 ===")
+    print(render_per_query_table(results))
+    print("\n=== summary ===")
+    print(render_summary(results))
+    if args.output_json:
+        from repro.core.persistence import save_results_json
+
+        save_results_json(results, args.output_json)
+        print(f"\nsaved JSON results to {args.output_json}")
+    if args.output_csv:
+        from repro.core.persistence import export_results_csv
+
+        export_results_csv(results, args.output_csv)
+        print(f"saved CSV results to {args.output_csv}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    profiles = profile_algorithms(
+        args.algorithms, args.datasets, epsilon=args.epsilon, scale=args.scale, seed=args.seed
+    )
+    tables = profiles_as_tables(profiles)
+    print("=== time (seconds) ===")
+    print(render_resource_table(tables["time"], value_format="{:.3f}"))
+    print("\n=== peak memory (MiB) ===")
+    print(render_resource_table(tables["memory"], value_format="{:.2f}"))
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    recommendation = recommend_algorithm(
+        num_nodes=args.nodes, average_clustering=args.acc, epsilon=args.epsilon,
+        priority_query=args.query,
+    )
+    print(f"recommended algorithm: {recommendation.algorithm}")
+    print(f"reason: {recommendation.reason}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    algorithm = get_algorithm(args.algorithm)
+    result = algorithm.generate(graph, epsilon=args.epsilon, rng=args.seed)
+    synthetic = result.graph
+    print(f"original:  {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"synthetic: {synthetic.num_nodes} nodes, {synthetic.num_edges} edges")
+    print(f"guarantee: eps={result.guarantee.epsilon}, delta={result.guarantee.delta}, "
+          f"model={result.guarantee.model.value}")
+    if args.output:
+        write_edge_list(synthetic, args.output,
+                        header=f"{args.algorithm} on {args.dataset}, eps={args.epsilon}")
+        print(f"wrote edge list to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "profile":
+        return _command_profile(args)
+    if args.command == "recommend":
+        return _command_recommend(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Community-detection substrate.
+
+PrivGraph partitions the graph with a community-detection pass, the CD query
+(Q12) runs community detection on both the true and the synthetic graph, and
+the CD error metrics (NMI / ARI / AMI / average-F1) compare the two
+partitions.  Everything needed for that lives here, implemented from scratch:
+
+* :mod:`repro.community.louvain` — Louvain modularity optimisation;
+* :mod:`repro.community.label_propagation` — the cheaper label-propagation
+  alternative (used by tests and as a fallback for very small graphs);
+* :mod:`repro.community.partition` — the partition value object and modularity;
+* :mod:`repro.community.metrics` — partition-similarity scores.
+"""
+
+from repro.community.label_propagation import label_propagation_communities
+from repro.community.louvain import louvain_communities
+from repro.community.metrics import (
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    average_f1_score,
+    normalized_mutual_information,
+)
+from repro.community.partition import Partition, modularity
+
+__all__ = [
+    "label_propagation_communities",
+    "louvain_communities",
+    "adjusted_mutual_information",
+    "adjusted_rand_index",
+    "average_f1_score",
+    "normalized_mutual_information",
+    "Partition",
+    "modularity",
+]

@@ -1,0 +1,192 @@
+"""Partition-similarity metrics (paper Table IV, metrics E6 and E9–E11).
+
+The community-detection query (Q12) is scored by comparing the partition of
+the true graph with the partition of the synthetic graph.  The paper's
+literature survey uses four scores, all implemented here from their
+definitions (no sklearn dependency):
+
+* **NMI** — normalized mutual information (arithmetic normalisation);
+* **ARI** — adjusted Rand index;
+* **AMI** — adjusted mutual information (expected MI under the permutation
+  model, Vinh et al. 2009);
+* **average F1** — mean of the best-match F1 scores in both directions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.community.partition import Partition
+
+
+def _as_labels(partition: "Partition | Sequence[int]") -> np.ndarray:
+    if isinstance(partition, Partition):
+        return partition.labels
+    return Partition(list(partition)).labels
+
+
+def contingency_table(first, second) -> np.ndarray:
+    """Contingency matrix ``N[i, j]`` = number of nodes in community i of the
+    first partition and community j of the second."""
+    labels_a = _as_labels(first)
+    labels_b = _as_labels(second)
+    if labels_a.size != labels_b.size:
+        raise ValueError("partitions must cover the same number of nodes")
+    rows = int(labels_a.max()) + 1 if labels_a.size else 0
+    cols = int(labels_b.max()) + 1 if labels_b.size else 0
+    table = np.zeros((rows, cols), dtype=np.int64)
+    for a, b in zip(labels_a, labels_b):
+        table[a, b] += 1
+    return table
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def mutual_information(first, second) -> float:
+    """Mutual information (in nats) between two partitions."""
+    table = contingency_table(first, second)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    joint = table / n
+    row = joint.sum(axis=1, keepdims=True)
+    col = joint.sum(axis=0, keepdims=True)
+    mask = joint > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(mask, joint * np.log(joint / (row @ col)), 0.0)
+    return float(terms.sum())
+
+
+def normalized_mutual_information(first, second) -> float:
+    """NMI with arithmetic-mean normalisation; 1.0 for identical partitions."""
+    labels_a = _as_labels(first)
+    labels_b = _as_labels(second)
+    h_a = _entropy(np.bincount(labels_a)) if labels_a.size else 0.0
+    h_b = _entropy(np.bincount(labels_b)) if labels_b.size else 0.0
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    mi = mutual_information(first, second)
+    denominator = 0.5 * (h_a + h_b)
+    if denominator == 0.0:
+        return 0.0
+    return float(np.clip(mi / denominator, 0.0, 1.0))
+
+
+def adjusted_rand_index(first, second) -> float:
+    """ARI: Rand index corrected for chance; 1.0 for identical partitions."""
+    table = contingency_table(first, second)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(values: np.ndarray) -> float:
+        values = values.astype(np.float64)
+        return float((values * (values - 1) / 2.0).sum())
+
+    sum_ij = comb2(table.flatten())
+    sum_a = comb2(table.sum(axis=1))
+    sum_b = comb2(table.sum(axis=0))
+    total = n * (n - 1) / 2.0
+    expected = sum_a * sum_b / total
+    maximum = 0.5 * (sum_a + sum_b)
+    if maximum == expected:
+        return 1.0
+    return float((sum_ij - expected) / (maximum - expected))
+
+
+def _expected_mutual_information(table: np.ndarray) -> float:
+    """Expected MI under the hypergeometric (permutation) model (Vinh et al.)."""
+    n = int(table.sum())
+    if n == 0:
+        return 0.0
+    row_sums = table.sum(axis=1).astype(np.int64)
+    col_sums = table.sum(axis=0).astype(np.int64)
+    emi = 0.0
+    for a in row_sums:
+        if a == 0:
+            continue
+        for b in col_sums:
+            if b == 0:
+                continue
+            nij_min = max(1, a + b - n)
+            nij_max = min(a, b)
+            for nij in range(nij_min, nij_max + 1):
+                # log of the hypergeometric probability of observing nij.
+                log_prob = (
+                    gammaln(a + 1) + gammaln(b + 1) + gammaln(n - a + 1) + gammaln(n - b + 1)
+                    - gammaln(n + 1) - gammaln(nij + 1) - gammaln(a - nij + 1)
+                    - gammaln(b - nij + 1) - gammaln(n - a - b + nij + 1)
+                )
+                emi += (nij / n) * math.log(n * nij / (a * b)) * math.exp(log_prob)
+    return emi
+
+
+def adjusted_mutual_information(first, second) -> float:
+    """AMI with arithmetic-mean normalisation; 1.0 for identical partitions.
+
+    The expected-MI term is O(k_a · k_b · n) in the worst case, so the
+    benchmark only computes AMI on the (already coarse) community partitions,
+    exactly as the surveyed algorithms do.
+    """
+    table = contingency_table(first, second)
+    labels_a = _as_labels(first)
+    labels_b = _as_labels(second)
+    h_a = _entropy(np.bincount(labels_a)) if labels_a.size else 0.0
+    h_b = _entropy(np.bincount(labels_b)) if labels_b.size else 0.0
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    mi = mutual_information(first, second)
+    emi = _expected_mutual_information(table)
+    denominator = 0.5 * (h_a + h_b) - emi
+    if abs(denominator) < 1e-15:
+        return 0.0
+    return float((mi - emi) / denominator)
+
+
+def average_f1_score(first, second) -> float:
+    """Average of the two directed best-match F1 scores between community sets."""
+    communities_a = (first if isinstance(first, Partition) else Partition(list(first))).communities()
+    communities_b = (second if isinstance(second, Partition) else Partition(list(second))).communities()
+    if not communities_a and not communities_b:
+        return 1.0
+    if not communities_a or not communities_b:
+        return 0.0
+
+    sets_a = [set(c) for c in communities_a]
+    sets_b = [set(c) for c in communities_b]
+
+    def best_f1(source, targets) -> float:
+        scores = []
+        for community in source:
+            best = 0.0
+            for other in targets:
+                overlap = len(community & other)
+                if overlap == 0:
+                    continue
+                precision = overlap / len(other)
+                recall = overlap / len(community)
+                best = max(best, 2 * precision * recall / (precision + recall))
+            scores.append(best)
+        return float(np.mean(scores)) if scores else 0.0
+
+    return 0.5 * (best_f1(sets_a, sets_b) + best_f1(sets_b, sets_a))
+
+
+__all__ = [
+    "contingency_table",
+    "mutual_information",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "adjusted_mutual_information",
+    "average_f1_score",
+]

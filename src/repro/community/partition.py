@@ -1,0 +1,130 @@
+"""Partition value object and modularity.
+
+A :class:`Partition` assigns every node of a graph to exactly one community.
+It is the common currency between the community-detection algorithms, the
+CD/Modularity queries and the partition-similarity metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class Partition:
+    """A labelling of nodes ``0..n-1`` into communities.
+
+    Community labels are arbitrary hashables on input and are normalised to
+    contiguous integers ``0..k-1``.
+    """
+
+    def __init__(self, labels: Sequence) -> None:
+        labels = list(labels)
+        distinct = {}
+        normalised = np.empty(len(labels), dtype=np.int64)
+        for index, label in enumerate(labels):
+            if label not in distinct:
+                distinct[label] = len(distinct)
+            normalised[index] = distinct[label]
+        self._labels = normalised
+
+    @classmethod
+    def from_communities(cls, communities: Iterable[Iterable[int]], num_nodes: int) -> "Partition":
+        """Build a partition from an iterable of node groups.
+
+        Nodes not covered by any group each get their own singleton community.
+        """
+        labels = [-1] * num_nodes
+        for community_id, members in enumerate(communities):
+            for node in members:
+                labels[node] = community_id
+        next_label = max(labels) + 1 if labels else 0
+        for node, label in enumerate(labels):
+            if label < 0:
+                labels[node] = next_label
+                next_label += 1
+        return cls(labels)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, int], num_nodes: int) -> "Partition":
+        """Build a partition from a node → community dict."""
+        labels = [mapping.get(node, -1) for node in range(num_nodes)]
+        missing = [index for index, label in enumerate(labels) if label == -1]
+        next_label = (max((label for label in labels if label >= 0), default=-1)) + 1
+        for node in missing:
+            labels[node] = next_label
+            next_label += 1
+        return cls(labels)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Community label of each node (contiguous integers starting at 0)."""
+        return self._labels.copy()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes covered by the partition."""
+        return int(self._labels.size)
+
+    @property
+    def num_communities(self) -> int:
+        """Number of distinct communities."""
+        if self._labels.size == 0:
+            return 0
+        return int(self._labels.max()) + 1
+
+    def communities(self) -> List[List[int]]:
+        """Communities as lists of node ids, ordered by community label."""
+        groups: Dict[int, List[int]] = defaultdict(list)
+        for node, label in enumerate(self._labels):
+            groups[int(label)].append(node)
+        return [groups[label] for label in sorted(groups)]
+
+    def community_of(self, node: int) -> int:
+        """Community label of ``node``."""
+        return int(self._labels[node])
+
+    def sizes(self) -> np.ndarray:
+        """Community sizes indexed by community label."""
+        return np.bincount(self._labels, minlength=self.num_communities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self._labels, other._labels)
+
+    def __repr__(self) -> str:
+        return f"Partition(num_nodes={self.num_nodes}, num_communities={self.num_communities})"
+
+
+def modularity(graph: Graph, partition: Partition, resolution: float = 1.0) -> float:
+    """Newman modularity Q of ``partition`` on ``graph``.
+
+    ``Q = Σ_c (e_c / m - resolution · (deg_c / 2m)²)`` where e_c is the number
+    of intra-community edges and deg_c the total degree of community c.
+    """
+    if partition.num_nodes != graph.num_nodes:
+        raise ValueError(
+            f"partition covers {partition.num_nodes} nodes but graph has {graph.num_nodes}"
+        )
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    labels = partition.labels
+    degrees = graph.degrees()
+    intra = np.zeros(partition.num_communities, dtype=np.float64)
+    for u, v in graph.edges():
+        if labels[u] == labels[v]:
+            intra[labels[u]] += 1.0
+    community_degree = np.zeros(partition.num_communities, dtype=np.float64)
+    for node in range(graph.num_nodes):
+        community_degree[labels[node]] += degrees[node]
+    quality = intra / m - resolution * (community_degree / (2.0 * m)) ** 2
+    return float(quality.sum())
+
+
+__all__ = ["Partition", "modularity"]

@@ -1,0 +1,59 @@
+"""Benchmark core: the PGB framework itself (the paper's contribution).
+
+* :mod:`repro.core.spec` — the 4-tuple (M, G, P, U) specification and its
+  validation against the design principles of Section IV;
+* :mod:`repro.core.runner` — runs every (algorithm × dataset × ε × query)
+  cell with repetitions and collects :class:`CellResult` records;
+* :mod:`repro.core.aggregate` — Definition 5 / Definition 6 best-count
+  aggregation and per-query averaging;
+* :mod:`repro.core.profiling` — time / memory measurement per algorithm and
+  dataset (Tables IX and X);
+* :mod:`repro.core.report` — plain-text table renderers that reproduce the
+  layout of the paper's tables;
+* :mod:`repro.core.guidelines` — the mechanism-selection guidance of the
+  paper's final section, derived from benchmark results.
+"""
+
+from repro.core.spec import BenchmarkSpec, SpecValidationError
+from repro.core.runner import BenchmarkRunner, CellResult, BenchmarkResults
+from repro.core.aggregate import (
+    best_count_by_dataset,
+    best_count_by_query,
+    mean_error_table,
+)
+from repro.core.profiling import ResourceProfile, profile_algorithms
+from repro.core.report import render_best_count_table, render_error_table, render_resource_table
+from repro.core.guidelines import recommend_algorithm
+from repro.core.persistence import (
+    export_results_csv,
+    load_results_json,
+    save_results_json,
+)
+from repro.core.theory import (
+    expected_edge_count_relative_error,
+    laplace_expected_absolute_error,
+    randomized_response_density_blowup,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "SpecValidationError",
+    "BenchmarkRunner",
+    "CellResult",
+    "BenchmarkResults",
+    "best_count_by_dataset",
+    "best_count_by_query",
+    "mean_error_table",
+    "ResourceProfile",
+    "profile_algorithms",
+    "render_best_count_table",
+    "render_error_table",
+    "render_resource_table",
+    "recommend_algorithm",
+    "save_results_json",
+    "load_results_json",
+    "export_results_csv",
+    "laplace_expected_absolute_error",
+    "expected_edge_count_relative_error",
+    "randomized_response_density_blowup",
+]

@@ -1,0 +1,121 @@
+"""Aggregation of benchmark results into the paper's summary tables.
+
+Two aggregation rules come straight from the paper:
+
+* **Definition 5** — for a fixed (dataset, ε), count for every algorithm how
+  many of the queries it wins (lowest error).  Summed over queries this gives
+  one entry of Table VII.
+* **Definition 6** — for a fixed query, count for every algorithm how many
+  (dataset, ε) combinations it wins.  This gives Table XII.
+
+Ties: the paper implicitly awards the win to a single algorithm; we award a
+tie to every algorithm achieving the minimum (ties are rare because errors are
+continuous), and the tests cover the behaviour explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.runner import BenchmarkResults, CellResult
+
+
+def _group_by(cells: Sequence[CellResult], keys) -> Dict[Tuple, List[CellResult]]:
+    grouped: Dict[Tuple, List[CellResult]] = defaultdict(list)
+    for cell in cells:
+        grouped[tuple(getattr(cell, key) for key in keys)].append(cell)
+    return grouped
+
+
+def winners_of_group(cells: Sequence[CellResult], tolerance: float = 1e-12) -> List[str]:
+    """Algorithms achieving the minimum error within a group of cells."""
+    if not cells:
+        return []
+    best = min(cell.error for cell in cells)
+    return [cell.algorithm for cell in cells if cell.error <= best + tolerance]
+
+
+def best_count_by_dataset(results: BenchmarkResults) -> Dict[Tuple[float, str, str], int]:
+    """Table VII: ``{(epsilon, dataset, algorithm): number of queries won}`` (Definition 5)."""
+    counts: Dict[Tuple[float, str, str], int] = defaultdict(int)
+    for algorithm in results.algorithms():
+        for dataset in results.datasets():
+            for epsilon in results.epsilons():
+                counts[(epsilon, dataset, algorithm)] = 0
+    grouped = _group_by(results.cells, ("dataset", "epsilon", "query"))
+    for (dataset, epsilon, _query), cells in grouped.items():
+        for winner in winners_of_group(cells):
+            counts[(epsilon, dataset, winner)] += 1
+    return dict(counts)
+
+
+def best_count_by_query(results: BenchmarkResults) -> Dict[Tuple[str, str], int]:
+    """Table XII: ``{(query, algorithm): number of (dataset, epsilon) wins}`` (Definition 6)."""
+    counts: Dict[Tuple[str, str], int] = defaultdict(int)
+    for algorithm in results.algorithms():
+        for query in results.queries():
+            counts[(query, algorithm)] = 0
+    grouped = _group_by(results.cells, ("dataset", "epsilon", "query"))
+    for (_dataset, _epsilon, query), cells in grouped.items():
+        for winner in winners_of_group(cells):
+            counts[(query, winner)] += 1
+    return dict(counts)
+
+
+def mean_error_table(results: BenchmarkResults, query: str) -> Dict[Tuple[str, str, float], float]:
+    """Average error of each algorithm for one query: ``{(algorithm, dataset, epsilon): error}``.
+
+    This is the data behind the per-query curves of Figure 2 (one curve per
+    algorithm, x-axis ε, one panel per dataset).
+    """
+    table: Dict[Tuple[str, str, float], float] = {}
+    for cell in results.cells:
+        if cell.query != query:
+            continue
+        table[(cell.algorithm, cell.dataset, cell.epsilon)] = cell.error
+    return table
+
+
+def error_curve(results: BenchmarkResults, query: str, dataset: str,
+                algorithm: str) -> List[Tuple[float, float]]:
+    """(ε, error) pairs for one algorithm / dataset / query, sorted by ε."""
+    points = [
+        (cell.epsilon, cell.error)
+        for cell in results.cells
+        if cell.query == query and cell.dataset == dataset and cell.algorithm == algorithm
+    ]
+    return sorted(points)
+
+
+def overall_win_totals(results: BenchmarkResults) -> Dict[str, int]:
+    """Total number of wins per algorithm across every (dataset, ε, query) cell."""
+    totals: Dict[str, int] = defaultdict(int)
+    for algorithm in results.algorithms():
+        totals[algorithm] = 0
+    grouped = _group_by(results.cells, ("dataset", "epsilon", "query"))
+    for cells in grouped.values():
+        for winner in winners_of_group(cells):
+            totals[winner] += 1
+    return dict(totals)
+
+
+def mean_error_by_algorithm(results: BenchmarkResults) -> Dict[str, float]:
+    """Mean (over all cells) error per algorithm — a coarse overall ranking aid."""
+    sums: Dict[str, List[float]] = defaultdict(list)
+    for cell in results.cells:
+        sums[cell.algorithm].append(cell.error)
+    return {algorithm: float(np.mean(values)) for algorithm, values in sums.items()}
+
+
+__all__ = [
+    "winners_of_group",
+    "best_count_by_dataset",
+    "best_count_by_query",
+    "mean_error_table",
+    "error_curve",
+    "overall_win_totals",
+    "mean_error_by_algorithm",
+]

@@ -1,0 +1,131 @@
+"""Saving and loading benchmark results.
+
+The paper ships a public results platform so that "future works can be
+included and compared easily"; the minimum machinery for that is a stable
+on-disk format for benchmark runs.  Two formats are provided:
+
+* **JSON** — the full record (spec + every cell), loadable back into a
+  :class:`~repro.core.runner.BenchmarkResults` so aggregation and reporting
+  can be re-run without repeating the experiments;
+* **CSV** — one row per cell, convenient for spreadsheets and plotting tools.
+
+Both writers are plain-text and dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.spec import BenchmarkSpec
+
+PathLike = Union[str, Path]
+
+#: Format version written into every JSON file; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+_CSV_COLUMNS = (
+    "algorithm",
+    "dataset",
+    "epsilon",
+    "query",
+    "query_code",
+    "error",
+    "error_std",
+    "repetitions",
+    "generation_seconds",
+)
+
+
+def results_to_dict(results: BenchmarkResults) -> dict:
+    """Convert a results object into a JSON-serialisable dictionary."""
+    spec = results.spec
+    return {
+        "format_version": FORMAT_VERSION,
+        "spec": {
+            "algorithms": list(spec.algorithms),
+            "datasets": list(spec.datasets),
+            "epsilons": list(spec.epsilons),
+            "queries": list(spec.queries),
+            "repetitions": spec.repetitions,
+            "scale": spec.scale,
+            "seed": spec.seed,
+            "strict": spec.strict,
+        },
+        "cells": [
+            {column: getattr(cell, column) for column in _CSV_COLUMNS}
+            for cell in results.cells
+        ],
+    }
+
+
+def results_from_dict(payload: dict) -> BenchmarkResults:
+    """Rebuild a :class:`BenchmarkResults` from :func:`results_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version: {version!r}")
+    spec_payload = payload["spec"]
+    spec = BenchmarkSpec(
+        algorithms=tuple(spec_payload["algorithms"]),
+        datasets=tuple(spec_payload["datasets"]),
+        epsilons=tuple(spec_payload["epsilons"]),
+        queries=tuple(spec_payload["queries"]),
+        repetitions=int(spec_payload["repetitions"]),
+        scale=float(spec_payload["scale"]),
+        seed=int(spec_payload["seed"]),
+        strict=bool(spec_payload.get("strict", True)),
+    )
+    cells: List[CellResult] = []
+    for cell_payload in payload["cells"]:
+        cells.append(
+            CellResult(
+                algorithm=cell_payload["algorithm"],
+                dataset=cell_payload["dataset"],
+                epsilon=float(cell_payload["epsilon"]),
+                query=cell_payload["query"],
+                query_code=cell_payload["query_code"],
+                error=float(cell_payload["error"]),
+                error_std=float(cell_payload["error_std"]),
+                repetitions=int(cell_payload["repetitions"]),
+                generation_seconds=float(cell_payload["generation_seconds"]),
+            )
+        )
+    return BenchmarkResults(spec=spec, cells=cells)
+
+
+def save_results_json(results: BenchmarkResults, path: PathLike) -> None:
+    """Write ``results`` to ``path`` as JSON (full spec + cells)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(results_to_dict(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results_json(path: PathLike) -> BenchmarkResults:
+    """Load a results file written by :func:`save_results_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return results_from_dict(json.load(handle))
+
+
+def export_results_csv(results: BenchmarkResults, path: PathLike) -> None:
+    """Write one CSV row per benchmark cell (no spec metadata)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_COLUMNS)
+        for cell in results.cells:
+            writer.writerow([getattr(cell, column) for column in _CSV_COLUMNS])
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "results_to_dict",
+    "results_from_dict",
+    "save_results_json",
+    "load_results_json",
+    "export_results_csv",
+]

@@ -1,0 +1,77 @@
+"""Time and memory profiling of the algorithms (Tables IX and X).
+
+``profile_algorithms`` measures, for each (algorithm, dataset), the wall-clock
+time and peak traced memory of a single generation run — the same protocol the
+paper uses for its resource tables.  Results are plain records so the resource
+benches and reports can format them any way they like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.algorithms.registry import get_algorithm
+from repro.graphs.datasets import load_dataset
+from repro.graphs.graph import Graph
+from repro.utils.timer import measure_resources
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Resource usage of one algorithm on one dataset (one generation run)."""
+
+    algorithm: str
+    dataset: str
+    epsilon: float
+    seconds: float
+    peak_mib: float
+    num_nodes: int
+    num_edges: int
+
+
+def profile_algorithm_on_graph(algorithm_name: str, dataset_name: str, graph: Graph,
+                               epsilon: float = 1.0, seed: int = 0) -> ResourceProfile:
+    """Profile a single generation run of ``algorithm_name`` on ``graph``."""
+    algorithm = get_algorithm(algorithm_name)
+    usage = measure_resources(lambda: algorithm.generate_graph(graph, epsilon, rng=seed))
+    return ResourceProfile(
+        algorithm=algorithm_name,
+        dataset=dataset_name,
+        epsilon=epsilon,
+        seconds=usage.seconds,
+        peak_mib=usage.peak_mib,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+    )
+
+
+def profile_algorithms(algorithms: Sequence[str], datasets: Sequence[str], epsilon: float = 1.0,
+                       scale: float = 1.0, seed: int = 0) -> List[ResourceProfile]:
+    """Profile every (algorithm, dataset) pair once, as in Tables IX and X."""
+    profiles: List[ResourceProfile] = []
+    for dataset_name in datasets:
+        graph = load_dataset(dataset_name, scale=scale, seed=seed)
+        for algorithm_name in algorithms:
+            profiles.append(
+                profile_algorithm_on_graph(algorithm_name, dataset_name, graph, epsilon=epsilon, seed=seed)
+            )
+    return profiles
+
+
+def profiles_as_tables(profiles: Sequence[ResourceProfile]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reshape profiles into ``{"time": {dataset: {algorithm: s}}, "memory": {...}}``."""
+    time_table: Dict[str, Dict[str, float]] = {}
+    memory_table: Dict[str, Dict[str, float]] = {}
+    for profile in profiles:
+        time_table.setdefault(profile.dataset, {})[profile.algorithm] = profile.seconds
+        memory_table.setdefault(profile.dataset, {})[profile.algorithm] = profile.peak_mib
+    return {"time": time_table, "memory": memory_table}
+
+
+__all__ = [
+    "ResourceProfile",
+    "profile_algorithm_on_graph",
+    "profile_algorithms",
+    "profiles_as_tables",
+]

@@ -1,0 +1,130 @@
+"""Plain-text table renderers mirroring the layout of the paper's tables.
+
+The benches print these tables so a benchmark run visibly reproduces the
+paper's reporting format (Table VII best-count layout, Table XII per-query
+layout, the Table IX/X resource layout and the Figure 2 style error curves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.aggregate import (
+    best_count_by_dataset,
+    best_count_by_query,
+    error_curve,
+)
+from repro.core.runner import BenchmarkResults
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(str(column)) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [_format_row(header, widths), _format_row(["-" * width for width in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def render_best_count_table(results: BenchmarkResults) -> str:
+    """Table VII layout: rows are (ε, algorithm), columns are datasets, entries are win counts."""
+    counts = best_count_by_dataset(results)
+    datasets = results.datasets()
+    header = ["epsilon", "algorithm"] + list(datasets)
+    rows: List[List[str]] = []
+    for epsilon in results.epsilons():
+        # Highlight (with a trailing '*') the per-dataset maximum, mirroring
+        # the grey highlighting in the paper's table.
+        best_per_dataset = {
+            dataset: max(counts[(epsilon, dataset, algorithm)] for algorithm in results.algorithms())
+            for dataset in datasets
+        }
+        for algorithm in results.algorithms():
+            row = [f"{epsilon:g}", algorithm]
+            for dataset in datasets:
+                value = counts[(epsilon, dataset, algorithm)]
+                marker = "*" if value == best_per_dataset[dataset] and value > 0 else ""
+                row.append(f"{value}{marker}")
+            rows.append(row)
+    return _table(header, rows)
+
+
+def render_per_query_table(results: BenchmarkResults) -> str:
+    """Table XII layout: rows are algorithms, columns are queries, entries are win counts."""
+    counts = best_count_by_query(results)
+    queries = results.queries()
+    codes = {cell.query: cell.query_code for cell in results.cells}
+    header = ["algorithm"] + [codes.get(query, query) for query in queries]
+    rows = []
+    for algorithm in results.algorithms():
+        row = [algorithm] + [str(counts[(query, algorithm)]) for query in queries]
+        rows.append(row)
+    return _table(header, rows)
+
+
+def render_error_table(results: BenchmarkResults, query: str, dataset: str) -> str:
+    """Figure 2 style: one row per algorithm, one column per ε, entries are mean errors."""
+    epsilons = results.epsilons()
+    header = ["algorithm"] + [f"eps={epsilon:g}" for epsilon in epsilons]
+    rows = []
+    for algorithm in results.algorithms():
+        curve = dict(error_curve(results, query, dataset, algorithm))
+        row = [algorithm]
+        for epsilon in epsilons:
+            value = curve.get(epsilon)
+            row.append("-" if value is None else f"{value:.4g}")
+        rows.append(row)
+    return _table(header, rows)
+
+
+def render_resource_table(table: Dict[str, Dict[str, float]], value_format: str = "{:.2f}") -> str:
+    """Table IX/X layout: rows are datasets, columns are algorithms."""
+    datasets = list(table)
+    algorithms: List[str] = []
+    for per_dataset in table.values():
+        for algorithm in per_dataset:
+            if algorithm not in algorithms:
+                algorithms.append(algorithm)
+    header = ["dataset"] + algorithms
+    rows = []
+    for dataset in datasets:
+        row = [dataset]
+        for algorithm in algorithms:
+            value = table[dataset].get(algorithm)
+            row.append("-" if value is None else value_format.format(value))
+        rows.append(row)
+    return _table(header, rows)
+
+
+def render_summary(results: BenchmarkResults) -> str:
+    """A short human-readable summary of a benchmark run."""
+    from repro.core.aggregate import mean_error_by_algorithm, overall_win_totals
+
+    wins = overall_win_totals(results)
+    means = mean_error_by_algorithm(results)
+    header = ["algorithm", "total_wins", "mean_error"]
+    rows = [
+        [algorithm, str(wins.get(algorithm, 0)), f"{means.get(algorithm, float('nan')):.4g}"]
+        for algorithm in results.algorithms()
+    ]
+    lines = [
+        f"algorithms: {len(results.algorithms())}  datasets: {len(results.datasets())}  "
+        f"epsilons: {len(results.epsilons())}  queries: {len(results.queries())}",
+        f"single experiments: {results.spec.num_experiments}",
+        _table(header, rows),
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "render_best_count_table",
+    "render_per_query_table",
+    "render_error_table",
+    "render_resource_table",
+    "render_summary",
+]

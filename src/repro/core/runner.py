@@ -1,0 +1,181 @@
+"""The benchmark runner: executes every (M × G × P × U) cell.
+
+For every (algorithm, dataset, ε) triple the runner generates ``repetitions``
+synthetic graphs (each with its own derived RNG), evaluates every query on
+each synthetic graph, and records the *average* error per query — exactly the
+procedure of the paper's Section V-D ("we run each experiment 10 times and
+calculate the average of the utility metrics").
+
+Results are plain dataclass records collected into :class:`BenchmarkResults`,
+which the aggregation module turns into the paper's tables.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import GraphGenerator
+from repro.core.spec import BenchmarkSpec
+from repro.graphs.graph import Graph
+from repro.queries.base import GraphQuery
+from repro.utils.rng import ensure_rng
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Average error of one algorithm on one (dataset, ε, query) cell."""
+
+    algorithm: str
+    dataset: str
+    epsilon: float
+    query: str
+    query_code: str
+    error: float
+    error_std: float
+    repetitions: int
+    generation_seconds: float
+
+
+@dataclass
+class BenchmarkResults:
+    """All cell results of one benchmark run plus the spec that produced them."""
+
+    spec: BenchmarkSpec
+    cells: List[CellResult] = field(default_factory=list)
+
+    def filter(self, algorithm: str | None = None, dataset: str | None = None,
+               epsilon: float | None = None, query: str | None = None) -> List[CellResult]:
+        """Cells matching the given coordinates (None matches everything)."""
+        out = []
+        for cell in self.cells:
+            if algorithm is not None and cell.algorithm != algorithm:
+                continue
+            if dataset is not None and cell.dataset != dataset:
+                continue
+            if epsilon is not None and abs(cell.epsilon - epsilon) > 1e-12:
+                continue
+            if query is not None and cell.query != query:
+                continue
+            out.append(cell)
+        return out
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names present in the results, in spec order."""
+        return [name for name in self.spec.algorithms if any(c.algorithm == name for c in self.cells)]
+
+    def datasets(self) -> List[str]:
+        """Dataset names present in the results, in spec order."""
+        return [name for name in self.spec.datasets if any(c.dataset == name for c in self.cells)]
+
+    def epsilons(self) -> List[float]:
+        """Privacy budgets present in the results, in spec order."""
+        return [eps for eps in self.spec.epsilons if any(abs(c.epsilon - eps) < 1e-12 for c in self.cells)]
+
+    def queries(self) -> List[str]:
+        """Query names present in the results, in spec order."""
+        return [name for name in self.spec.queries if any(c.query == name for c in self.cells)]
+
+
+ProgressCallback = Callable[[str, str, float], None]
+
+
+class BenchmarkRunner:
+    """Runs a :class:`BenchmarkSpec` and returns :class:`BenchmarkResults`.
+
+    Parameters
+    ----------
+    spec:
+        The benchmark specification to execute.
+    progress:
+        Optional callback ``(algorithm, dataset, epsilon)`` invoked before each
+        generation, useful for long runs.
+    """
+
+    def __init__(self, spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None) -> None:
+        self.spec = spec
+        self.progress = progress
+
+    def run(self) -> BenchmarkResults:
+        """Execute the full grid and return the collected results."""
+        results = BenchmarkResults(spec=self.spec)
+        graphs = self.spec.load_graphs()
+        queries = self.spec.make_queries()
+        master = ensure_rng(self.spec.seed)
+
+        for dataset_name, graph in graphs.items():
+            # Pre-compute the true query values once per dataset: they do not
+            # depend on the algorithm or the privacy budget.
+            true_values = {query.name: query.evaluate(graph) for query in queries}
+            for algorithm_name in self.spec.algorithms:
+                for epsilon in self.spec.epsilons:
+                    if self.progress is not None:
+                        self.progress(algorithm_name, dataset_name, epsilon)
+                    cells = self._run_cell(
+                        algorithm_name, dataset_name, graph, epsilon, queries, true_values, master
+                    )
+                    results.cells.extend(cells)
+        return results
+
+    # -- internals -----------------------------------------------------------
+    def _run_cell(self, algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
+                  queries: Sequence[GraphQuery], true_values: Dict[str, object],
+                  master) -> List[CellResult]:
+        from repro.algorithms.registry import get_algorithm
+        from repro.metrics.registry import get_metric
+
+        errors: Dict[str, List[float]] = {query.name: [] for query in queries}
+        generation_time = 0.0
+        for repetition in range(self.spec.repetitions):
+            algorithm = get_algorithm(algorithm_name)
+            seed = int(master.integers(0, 2**31 - 1))
+            start = time.perf_counter()
+            try:
+                synthetic = algorithm.generate_graph(graph, epsilon, rng=seed)
+            except Exception:  # pragma: no cover - defensive: one failure should not kill the run
+                logger.exception(
+                    "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
+                    algorithm_name, dataset_name, epsilon, repetition,
+                )
+                continue
+            generation_time += time.perf_counter() - start
+            for query in queries:
+                metric = get_metric(query.metric_name)
+                synthetic_value = query.evaluate(synthetic)
+                score = metric(true_values[query.name], synthetic_value)
+                error = 1.0 - score if metric.higher_is_better else score
+                errors[query.name].append(float(error))
+
+        cells: List[CellResult] = []
+        for query in queries:
+            values = errors[query.name]
+            if not values:
+                continue
+            cells.append(
+                CellResult(
+                    algorithm=algorithm_name,
+                    dataset=dataset_name,
+                    epsilon=float(epsilon),
+                    query=query.name,
+                    query_code=query.code,
+                    error=float(np.mean(values)),
+                    error_std=float(np.std(values)),
+                    repetitions=len(values),
+                    generation_seconds=generation_time / max(len(values), 1),
+                )
+            )
+        return cells
+
+
+def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None) -> BenchmarkResults:
+    """Convenience function: build a runner for ``spec`` and run it."""
+    return BenchmarkRunner(spec, progress=progress).run()
+
+
+__all__ = ["CellResult", "BenchmarkResults", "BenchmarkRunner", "run_benchmark"]

@@ -1,0 +1,182 @@
+"""The benchmark specification: the 4-tuple (M, G, P, U).
+
+A :class:`BenchmarkSpec` pins down exactly what gets compared:
+
+* **M** — algorithm names (resolved through the algorithm registry);
+* **G** — dataset names (resolved through the dataset registry) plus the
+  ``scale`` at which the stand-ins are generated;
+* **P** — privacy budgets ε (and the δ used by (ε, δ) algorithms);
+* **U** — query names (resolved through the query registry).
+
+``validate`` enforces the design principles of Section IV that are checkable
+mechanically: all algorithms must share a privacy model and attribute setting
+(M1/M3), the ε range must be sensible (P), δ must satisfy the 1/n rule for
+each dataset, and the query set must be non-empty (U).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algorithms.base import GraphGenerator
+from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm
+from repro.graphs.datasets import PGB_DATASET_NAMES, get_dataset
+from repro.queries.base import GraphQuery
+from repro.queries.registry import PGB_QUERY_NAMES, get_query
+
+#: The privacy budgets of the benchmark instantiation (paper Table V / VII).
+PGB_EPSILONS: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+class SpecValidationError(ValueError):
+    """Raised when a benchmark specification violates a design principle."""
+
+
+@dataclass
+class BenchmarkSpec:
+    """The (M, G, P, U) tuple plus execution parameters.
+
+    Parameters
+    ----------
+    algorithms:
+        Algorithm names (see :mod:`repro.algorithms.registry`).
+    datasets:
+        Dataset names (see :mod:`repro.graphs.datasets`).
+    epsilons:
+        Privacy budgets to sweep.
+    queries:
+        Query names (see :mod:`repro.queries.registry`).
+    repetitions:
+        How many times each cell is repeated and averaged (the paper uses 10).
+    scale:
+        Scale factor applied to the dataset stand-ins; 1.0 reproduces the
+        paper's sizes, smaller values keep CI runs fast.
+    seed:
+        Master seed from which every repetition derives its own RNG.
+    """
+
+    algorithms: Sequence[str] = PGB_ALGORITHM_NAMES
+    datasets: Sequence[str] = PGB_DATASET_NAMES
+    epsilons: Sequence[float] = PGB_EPSILONS
+    queries: Sequence[str] = PGB_QUERY_NAMES
+    repetitions: int = 10
+    scale: float = 1.0
+    seed: int = 2024
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        self.algorithms = tuple(self.algorithms)
+        self.datasets = tuple(self.datasets)
+        self.epsilons = tuple(float(eps) for eps in self.epsilons)
+        self.queries = tuple(self.queries)
+        self.validate()
+
+    # -- resolution ---------------------------------------------------------
+    def make_algorithms(self) -> List[GraphGenerator]:
+        """Instantiate the configured algorithms."""
+        return [get_algorithm(name) for name in self.algorithms]
+
+    def make_queries(self) -> List[GraphQuery]:
+        """Instantiate the configured queries."""
+        return [get_query(name) for name in self.queries]
+
+    def load_graphs(self) -> Dict[str, "Graph"]:
+        """Load every configured dataset at the configured scale."""
+        from repro.graphs.datasets import load_dataset
+
+        return {name: load_dataset(name, scale=self.scale, seed=self.seed) for name in self.datasets}
+
+    @property
+    def num_experiments(self) -> int:
+        """Total number of single experiments, counted as the paper counts them."""
+        return (
+            len(self.algorithms)
+            * len(self.datasets)
+            * len(self.epsilons)
+            * len(self.queries)
+            * self.repetitions
+        )
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check the mechanically verifiable design principles (M1, M3, P, U)."""
+        if not self.algorithms:
+            raise SpecValidationError("M must contain at least one algorithm")
+        if not self.datasets:
+            raise SpecValidationError("G must contain at least one dataset")
+        if not self.epsilons:
+            raise SpecValidationError("P must contain at least one privacy budget")
+        if not self.queries:
+            raise SpecValidationError("U must contain at least one query")
+        if self.repetitions < 1:
+            raise SpecValidationError("repetitions must be >= 1")
+        if self.scale <= 0:
+            raise SpecValidationError("scale must be > 0")
+
+        instances = self.make_algorithms()
+        models = {algorithm.privacy_model for algorithm in instances}
+        if self.strict and len(models) > 1:
+            names = ", ".join(f"{a.name}={a.privacy_model.value}" for a in instances)
+            raise SpecValidationError(
+                "principle M1 violated: algorithms use different privacy models "
+                f"({names}); set strict=False to compare them anyway"
+            )
+        attributed = {algorithm.handles_attributes for algorithm in instances}
+        if self.strict and len(attributed) > 1:
+            raise SpecValidationError(
+                "principle M3 violated: mixing attributed and unattributed "
+                "graph algorithms; set strict=False to compare them anyway"
+            )
+
+        for epsilon in self.epsilons:
+            if epsilon <= 0:
+                raise SpecValidationError(f"privacy budget must be > 0, got {epsilon}")
+            if self.strict and epsilon > 100:
+                raise SpecValidationError(
+                    f"privacy budget ε={epsilon} is too large to be meaningful (principle P); "
+                    "set strict=False to allow it"
+                )
+
+        # δ < 1/n rule for (ε, δ) algorithms on every dataset.
+        if self.strict:
+            deltas = [algorithm.delta for algorithm in instances if algorithm.requires_delta]
+            if deltas:
+                for dataset_name in self.datasets:
+                    info = get_dataset(dataset_name)
+                    effective_nodes = max(int(info.paper_num_nodes * self.scale), 1)
+                    for delta in deltas:
+                        # The rule of thumb is advisory; only flagrantly large
+                        # deltas (>= 1) are rejected outright.
+                        if delta >= 1.0:
+                            raise SpecValidationError(
+                                f"delta={delta} is not a valid DP relaxation for "
+                                f"dataset {dataset_name} (n≈{effective_nodes})"
+                            )
+
+        # Make sure the queries resolve (raises KeyError with a clear message).
+        for query_name in self.queries:
+            get_query(query_name)
+
+    # -- convenience constructors -------------------------------------------
+    @classmethod
+    def paper_instantiation(cls, scale: float = 1.0, repetitions: int = 10,
+                            seed: int = 2024) -> "BenchmarkSpec":
+        """The full PGB instantiation of Table V (43,200+ single experiments at scale 1)."""
+        return cls(scale=scale, repetitions=repetitions, seed=seed)
+
+    @classmethod
+    def smoke_test(cls, seed: int = 2024) -> "BenchmarkSpec":
+        """A tiny spec used by tests: 2 algorithms, 2 datasets, 2 budgets, 4 queries."""
+        return cls(
+            algorithms=("tmf", "dgg"),
+            datasets=("minnesota", "ba"),
+            epsilons=(0.5, 2.0),
+            queries=("num_edges", "average_degree", "global_clustering", "degree_distribution"),
+            repetitions=1,
+            scale=0.05,
+            seed=seed,
+        )
+
+
+__all__ = ["BenchmarkSpec", "SpecValidationError", "PGB_EPSILONS"]

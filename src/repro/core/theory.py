@@ -1,0 +1,106 @@
+"""Closed-form (expected) utility of the basic Laplace releases.
+
+The paper compares algorithms "theoretically and empirically"; this module
+collects the closed forms that make the theoretical side concrete for the
+simplest statistics, so tests and users can check that the empirical errors
+measured by the benchmark sit where theory predicts:
+
+* the expected absolute error of a Laplace release with scale ``b`` is ``b``;
+* the expected relative error of the edge count under Edge CDP is therefore
+  ``1 / (ε · m)``;
+* randomized response on the n(n-1)/2 adjacency bits produces an expected
+  number of false-positive edges of ``(max_edges - m) / (e^ε + 1)``, which is
+  the quantitative version of the density explosion the paper's principles
+  G1–G2 warn about for sparse graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_integer, check_positive
+
+
+def laplace_expected_absolute_error(sensitivity: float, epsilon: float) -> float:
+    """E|Lap(Δ/ε)| = Δ/ε."""
+    check_positive(sensitivity, "sensitivity")
+    check_positive(epsilon, "epsilon")
+    return sensitivity / epsilon
+
+
+def expected_edge_count_relative_error(num_edges: int, epsilon: float) -> float:
+    """Expected RE of the Laplace-released edge count: 1 / (ε·m) under Edge CDP."""
+    check_integer(num_edges, "num_edges", minimum=1)
+    check_positive(epsilon, "epsilon")
+    return 1.0 / (epsilon * num_edges)
+
+
+def expected_degree_histogram_l1_error(epsilon: float, num_bins: int,
+                                        sensitivity: float = 4.0) -> float:
+    """Expected L1 error of a Laplace-released degree histogram: bins · Δ/ε."""
+    check_positive(epsilon, "epsilon")
+    check_integer(num_bins, "num_bins", minimum=1)
+    return num_bins * sensitivity / epsilon
+
+
+def randomized_response_false_positive_edges(num_nodes: int, num_edges: int,
+                                             epsilon: float) -> float:
+    """Expected number of non-edges that RR reports as edges.
+
+    Each of the ``n(n-1)/2 - m`` absent pairs flips with probability
+    ``1 / (e^ε + 1)``.  For the sparse graphs of the benchmark this dwarfs the
+    true edge count at small ε, producing the dense synthetic graphs the paper
+    warns about.
+    """
+    n = check_integer(num_nodes, "num_nodes", minimum=2)
+    m = check_integer(num_edges, "num_edges", minimum=0)
+    check_positive(epsilon, "epsilon")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError("num_edges exceeds the maximum possible")
+    flip_probability = 1.0 / (math.exp(epsilon) + 1.0)
+    return (max_edges - m) * flip_probability
+
+
+def randomized_response_density_blowup(num_nodes: int, num_edges: int, epsilon: float) -> float:
+    """Ratio of the expected reported edge count to the true edge count under RR.
+
+    Values far above 1 mean the synthetic graph will be much denser than the
+    original — the quantitative form of principle G1-G2.
+    """
+    m = check_integer(num_edges, "num_edges", minimum=1)
+    keep_probability = math.exp(epsilon) / (math.exp(epsilon) + 1.0)
+    expected_reported = m * keep_probability + randomized_response_false_positive_edges(
+        num_nodes, num_edges, epsilon
+    )
+    return expected_reported / m
+
+
+def smooth_vs_global_noise_ratio(local_sensitivity: float, global_sensitivity: float,
+                                 epsilon: float, delta: float) -> float:
+    """Noise-scale ratio of a smooth-sensitivity release to a global-sensitivity release.
+
+    A ratio below 1 means smooth sensitivity pays off (the usual case for
+    triangle-like statistics on sparse graphs, and the reason DP-dK and
+    PrivSKG adopt it); a ratio above 1 means the (2/ε)·S scaling and the
+    β-smoothing overhead ate the advantage.
+    """
+    check_positive(global_sensitivity, "global_sensitivity")
+    check_positive(epsilon, "epsilon")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    if local_sensitivity < 0:
+        raise ValueError("local_sensitivity must be >= 0")
+    smooth_scale = 2.0 * max(local_sensitivity, 1e-12) / epsilon
+    global_scale = global_sensitivity / epsilon
+    return smooth_scale / global_scale
+
+
+__all__ = [
+    "laplace_expected_absolute_error",
+    "expected_edge_count_relative_error",
+    "expected_degree_histogram_l1_error",
+    "randomized_response_false_positive_edges",
+    "randomized_response_density_blowup",
+    "smooth_vs_global_noise_ratio",
+]

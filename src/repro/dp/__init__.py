@@ -1,0 +1,59 @@
+"""Differential-privacy substrate.
+
+This subpackage implements everything the PGB algorithms need from the DP
+literature:
+
+* perturbation primitives (:mod:`repro.dp.mechanisms`): Laplace, geometric,
+  Gaussian, exponential mechanism and randomized response;
+* sensitivity calculus (:mod:`repro.dp.sensitivity`): global, local and smooth
+  sensitivity, including the Cauchy/Laplace smooth-sensitivity noise recipes;
+* privacy-budget bookkeeping (:mod:`repro.dp.budget`): sequential composition
+  and explicit budget splitting;
+* privacy definitions (:mod:`repro.dp.definitions`): Edge CDP, Node CDP,
+  Edge LDP and Node LDP neighbouring relations (principle M1 of the paper).
+"""
+
+from repro.dp.budget import PrivacyBudget, BudgetExceededError
+from repro.dp.definitions import (
+    PrivacyModel,
+    PrivacyGuarantee,
+    edge_neighbors,
+    node_neighbors,
+    is_edge_neighbor,
+    is_node_neighbor,
+)
+from repro.dp.mechanisms import (
+    LaplaceMechanism,
+    GeometricMechanism,
+    GaussianMechanism,
+    ExponentialMechanism,
+    RandomizedResponse,
+    laplace_noise,
+)
+from repro.dp.sensitivity import (
+    GlobalSensitivity,
+    SmoothSensitivity,
+    local_sensitivity_edge_count,
+    smooth_sensitivity_upper_bound,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "BudgetExceededError",
+    "PrivacyModel",
+    "PrivacyGuarantee",
+    "edge_neighbors",
+    "node_neighbors",
+    "is_edge_neighbor",
+    "is_node_neighbor",
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "GaussianMechanism",
+    "ExponentialMechanism",
+    "RandomizedResponse",
+    "laplace_noise",
+    "GlobalSensitivity",
+    "SmoothSensitivity",
+    "local_sensitivity_edge_count",
+    "smooth_sensitivity_upper_bound",
+]

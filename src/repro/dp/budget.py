@@ -1,0 +1,167 @@
+"""Privacy-budget bookkeeping.
+
+The paper stresses (principle M4, Remark on community-based algorithms) that
+*how the budget is split across stages* materially affects utility.  To keep
+that explicit and testable, every algorithm in :mod:`repro.algorithms` splits
+its ε through a :class:`PrivacyBudget`, which
+
+* tracks how much of the total has been consumed,
+* refuses to overspend (raising :class:`BudgetExceededError`), and
+* records a named ledger of spends so tests can assert the split adds up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.validation import check_positive
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when an algorithm tries to spend more ε (or δ) than it was given."""
+
+
+@dataclass
+class PrivacyBudget:
+    """A mutable ε (and optional δ) budget with a spend ledger.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget available.
+    delta:
+        Total δ available; 0 for pure ε-DP algorithms.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+    _spent_epsilon: float = field(default=0.0, init=False, repr=False)
+    _spent_delta: float = field(default=0.0, init=False, repr=False)
+    _ledger: List[Tuple[str, float, float]] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, "epsilon")
+        if self.delta < 0:
+            raise ValueError(f"delta must be >= 0, got {self.delta}")
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def spent_epsilon(self) -> float:
+        """Total ε consumed so far."""
+        return self._spent_epsilon
+
+    @property
+    def spent_delta(self) -> float:
+        """Total δ consumed so far."""
+        return self._spent_delta
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """ε still available."""
+        return self.epsilon - self._spent_epsilon
+
+    @property
+    def remaining_delta(self) -> float:
+        """δ still available."""
+        return self.delta - self._spent_delta
+
+    @property
+    def ledger(self) -> Dict[str, float]:
+        """Mapping of stage label to ε spent on that stage."""
+        out: Dict[str, float] = {}
+        for label, eps, _ in self._ledger:
+            out[label] = out.get(label, 0.0) + eps
+        return out
+
+    # -- spending ---------------------------------------------------------
+    def spend(self, epsilon: float, label: str = "unnamed", delta: float = 0.0) -> float:
+        """Consume ``epsilon`` (and ``delta``) from the budget and return ε spent."""
+        check_positive(epsilon, "epsilon")
+        if delta < 0:
+            raise ValueError("delta must be >= 0")
+        tolerance = 1e-9
+        if self._spent_epsilon + epsilon > self.epsilon + tolerance:
+            raise BudgetExceededError(
+                f"stage '{label}' requested ε={epsilon:.6g} but only "
+                f"{self.remaining_epsilon:.6g} of {self.epsilon:.6g} remains"
+            )
+        if self._spent_delta + delta > self.delta + tolerance:
+            raise BudgetExceededError(
+                f"stage '{label}' requested δ={delta:.3g} but only "
+                f"{self.remaining_delta:.3g} of {self.delta:.3g} remains"
+            )
+        self._spent_epsilon += epsilon
+        self._spent_delta += delta
+        self._ledger.append((label, epsilon, delta))
+        return epsilon
+
+    def spend_fraction(self, fraction: float, label: str = "unnamed", delta: float = 0.0) -> float:
+        """Spend ``fraction`` of the *total* ε (not of the remainder)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return self.spend(self.epsilon * fraction, label=label, delta=delta)
+
+    def spend_all_remaining(self, label: str = "remainder") -> float:
+        """Spend whatever ε is left (useful as the final stage of a split)."""
+        remaining = self.remaining_epsilon
+        if remaining <= 0:
+            raise BudgetExceededError(f"no budget left for stage '{label}'")
+        return self.spend(remaining, label=label, delta=max(self.remaining_delta, 0.0))
+
+    def split(self, fractions: Sequence[float], labels: Sequence[str] | None = None) -> List[float]:
+        """Split the *total* ε into stages given by ``fractions`` (must sum to ≤ 1).
+
+        Returns the ε value of each stage and records all of them in the
+        ledger.  This is the helper most algorithms use at the start of
+        ``generate``.
+        """
+        fractions = list(fractions)
+        if not fractions:
+            raise ValueError("fractions must be non-empty")
+        if any(fraction <= 0 for fraction in fractions):
+            raise ValueError("all fractions must be positive")
+        total = sum(fractions)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fractions sum to {total:.6g} > 1")
+        if labels is None:
+            labels = [f"stage_{index}" for index in range(len(fractions))]
+        if len(labels) != len(fractions):
+            raise ValueError("labels and fractions must have the same length")
+        amounts = []
+        for label, fraction in zip(labels, fractions):
+            amounts.append(self.spend(self.epsilon * fraction, label=label))
+        return amounts
+
+    def assert_fully_spent(self, tolerance: float = 1e-6) -> None:
+        """Raise if the algorithm left budget unused (tests call this)."""
+        if abs(self.remaining_epsilon) > tolerance:
+            raise AssertionError(
+                f"budget not fully spent: {self.remaining_epsilon:.6g} of {self.epsilon:.6g} left"
+            )
+
+
+def sequential_composition(epsilons: Sequence[float]) -> float:
+    """Sequential composition: total ε is the sum of per-stage ε values."""
+    epsilons = list(epsilons)
+    if any(eps <= 0 for eps in epsilons):
+        raise ValueError("all epsilons must be positive")
+    return float(sum(epsilons))
+
+
+def parallel_composition(epsilons: Sequence[float]) -> float:
+    """Parallel composition over disjoint data: total ε is the maximum stage ε."""
+    epsilons = list(epsilons)
+    if not epsilons:
+        raise ValueError("epsilons must be non-empty")
+    if any(eps <= 0 for eps in epsilons):
+        raise ValueError("all epsilons must be positive")
+    return float(max(epsilons))
+
+
+__all__ = [
+    "PrivacyBudget",
+    "BudgetExceededError",
+    "sequential_composition",
+    "parallel_composition",
+]

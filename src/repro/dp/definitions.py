@@ -1,0 +1,188 @@
+"""Privacy definitions used in graph analysis (paper Section III-A).
+
+The paper's first design principle (M1) is that a benchmark may only compare
+algorithms that share a privacy definition.  We model the four definitions as
+an enum plus the *neighbouring relation* each of them induces on graphs:
+
+* **Edge CDP** — neighbouring graphs differ in exactly one edge.
+* **Node CDP** — neighbouring graphs differ in one node and all of its
+  incident edges.
+* **Edge LDP** — neighbouring adjacency bit-vectors of a single user differ
+  in one bit.
+* **Node LDP** — neighbouring adjacency bit-vectors may differ arbitrarily.
+
+The neighbouring relations are used by the property-based tests to check that
+declared sensitivities really bound the change of each query, and by the
+benchmark core to refuse mixing algorithms with different privacy models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.graphs.graph import Graph
+
+
+class PrivacyModel(enum.Enum):
+    """The four privacy definitions surveyed by the paper (Definitions 1-4)."""
+
+    EDGE_CDP = "edge_cdp"
+    NODE_CDP = "node_cdp"
+    EDGE_LDP = "edge_ldp"
+    NODE_LDP = "node_ldp"
+
+    @property
+    def is_central(self) -> bool:
+        """True for central-model definitions (a trusted curator sees the graph)."""
+        return self in (PrivacyModel.EDGE_CDP, PrivacyModel.NODE_CDP)
+
+    @property
+    def is_local(self) -> bool:
+        """True for local-model definitions (users perturb their own bit vectors)."""
+        return not self.is_central
+
+    @property
+    def protects_nodes(self) -> bool:
+        """True when the definition hides the presence of a whole node."""
+        return self in (PrivacyModel.NODE_CDP, PrivacyModel.NODE_LDP)
+
+    def stronger_than(self, other: "PrivacyModel") -> bool:
+        """Partial order on guarantees: node-level > edge-level within a trust model."""
+        order = {
+            PrivacyModel.EDGE_CDP: 1,
+            PrivacyModel.NODE_CDP: 2,
+            PrivacyModel.EDGE_LDP: 1,
+            PrivacyModel.NODE_LDP: 2,
+        }
+        if self.is_central != other.is_central:
+            return False
+        return order[self] > order[other]
+
+
+@dataclass(frozen=True)
+class PrivacyGuarantee:
+    """An (ε, δ) guarantee under a given privacy model.
+
+    ``delta == 0`` means pure ε-DP.  The paper requires δ < 1/n to call a
+    relaxation acceptable; :meth:`is_meaningful_for` checks that rule.
+    """
+
+    model: PrivacyModel
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
+        if not 0.0 <= self.delta < 1.0:
+            raise ValueError(f"delta must be in [0, 1), got {self.delta}")
+
+    @property
+    def is_pure(self) -> bool:
+        """True when the guarantee is pure ε-DP (δ = 0)."""
+        return self.delta == 0.0
+
+    def is_meaningful_for(self, num_users: int) -> bool:
+        """Check the paper's rule of thumb that δ should be smaller than 1/n."""
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        return self.is_pure or self.delta < 1.0 / num_users
+
+    def compose(self, other: "PrivacyGuarantee") -> "PrivacyGuarantee":
+        """Sequential composition of two guarantees under the same model."""
+        if self.model is not other.model:
+            raise ValueError(
+                f"cannot compose guarantees under different models: "
+                f"{self.model.value} vs {other.model.value}"
+            )
+        return PrivacyGuarantee(self.model, self.epsilon + other.epsilon, self.delta + other.delta)
+
+
+def is_edge_neighbor(first: "Graph", second: "Graph") -> bool:
+    """Return True when the two graphs differ in exactly one edge (Edge CDP)."""
+    if first.num_nodes != second.num_nodes:
+        return False
+    diff = first.edge_set() ^ second.edge_set()
+    return len(diff) == 1
+
+
+def is_node_neighbor(first: "Graph", second: "Graph") -> bool:
+    """Return True when the graphs differ by one node and its incident edges (Node CDP).
+
+    Both graphs live on the same node-id universe; the "removed" node is one
+    whose incident edges are all absent in one of the graphs while the rest of
+    the edge sets agree.
+    """
+    if first.num_nodes != second.num_nodes:
+        return False
+    diff = first.edge_set() ^ second.edge_set()
+    if not diff:
+        return True  # identical graphs count as trivial neighbours
+    touched = set()
+    for u, v in diff:
+        touched.add(u)
+        touched.add(v)
+    # A single node must cover every differing edge.
+    return any(all(node in (u, v) for u, v in diff) for node in touched)
+
+
+def edge_neighbors(graph: "Graph", limit: int | None = None) -> Iterator["Graph"]:
+    """Yield graphs at edge-edit distance one from ``graph``.
+
+    Removal neighbours are enumerated first (one per existing edge), then
+    addition neighbours.  ``limit`` bounds the number yielded; the full
+    neighbourhood is Θ(n²) and is only enumerated in tests on tiny graphs.
+    """
+    count = 0
+    for u, v in list(graph.edges()):
+        neighbor = graph.copy()
+        neighbor.remove_edge(u, v)
+        yield neighbor
+        count += 1
+        if limit is not None and count >= limit:
+            return
+    n = graph.num_nodes
+    for u in range(n):
+        for v in range(u + 1, n):
+            if graph.has_edge(u, v):
+                continue
+            neighbor = graph.copy()
+            neighbor.add_edge(u, v)
+            yield neighbor
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+
+def node_neighbors(graph: "Graph", limit: int | None = None) -> Iterator["Graph"]:
+    """Yield graphs obtained by isolating one node (removing all its edges)."""
+    count = 0
+    for node in range(graph.num_nodes):
+        neighbor = graph.copy()
+        for other in list(neighbor.neighbors(node)):
+            neighbor.remove_edge(node, other)
+        yield neighbor
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def neighboring_pairs_differ_by(first: "Graph", second: "Graph") -> Tuple[int, int]:
+    """Return ``(edges_only_in_first, edges_only_in_second)`` for diagnostics."""
+    first_edges = first.edge_set()
+    second_edges = second.edge_set()
+    return len(first_edges - second_edges), len(second_edges - first_edges)
+
+
+__all__ = [
+    "PrivacyModel",
+    "PrivacyGuarantee",
+    "is_edge_neighbor",
+    "is_node_neighbor",
+    "edge_neighbors",
+    "node_neighbors",
+    "neighboring_pairs_differ_by",
+]

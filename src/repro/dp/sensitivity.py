@@ -1,0 +1,226 @@
+"""Sensitivity calculus (paper principle M2 and Appendix D, Definitions 7-8).
+
+Three notions are implemented:
+
+* **Global sensitivity** — worst-case change of a query over *all* pairs of
+  neighbouring graphs.  Known closed forms for the queries the algorithms
+  perturb (edge count, degree sequence, dK-2 series, triangle count) are
+  provided as class methods.
+* **Local sensitivity** — worst-case change over the neighbours of one fixed
+  graph.  Cheaper and tighter but not private by itself.
+* **Smooth sensitivity** — Nissim-Raskhodnikova-Smith β-smooth upper bound of
+  local sensitivity; used by DP-dK and PrivSKG, which the paper singles out as
+  the smooth-sensitivity algorithms in Table I.
+
+The exact smooth sensitivity is intractable for general graphs, so
+:class:`SmoothSensitivity` implements the standard "local sensitivity at
+distance t" upper-bound construction with a configurable horizon, which is the
+approach taken by the original DP-dK paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.dp.definitions import PrivacyModel
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class GlobalSensitivity:
+    """Closed-form global sensitivities of the queries PGB algorithms perturb."""
+
+    model: PrivacyModel = PrivacyModel.EDGE_CDP
+
+    def edge_count(self) -> float:
+        """Adding/removing one edge changes |E| by exactly 1 under Edge CDP."""
+        self._require_edge_model()
+        return 1.0
+
+    def adjacency_cell(self) -> float:
+        """One cell of the adjacency matrix changes by at most 1."""
+        self._require_edge_model()
+        return 1.0
+
+    def degree_sequence(self) -> float:
+        """One edge changes two degrees by 1 each: L1 sensitivity 2."""
+        self._require_edge_model()
+        return 2.0
+
+    def degree_histogram(self) -> float:
+        """One edge moves two nodes between histogram bins: L1 sensitivity 4."""
+        self._require_edge_model()
+        return 4.0
+
+    def dk1_series(self) -> float:
+        """dK-1 (degree distribution) sensitivity, identical to the histogram."""
+        return self.degree_histogram()
+
+    def dk2_series(self, max_degree: int) -> float:
+        """dK-2 (joint degree) global sensitivity under Edge CDP.
+
+        Adding an edge (u, v) changes the degree of u and v, relocating up to
+        ``deg(u) + deg(v) + 1`` entries of the joint-degree matrix; the
+        worst case is bounded by ``4 * max_degree + 1``.
+        """
+        self._require_edge_model()
+        if max_degree < 0:
+            raise ValueError("max_degree must be >= 0")
+        return 4.0 * max_degree + 1.0
+
+    def triangle_count(self, max_degree: int) -> float:
+        """Triangles incident to one edge are bounded by the maximum degree."""
+        self._require_edge_model()
+        if max_degree < 0:
+            raise ValueError("max_degree must be >= 0")
+        return float(max_degree)
+
+    def node_degree_vector(self, max_degree: int) -> float:
+        """Under Node CDP one node removal changes up to max_degree + 1 degrees."""
+        if self.model is not PrivacyModel.NODE_CDP:
+            raise ValueError("node_degree_vector sensitivity is a Node CDP quantity")
+        return 2.0 * max_degree + 1.0
+
+    def _require_edge_model(self) -> None:
+        if self.model not in (PrivacyModel.EDGE_CDP, PrivacyModel.EDGE_LDP):
+            raise ValueError(
+                f"sensitivity formula assumes an edge-level model, got {self.model.value}"
+            )
+
+
+def local_sensitivity_edge_count(graph: "Graph") -> float:
+    """Local sensitivity of |E| is 1 for every graph (included for completeness)."""
+    del graph
+    return 1.0
+
+
+def local_sensitivity_triangles(graph: "Graph") -> float:
+    """Local sensitivity of the triangle count at ``graph``.
+
+    Adding or removing an edge (u, v) changes the triangle count by the number
+    of common neighbours of u and v; the local sensitivity is the maximum of
+    that quantity over all node pairs.
+    """
+    best = 0
+    adjacency = [graph.neighbor_set(node) for node in range(graph.num_nodes)]
+    for u in range(graph.num_nodes):
+        for v in range(u + 1, graph.num_nodes):
+            common = len(adjacency[u] & adjacency[v])
+            if common > best:
+                best = common
+    return float(best)
+
+
+def local_sensitivity_triangles_at_distance(graph: "Graph", distance: int) -> float:
+    """Upper bound on the local triangle sensitivity of any graph within ``distance`` edge edits.
+
+    Each edit can increase the number of common neighbours of a pair by at most
+    1, so ``LS(G') <= LS(G) + distance``; the bound is also capped by n - 2.
+    """
+    cap = max(graph.num_nodes - 2, 0)
+    return float(min(local_sensitivity_triangles(graph) + distance, cap))
+
+
+@dataclass(frozen=True)
+class SmoothSensitivity:
+    """β-smooth sensitivity via the local-sensitivity-at-distance construction.
+
+    ``S_f^β(G) = max_t exp(-β t) · A(t)`` where ``A(t)`` is an upper bound on
+    the local sensitivity of any graph within edge-edit distance ``t`` of
+    ``G``.  The caller supplies ``A`` through ``local_sensitivity_at_distance``.
+    """
+
+    beta: float
+    horizon: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.beta, "beta")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+
+    @classmethod
+    def for_epsilon(cls, epsilon: float, delta: float, horizon: int = 64) -> "SmoothSensitivity":
+        """Standard calibration β = ε / (2 ln(2/δ)) for Laplace-style smooth noise."""
+        check_positive(epsilon, "epsilon")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        beta = epsilon / (2.0 * math.log(2.0 / delta))
+        return cls(beta=beta, horizon=horizon)
+
+    def value(self, local_sensitivity_at_distance: Callable[[int], float]) -> float:
+        """Evaluate the smooth bound ``max_t e^{-βt} A(t)`` over ``t <= horizon``."""
+        best = 0.0
+        for t in range(self.horizon + 1):
+            bound = math.exp(-self.beta * t) * float(local_sensitivity_at_distance(t))
+            if bound > best:
+                best = bound
+        return best
+
+    def value_from_sequence(self, bounds: Iterable[float]) -> float:
+        """Same as :meth:`value` but with ``A(t)`` given as a sequence starting at t=0."""
+        best = 0.0
+        for t, bound in enumerate(bounds):
+            if t > self.horizon:
+                break
+            candidate = math.exp(-self.beta * t) * float(bound)
+            if candidate > best:
+                best = candidate
+        return best
+
+
+def smooth_sensitivity_upper_bound(
+    local_sensitivity: float,
+    growth_per_edit: float,
+    hard_cap: float,
+    beta: float,
+    horizon: int = 256,
+) -> float:
+    """Smooth sensitivity when ``A(t) = min(LS + growth·t, cap)`` (linear growth).
+
+    This covers every smooth-sensitivity use in the benchmark: triangle counts
+    and joint-degree entries all have local sensitivities that grow by a
+    constant per edge edit and are capped by a graph-size-dependent maximum.
+    """
+    check_positive(beta, "beta")
+    smoother = SmoothSensitivity(beta=beta, horizon=horizon)
+    bounds = (min(local_sensitivity + growth_per_edit * t, hard_cap) for t in range(horizon + 1))
+    return smoother.value_from_sequence(bounds)
+
+
+def cauchy_noise_for_smooth_sensitivity(
+    smooth_sensitivity: float, epsilon: float, size=None, rng=None
+) -> np.ndarray | float:
+    """Draw noise calibrated to smooth sensitivity using the Cauchy distribution.
+
+    Adding ``(2 · S / ε) · Cauchy(0, 1)`` noise yields pure ε-DP for β = ε/6
+    (Nissim et al. 2007).  DP-dK uses this recipe for its 2K entries.
+    """
+    from repro.utils.rng import ensure_rng
+
+    check_positive(epsilon, "epsilon")
+    if smooth_sensitivity < 0:
+        raise ValueError("smooth_sensitivity must be >= 0")
+    generator = ensure_rng(rng)
+    scale = 2.0 * smooth_sensitivity / epsilon
+    draw = generator.standard_cauchy(size=size) * scale
+    if np.ndim(draw) == 0:
+        return float(draw)
+    return draw
+
+
+__all__ = [
+    "GlobalSensitivity",
+    "SmoothSensitivity",
+    "local_sensitivity_edge_count",
+    "local_sensitivity_triangles",
+    "local_sensitivity_triangles_at_distance",
+    "smooth_sensitivity_upper_bound",
+    "cauchy_noise_for_smooth_sensitivity",
+]

@@ -1,0 +1,68 @@
+"""Graph constructor models (paper Section III-B "Construction").
+
+These are the non-private generative models the DP algorithms build their
+synthetic graphs with:
+
+* :mod:`repro.generators.random_graphs` — Erdős–Rényi and Barabási–Albert;
+* :mod:`repro.generators.degree_sequence` — Havel–Hakimi and the configuration
+  model for realising a target degree sequence;
+* :mod:`repro.generators.chung_lu` — the Chung–Lu expected-degree model
+  (used by PrivGraph and DGG's intra-community wiring);
+* :mod:`repro.generators.bter` — Block Two-level Erdős–Rényi (used by DGG);
+* :mod:`repro.generators.dk_series` — dK-1 / dK-2 statistics and construction
+  (used by DP-dK);
+* :mod:`repro.generators.hrg` — hierarchical random graphs with MCMC fitting
+  (used by PrivHRG);
+* :mod:`repro.generators.kronecker` — stochastic Kronecker graphs with
+  moment-based parameter fitting (used by PrivSKG);
+* :mod:`repro.generators.sbm` — stochastic block model (used by PrivGraph's
+  inter-community wiring and by tests).
+"""
+
+from repro.generators.bter import bter_graph
+from repro.generators.chung_lu import chung_lu_graph
+from repro.generators.degree_sequence import (
+    configuration_model_graph,
+    havel_hakimi_graph,
+    is_graphical,
+)
+from repro.generators.dk_series import (
+    dk1_series,
+    dk2_series,
+    graph_from_dk1,
+    graph_from_dk2,
+)
+from repro.generators.hrg import Dendrogram, fit_dendrogram_mcmc, sample_hrg_graph
+from repro.generators.kronecker import (
+    KroneckerInitiator,
+    fit_kronecker_initiator,
+    sample_kronecker_graph,
+)
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_gnm_graph,
+    erdos_renyi_gnp_graph,
+)
+from repro.generators.sbm import stochastic_block_model_graph
+
+__all__ = [
+    "bter_graph",
+    "chung_lu_graph",
+    "configuration_model_graph",
+    "havel_hakimi_graph",
+    "is_graphical",
+    "dk1_series",
+    "dk2_series",
+    "graph_from_dk1",
+    "graph_from_dk2",
+    "Dendrogram",
+    "fit_dendrogram_mcmc",
+    "sample_hrg_graph",
+    "KroneckerInitiator",
+    "fit_kronecker_initiator",
+    "sample_kronecker_graph",
+    "barabasi_albert_graph",
+    "erdos_renyi_gnm_graph",
+    "erdos_renyi_gnp_graph",
+    "stochastic_block_model_graph",
+]

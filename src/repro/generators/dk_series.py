@@ -1,0 +1,238 @@
+"""dK-series statistics and construction (Mahadevan et al. 2006).
+
+The dK-series is a hierarchy of degree-correlation statistics:
+
+* **dK-1** — the degree distribution: ``{degree: number of nodes}``;
+* **dK-2** — the joint degree matrix: ``{(d1, d2): number of edges whose
+  endpoints have degrees d1 <= d2}``.
+
+DP-dK (Wang & Wu 2013) perturbs these statistics and feeds them back into a
+dK-targeting constructor.  We provide:
+
+* :func:`dk1_series` / :func:`dk2_series` — measure the statistics;
+* :func:`graph_from_dk1` — realise a dK-1 target (degree sequence sampling +
+  Havel–Hakimi);
+* :func:`graph_from_dk2` — realise a dK-2 target with the standard
+  stub-matching-by-degree-class procedure followed by targeting rewiring.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.generators.degree_sequence import havel_hakimi_graph, repair_degree_sequence
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+Dk1 = Dict[int, int]
+Dk2 = Dict[Tuple[int, int], int]
+
+
+def dk1_series(graph: Graph) -> Dk1:
+    """dK-1: mapping ``degree -> number of nodes with that degree``."""
+    return dict(Counter(int(d) for d in graph.degrees()))
+
+
+def dk2_series(graph: Graph) -> Dk2:
+    """dK-2: mapping ``(d_u, d_v) -> number of edges`` with ``d_u <= d_v``."""
+    degrees = graph.degrees()
+    series: Counter = Counter()
+    for u, v in graph.edges():
+        d1, d2 = int(degrees[u]), int(degrees[v])
+        if d1 > d2:
+            d1, d2 = d2, d1
+        series[(d1, d2)] += 1
+    return dict(series)
+
+
+def degree_sequence_from_dk1(dk1: Dk1, num_nodes: int | None = None) -> np.ndarray:
+    """Expand a (possibly noisy, already non-negative) dK-1 into a degree sequence.
+
+    Degrees are listed highest-first; if ``num_nodes`` is given the sequence is
+    truncated or padded with zeros to that length.
+    """
+    degrees: List[int] = []
+    for degree in sorted(dk1, reverse=True):
+        count = max(int(round(dk1[degree])), 0)
+        degrees.extend([max(int(degree), 0)] * count)
+    if num_nodes is not None:
+        if len(degrees) > num_nodes:
+            degrees = degrees[:num_nodes]
+        else:
+            degrees.extend([0] * (num_nodes - len(degrees)))
+    return np.asarray(degrees, dtype=np.int64)
+
+
+def graph_from_dk1(dk1: Dk1, num_nodes: int | None = None) -> Graph:
+    """Construct a graph realising a dK-1 target via repair + Havel–Hakimi."""
+    degrees = degree_sequence_from_dk1(dk1, num_nodes=num_nodes)
+    repaired = repair_degree_sequence(degrees, num_nodes=degrees.size)
+    return havel_hakimi_graph(repaired)
+
+
+def _dk2_to_degree_sequence(dk2: Dk2, num_nodes: int | None = None) -> np.ndarray:
+    """Derive a consistent degree sequence from a dK-2 target.
+
+    A node of degree d accounts for d edge-endpoints in degree class d, so the
+    number of nodes of degree d is (total endpoints of degree d) / d.
+    """
+    endpoints: Counter = Counter()
+    for (d1, d2), count in dk2.items():
+        count = max(int(round(count)), 0)
+        if count == 0:
+            continue
+        endpoints[max(int(d1), 0)] += count
+        endpoints[max(int(d2), 0)] += count
+    degrees: List[int] = []
+    for degree, endpoint_count in sorted(endpoints.items(), reverse=True):
+        if degree <= 0:
+            continue
+        node_count = max(int(round(endpoint_count / degree)), 1)
+        degrees.extend([degree] * node_count)
+    if num_nodes is not None:
+        if len(degrees) > num_nodes:
+            degrees = degrees[:num_nodes]
+        else:
+            degrees.extend([0] * (num_nodes - len(degrees)))
+    return np.asarray(degrees, dtype=np.int64)
+
+
+def graph_from_dk2(dk2: Dk2, num_nodes: int | None = None, rng: RngLike = None,
+                   rewiring_rounds: int = 3) -> Graph:
+    """Construct a graph approximately realising a dK-2 target.
+
+    Procedure (the standard 2K-construction):
+
+    1. derive the implied degree sequence and assign degrees to nodes;
+    2. for every (d1, d2) class, match stubs of degree-d1 nodes with stubs of
+       degree-d2 nodes until the target count is reached or no stubs remain;
+    3. a few rounds of degree-preserving double-edge swaps nudge the realised
+       joint-degree counts toward the target.
+    """
+    generator = ensure_rng(rng)
+    degrees = _dk2_to_degree_sequence(dk2, num_nodes=num_nodes)
+    degrees = repair_degree_sequence(degrees, num_nodes=degrees.size)
+    n = degrees.size
+    graph = Graph(n)
+    if n == 0:
+        return graph
+
+    # Group node ids by their assigned degree, tracking remaining stubs.
+    nodes_by_degree: Dict[int, List[int]] = {}
+    for node, degree in enumerate(degrees):
+        nodes_by_degree.setdefault(int(degree), []).append(node)
+    remaining = degrees.astype(np.int64).copy()
+    available_degrees = sorted(degree for degree in nodes_by_degree if degree > 0)
+
+    def candidates_for(target_degree: int) -> List[int]:
+        """Nodes of the requested degree class, or of the nearest existing class.
+
+        Noisy dK-2 targets frequently reference degree classes that no node was
+        assigned after the repair step (especially at small ε); falling back to
+        the nearest class keeps the construction from silently dropping all of
+        the edge mass.
+        """
+        exact = nodes_by_degree.get(int(target_degree))
+        if exact:
+            return exact
+        if not available_degrees:
+            return []
+        nearest = min(available_degrees, key=lambda degree: abs(degree - int(target_degree)))
+        return nodes_by_degree[nearest]
+
+    # Place edges class by class, largest classes first (they are hardest to fit).
+    # The total number of placed edges is capped by the stub mass implied by the
+    # degree sequence, so wildly over-noised targets cannot blow the loop up.
+    stub_budget = int(remaining.sum()) // 2
+    for (d1, d2), target in sorted(dk2.items(), key=lambda item: -item[1]):
+        if stub_budget <= 0:
+            break
+        target = min(max(int(round(target)), 0), stub_budget)
+        candidates_1 = candidates_for(int(d1))
+        candidates_2 = candidates_for(int(d2))
+        if not candidates_1 or not candidates_2:
+            continue
+        placed = 0
+        attempts = 0
+        # Rejection sampling: the attempt cap bounds the work spent on classes
+        # whose candidates are exhausted (duplicate edges / spent stubs).
+        max_attempts = 8 * target + 20
+        while placed < target and attempts < max_attempts:
+            attempts += 1
+            u = int(candidates_1[int(generator.integers(0, len(candidates_1)))])
+            v = int(candidates_2[int(generator.integers(0, len(candidates_2)))])
+            if u == v or graph.has_edge(u, v):
+                continue
+            if remaining[u] <= 0 or remaining[v] <= 0:
+                continue
+            graph.add_edge(u, v)
+            remaining[u] -= 1
+            remaining[v] -= 1
+            placed += 1
+        stub_budget -= placed
+
+    # Degree-preserving double-edge swaps that reduce the dK-2 distance.
+    # The number of swap attempts is capped because each evaluation recomputes
+    # the joint-degree counts; the cap keeps construction near-linear overall.
+    target_counts = {key: max(int(round(value)), 0) for key, value in dk2.items()}
+    swap_attempts = min(rewiring_rounds * max(graph.num_edges, 1), 500)
+    for _ in range(swap_attempts):
+        edges = list(graph.edges())
+        if len(edges) < 2:
+            break
+        (a, b), (c, d) = (edges[int(generator.integers(0, len(edges)))],
+                          edges[int(generator.integers(0, len(edges)))])
+        if len({a, b, c, d}) < 4:
+            continue
+        if graph.has_edge(a, c) or graph.has_edge(b, d):
+            continue
+        before = _swap_error_delta(graph, target_counts, remove=[(a, b), (c, d)], add=[(a, c), (b, d)])
+        if before < 0:
+            graph.remove_edge(a, b)
+            graph.remove_edge(c, d)
+            graph.add_edge(a, c)
+            graph.add_edge(b, d)
+    return graph
+
+
+def _swap_error_delta(graph: Graph, target: Dk2, remove, add) -> float:
+    """Change in L1 distance to the target dK-2 if the swap were applied (negative = improvement)."""
+    current = dk2_series(graph)
+
+    def class_of(u: int, v: int) -> Tuple[int, int]:
+        d1, d2 = graph.degree(u), graph.degree(v)
+        return (d1, d2) if d1 <= d2 else (d2, d1)
+
+    delta = 0.0
+    for u, v in remove:
+        key = class_of(u, v)
+        have = current.get(key, 0)
+        want = target.get(key, 0)
+        delta += abs(have - 1 - want) - abs(have - want)
+    for u, v in add:
+        key = class_of(u, v)
+        have = current.get(key, 0)
+        want = target.get(key, 0)
+        delta += abs(have + 1 - want) - abs(have - want)
+    return delta
+
+
+def dk2_distance(first: Dk2, second: Dk2) -> float:
+    """L1 distance between two dK-2 series (used by tests and the rewiring)."""
+    keys = set(first) | set(second)
+    return float(sum(abs(first.get(key, 0) - second.get(key, 0)) for key in keys))
+
+
+__all__ = [
+    "Dk1",
+    "Dk2",
+    "dk1_series",
+    "dk2_series",
+    "degree_sequence_from_dk1",
+    "graph_from_dk1",
+    "graph_from_dk2",
+    "dk2_distance",
+]

@@ -1,0 +1,202 @@
+"""Stochastic Kronecker graph (SKG) model.
+
+A stochastic Kronecker graph is defined by a small initiator matrix Θ (we use
+the standard 2×2 initiator ``[[a, b], [b, c]]``) Kronecker-powered k times; the
+entry ``P[u, v]`` of the resulting ``2^k × 2^k`` matrix is the probability of
+edge (u, v).
+
+PrivSKG (Mir & Wright 2012) estimates the initiator privately from noisy
+counts of edges, triangles and wedges (moment matching), then samples a graph
+from the estimated model.  The non-private machinery lives here:
+
+* :class:`KroneckerInitiator` — the 2×2 initiator with expected-statistics
+  formulas (expected edges, wedges, triangles as functions of a, b, c);
+* :func:`fit_kronecker_initiator` — moment-based fitting of (a, b, c) from a
+  graph's edge / wedge / triangle counts (grid + local refinement, no gradient
+  machinery needed at this scale);
+* :func:`sample_kronecker_graph` — fast sampling by recursive descent, one
+  coin flip sequence per placed edge (the "ball dropping" method used by
+  graph500 / SNAP), which avoids materialising the 2^k × 2^k matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import triangle_count
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class KroneckerInitiator:
+    """Symmetric 2×2 Kronecker initiator ``[[a, b], [b, c]]`` with ``a >= c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.a, "a")
+        check_probability(self.b, "b")
+        check_probability(self.c, "c")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The initiator as a 2×2 numpy array."""
+        return np.array([[self.a, self.b], [self.b, self.c]])
+
+    @property
+    def total(self) -> float:
+        """Sum of the initiator entries (a + 2b + c)."""
+        return self.a + 2.0 * self.b + self.c
+
+    def expected_edges(self, k: int) -> float:
+        """Expected number of (directed, self-loops included) edges of the k-th power."""
+        return self.total ** k / 2.0  # divide by 2: we build an undirected simple graph
+
+    def expected_wedges(self, k: int) -> float:
+        """Expected number of length-2 paths, from the sum-of-squares moment."""
+        row_sq = (self.a + self.b) ** 2 + (self.b + self.c) ** 2
+        return (row_sq ** k - self.total ** k) / 2.0
+
+    def expected_triangles(self, k: int) -> float:
+        """Expected number of triangles, from the trace-of-cube moment."""
+        m = self.matrix
+        trace_cube = float(np.trace(m @ m @ m))
+        return trace_cube ** k / 6.0
+
+    def graph_size(self, k: int) -> int:
+        """Number of nodes of the k-th Kronecker power (2^k)."""
+        return 2 ** k
+
+
+def _statistics(graph: Graph) -> Tuple[float, float, float]:
+    """Edge, wedge and triangle counts of a graph (the fitting targets)."""
+    degrees = graph.degrees().astype(float)
+    edges = float(graph.num_edges)
+    wedges = float(np.sum(degrees * (degrees - 1.0) / 2.0))
+    triangles = float(triangle_count(graph))
+    return edges, wedges, triangles
+
+
+def fit_kronecker_initiator(graph: Graph, k: int | None = None,
+                            grid_points: int = 12,
+                            refine_rounds: int = 3) -> Tuple[KroneckerInitiator, int]:
+    """Fit a 2×2 initiator to ``graph`` by matching edge/wedge/triangle counts.
+
+    Returns the fitted initiator and the Kronecker power ``k`` (chosen so that
+    2^k is the smallest power of two that is at least the number of nodes,
+    unless given explicitly).  The objective is the squared relative error of
+    the three moments; a coarse grid search followed by local refinement is
+    robust and fast enough for graphs of the benchmark's size.
+    """
+    if graph.num_nodes < 2:
+        raise ValueError("cannot fit a Kronecker model to a graph with fewer than 2 nodes")
+    if k is None:
+        k = max(int(math.ceil(math.log2(graph.num_nodes))), 1)
+    target_edges, target_wedges, target_triangles = _statistics(graph)
+
+    def objective(a: float, b: float, c: float) -> float:
+        initiator = KroneckerInitiator(a, b, c)
+        loss = 0.0
+        for expected, target in (
+            (initiator.expected_edges(k), target_edges),
+            (initiator.expected_wedges(k), target_wedges),
+            (initiator.expected_triangles(k), target_triangles),
+        ):
+            if target > 0:
+                loss += (expected / target - 1.0) ** 2
+            else:
+                loss += expected ** 2
+        return loss
+
+    best: Tuple[float, Tuple[float, float, float]] = (math.inf, (0.9, 0.5, 0.2))
+    grid = np.linspace(0.05, 0.999, grid_points)
+    for a in grid:
+        for b in grid:
+            for c in grid:
+                if c > a:
+                    continue
+                loss = objective(a, b, c)
+                if loss < best[0]:
+                    best = (loss, (float(a), float(b), float(c)))
+
+    # Local refinement: shrink the grid around the best point a few times.
+    step = float(grid[1] - grid[0])
+    a, b, c = best[1]
+    for _ in range(refine_rounds):
+        step /= 2.0
+        local_best = best
+        for da in (-step, 0.0, step):
+            for db in (-step, 0.0, step):
+                for dc in (-step, 0.0, step):
+                    na = float(np.clip(a + da, 1e-4, 0.999))
+                    nb = float(np.clip(b + db, 1e-4, 0.999))
+                    nc = float(np.clip(c + dc, 1e-4, min(na, 0.999)))
+                    loss = objective(na, nb, nc)
+                    if loss < local_best[0]:
+                        local_best = (loss, (na, nb, nc))
+        best = local_best
+        a, b, c = best[1]
+    return KroneckerInitiator(*best[1]), k
+
+
+def sample_kronecker_graph(initiator: KroneckerInitiator, k: int, num_nodes: int | None = None,
+                           rng: RngLike = None, num_edges: int | None = None) -> Graph:
+    """Sample a graph from the k-th Kronecker power of ``initiator``.
+
+    Uses the ball-dropping method: the expected number of edges is computed,
+    and each edge is placed by descending the k levels of the Kronecker
+    recursion, choosing a quadrant at every level proportionally to the
+    initiator entries.  Duplicate edges and self-loops are dropped, matching
+    the usual SKG sampling practice.
+
+    ``num_nodes`` truncates the 2^k universe down to the original graph size
+    (extra rows/columns of the Kronecker matrix are simply unused);
+    ``num_edges`` overrides the expected edge count (PrivSKG passes the noisy
+    edge count here).
+    """
+    generator = ensure_rng(rng)
+    size = initiator.graph_size(k)
+    n = num_nodes if num_nodes is not None else size
+    if n > size:
+        raise ValueError(f"num_nodes={n} exceeds the Kronecker universe 2^{k}={size}")
+    graph = Graph(n)
+
+    expected_edges = initiator.expected_edges(k) if num_edges is None else float(num_edges)
+    target = max(int(round(expected_edges)), 0)
+    if target == 0 or n < 2:
+        return graph
+
+    entries = np.array([initiator.a, initiator.b, initiator.b, initiator.c])
+    total = entries.sum()
+    if total <= 0:
+        return graph
+    probabilities = entries / total
+    quadrant_bits = np.array([(0, 0), (0, 1), (1, 0), (1, 1)])
+
+    attempts = 0
+    max_attempts = 30 * target + 100
+    while graph.num_edges < target and attempts < max_attempts:
+        attempts += 1
+        choices = generator.choice(4, size=k, p=probabilities)
+        bits = quadrant_bits[choices]
+        u = 0
+        v = 0
+        for level in range(k):
+            u = (u << 1) | int(bits[level][0])
+            v = (v << 1) | int(bits[level][1])
+        if u == v or u >= n or v >= n:
+            continue
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+__all__ = ["KroneckerInitiator", "fit_kronecker_initiator", "sample_kronecker_graph"]

@@ -1,0 +1,109 @@
+"""Classic random-graph models: Erdős–Rényi and Barabási–Albert.
+
+The paper uses G(n, m) for its ER benchmark graph (binomial degrees) and the
+BA preferential-attachment model for its power-law benchmark graph
+(Table VI); both are also handy substrates for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_integer, check_probability
+
+
+def erdos_renyi_gnp_graph(num_nodes: int, probability: float, rng: RngLike = None) -> Graph:
+    """G(n, p): include each of the n(n-1)/2 possible edges independently with probability p.
+
+    Uses the geometric-skipping trick so the cost is proportional to the number
+    of generated edges rather than to n².
+    """
+    n = check_integer(num_nodes, "num_nodes", minimum=0)
+    p = check_probability(probability, "probability")
+    generator = ensure_rng(rng)
+    graph = Graph(n)
+    if n < 2 or p == 0.0:
+        return graph
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    # Iterate over pair indices 0..n(n-1)/2-1, skipping geometrically.
+    log_q = np.log1p(-p)
+    total_pairs = n * (n - 1) // 2
+    index = -1
+    while True:
+        gap = int(np.floor(np.log(1.0 - generator.random()) / log_q))
+        index += gap + 1
+        if index >= total_pairs:
+            break
+        # Convert the linear pair index back to (u, v) with u < v.
+        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * index)) // 2)
+        offset = index - u * (2 * n - u - 1) // 2
+        v = u + 1 + int(offset)
+        graph.add_edge(u, v, allow_existing=True)
+    return graph
+
+
+def erdos_renyi_gnm_graph(num_nodes: int, num_edges: int, rng: RngLike = None) -> Graph:
+    """G(n, m): a uniform random graph with exactly ``num_edges`` edges."""
+    n = check_integer(num_nodes, "num_nodes", minimum=0)
+    m = check_integer(num_edges, "num_edges", minimum=0)
+    generator = ensure_rng(rng)
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"num_edges={m} exceeds the maximum {max_edges} for {n} nodes")
+    graph = Graph(n)
+    if m == 0:
+        return graph
+    if m > max_edges // 2:
+        # Dense case: sample which pairs to *exclude* instead.
+        keep = set()
+        all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = generator.choice(len(all_pairs), size=m, replace=False)
+        for index in chosen:
+            keep.add(all_pairs[int(index)])
+        graph.add_edges_from(keep)
+        return graph
+    while graph.num_edges < m:
+        u = int(generator.integers(0, n))
+        v = int(generator.integers(0, n))
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(num_nodes: int, edges_per_node: int, rng: RngLike = None) -> Graph:
+    """Barabási–Albert preferential attachment with ``edges_per_node`` new edges per node."""
+    n = check_integer(num_nodes, "num_nodes", minimum=1)
+    m = check_integer(edges_per_node, "edges_per_node", minimum=1)
+    if m >= n:
+        raise ValueError(f"edges_per_node={m} must be smaller than num_nodes={n}")
+    generator = ensure_rng(rng)
+    graph = Graph(n)
+    # Start from a small connected seed of m + 1 nodes.
+    targets = list(range(m))
+    repeated: list[int] = list(range(m))
+    for source in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            if repeated and generator.random() < 0.9:
+                candidate = int(repeated[int(generator.integers(0, len(repeated)))])
+            else:
+                candidate = int(generator.integers(0, source))
+            if candidate != source:
+                chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(source, target, allow_existing=True)
+            repeated.append(source)
+            repeated.append(target)
+        del targets
+        targets = list(chosen)
+    return graph
+
+
+__all__ = ["erdos_renyi_gnp_graph", "erdos_renyi_gnm_graph", "barabasi_albert_graph"]

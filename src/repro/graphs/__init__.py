@@ -1,0 +1,31 @@
+"""Graph substrate: the core graph type, I/O, structural properties and datasets."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.properties import (
+    average_clustering_coefficient,
+    average_degree,
+    degree_histogram,
+    degree_sequence,
+    density,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from repro.graphs.datasets import DatasetInfo, get_dataset, list_datasets, load_dataset
+
+__all__ = [
+    "Graph",
+    "read_edge_list",
+    "write_edge_list",
+    "average_clustering_coefficient",
+    "average_degree",
+    "degree_histogram",
+    "degree_sequence",
+    "density",
+    "global_clustering_coefficient",
+    "triangle_count",
+    "DatasetInfo",
+    "get_dataset",
+    "list_datasets",
+    "load_dataset",
+]

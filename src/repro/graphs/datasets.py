@@ -1,0 +1,200 @@
+"""Dataset registry for the G element of the benchmark (paper Table VI).
+
+Each entry records the published statistics of the original dataset (node
+count, edge count, average clustering coefficient, domain type) and a loader
+that produces the synthetic stand-in at a requested ``scale``.  Loading is
+cached per (name, scale, seed) because several benchmark tables iterate over
+the same datasets many times.
+
+If a user has the original SNAP / NetworkRepository edge lists they can load
+them with :func:`repro.graphs.io.read_edge_list` and pass the graphs to the
+benchmark directly; the registry exists so the repository is runnable offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from repro.graphs import synth
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata for one benchmark dataset (one row of Table VI)."""
+
+    name: str
+    domain: str
+    paper_num_nodes: int
+    paper_num_edges: int
+    paper_acc: float
+    description: str
+    loader: Callable[[float, int], Graph]
+
+    def load(self, scale: float = 1.0, seed: int = 0) -> Graph:
+        """Build the stand-in graph at ``scale`` with a fixed ``seed``."""
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        return self.loader(scale, seed)
+
+
+def _loader(factory: Callable, **fixed) -> Callable[[float, int], Graph]:
+    def load(scale: float, seed: int) -> Graph:
+        return factory(scale=scale, rng=ensure_rng(seed), **fixed)
+
+    return load
+
+
+_REGISTRY: Dict[str, DatasetInfo] = {}
+
+
+def _register(info: DatasetInfo) -> None:
+    _REGISTRY[info.name] = info
+
+
+_register(
+    DatasetInfo(
+        name="minnesota",
+        domain="traffic",
+        paper_num_nodes=2640,
+        paper_num_edges=3302,
+        paper_acc=0.0160,
+        description="Minnesota road network (lattice-like planar graph).",
+        loader=_loader(synth.road_network),
+    )
+)
+_register(
+    DatasetInfo(
+        name="facebook",
+        domain="social",
+        paper_num_nodes=4039,
+        paper_num_edges=88234,
+        paper_acc=0.6055,
+        description="Union of Facebook ego-networks (dense overlapping communities).",
+        loader=_loader(synth.social_community_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="wiki-vote",
+        domain="web",
+        paper_num_nodes=7115,
+        paper_num_edges=103689,
+        paper_acc=0.1409,
+        description="Wikipedia adminship votes (core-periphery structure).",
+        loader=_loader(synth.core_periphery_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="ca-hepph",
+        domain="academic",
+        paper_num_nodes=12008,
+        paper_num_edges=118521,
+        paper_acc=0.6115,
+        description="High-energy-physics collaboration graph (union of author cliques).",
+        loader=_loader(synth.collaboration_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="poli-large",
+        domain="financial",
+        paper_num_nodes=15575,
+        paper_num_edges=17468,
+        paper_acc=0.3967,
+        description="Economic/financial network (very sparse, locally clustered).",
+        loader=_loader(synth.sparse_economic_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="gnutella",
+        domain="technology",
+        paper_num_nodes=22687,
+        paper_num_edges=54705,
+        paper_acc=0.0053,
+        description="Gnutella peer-to-peer overlay snapshot (near-zero clustering).",
+        loader=_loader(synth.peer_to_peer_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="er",
+        domain="synthetic",
+        paper_num_nodes=10000,
+        paper_num_edges=250278,
+        paper_acc=0.0050,
+        description="Erdős–Rényi G(n, m) graph used by the paper (binomial degrees).",
+        loader=_loader(synth.er_benchmark_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="ba",
+        domain="synthetic",
+        paper_num_nodes=10000,
+        paper_num_edges=49975,
+        paper_acc=0.0074,
+        description="Barabási–Albert graph used by the paper (power-law degrees).",
+        loader=_loader(synth.ba_benchmark_graph),
+    )
+)
+_register(
+    DatasetInfo(
+        name="ca-grqc",
+        domain="academic",
+        paper_num_nodes=5242,
+        paper_num_edges=14484,
+        paper_acc=0.529,
+        description="CA-GrQc collaboration graph used only by the verification appendix.",
+        loader=_loader(synth.grqc_like_graph),
+    )
+)
+
+#: The eight datasets that make up the G element of the PGB benchmark proper.
+PGB_DATASET_NAMES: Tuple[str, ...] = (
+    "minnesota",
+    "facebook",
+    "wiki-vote",
+    "ca-hepph",
+    "poli-large",
+    "gnutella",
+    "er",
+    "ba",
+)
+
+
+def list_datasets(include_verification: bool = False) -> List[str]:
+    """Names of available datasets; the CA-GrQc stand-in is verification-only."""
+    names = list(PGB_DATASET_NAMES)
+    if include_verification:
+        names.append("ca-grqc")
+    return names
+
+
+def get_dataset(name: str) -> DatasetInfo:
+    """Look up a dataset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        available = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown dataset {name!r}; available: {available}")
+    return _REGISTRY[key]
+
+
+@lru_cache(maxsize=64)
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Load (and cache) the stand-in graph for ``name`` at the requested scale."""
+    return get_dataset(name).load(scale=scale, seed=seed)
+
+
+__all__ = [
+    "DatasetInfo",
+    "PGB_DATASET_NAMES",
+    "list_datasets",
+    "get_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,252 @@
+"""The core graph type used throughout the benchmark.
+
+``Graph`` is a simple (no self-loops, no multi-edges) undirected graph over the
+contiguous node-id universe ``0 .. n-1``.  The paper's algorithms need three
+different views of a graph — adjacency sets (community detection, BFS),
+adjacency matrices (TmF, PrivSKG) and degree sequences (DP-dK, DGG) — so the
+class keeps the adjacency-set representation as the source of truth and
+converts lazily to numpy / scipy / networkx when a substrate requires it.
+
+Nodes with no incident edges are first-class: the paper's |V| query (Q1)
+counts them, and several algorithms (e.g. TmF) produce isolated nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """Simple undirected graph over nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node universe.  Node ids outside ``[0, num_nodes)`` are
+        rejected.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add.  Self-loops and duplicate
+        edges are rejected by :meth:`add_edge` but silently skipped by
+        :meth:`add_edges_from`, which mirrors how edge lists from generators
+        are normally consumed.
+    """
+
+    __slots__ = ("_num_nodes", "_adjacency", "_num_edges")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge] | None = None) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_nodes)]
+        self._num_edges = 0
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_networkx(cls, nx_graph: nx.Graph) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph, relabelling nodes to 0..n-1."""
+        nodes = list(nx_graph.nodes())
+        index = {node: position for position, node in enumerate(nodes)}
+        graph = cls(len(nodes))
+        for u, v in nx_graph.edges():
+            if u == v:
+                continue
+            graph.add_edge(index[u], index[v], allow_existing=True)
+        return graph
+
+    @classmethod
+    def from_edge_list(cls, edges: Sequence[Edge], num_nodes: int | None = None) -> "Graph":
+        """Build a graph from an edge list, inferring ``num_nodes`` when omitted."""
+        edges = list(edges)
+        if num_nodes is None:
+            num_nodes = 1 + max((max(u, v) for u, v in edges), default=-1)
+        graph = cls(num_nodes)
+        graph.add_edges_from(edges)
+        return graph
+
+    @classmethod
+    def from_adjacency_matrix(cls, matrix: np.ndarray | sp.spmatrix) -> "Graph":
+        """Build a graph from a (dense or sparse) symmetric 0/1 adjacency matrix."""
+        if sp.issparse(matrix):
+            coo = sp.triu(matrix, k=1).tocoo()
+            num_nodes = matrix.shape[0]
+            edges = zip(coo.row.tolist(), coo.col.tolist())
+            return cls(num_nodes, ((int(u), int(v)) for u, v in edges))
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        rows, cols = np.nonzero(np.triu(matrix, k=1))
+        return cls(matrix.shape[0], zip(rows.tolist(), cols.tolist()))
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        clone = Graph(self._num_nodes)
+        clone._adjacency = [set(neighbors) for neighbors in self._adjacency]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the universe (isolated nodes included)."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterate over node ids."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adjacency):
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> Set[Edge]:
+        """Return the edge set as a set of ``(u, v)`` with ``u < v``."""
+        return set(self.edges())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True when edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adjacency[u]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all nodes as an int array indexed by node id."""
+        return np.array([len(neighbors) for neighbors in self._adjacency], dtype=np.int64)
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        """Iterate over the neighbours of ``node``."""
+        self._check_node(node)
+        return iter(self._adjacency[node])
+
+    def neighbor_set(self, node: int) -> Set[int]:
+        """Return a copy of the neighbour set of ``node``."""
+        self._check_node(node)
+        return set(self._adjacency[node])
+
+    # -- mutation ----------------------------------------------------------
+    def add_edge(self, u: int, v: int, allow_existing: bool = False) -> None:
+        """Add edge ``(u, v)``.
+
+        Raises on self-loops; raises on duplicate edges unless
+        ``allow_existing`` is true.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u})")
+        if v in self._adjacency[u]:
+            if allow_existing:
+                return
+            raise ValueError(f"edge ({u}, {v}) already exists")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Add edges, skipping self-loops and duplicates; return how many were added."""
+        added = 0
+        before = self._num_edges
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            self._check_node(u)
+            self._check_node(v)
+            if v in self._adjacency[u]:
+                continue
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._num_edges += 1
+        added = self._num_edges - before
+        return added
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)``; raises if it does not exist."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adjacency[u]:
+            raise ValueError(f"edge ({u}, {v}) does not exist")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+
+    # -- conversions --------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a networkx graph (all nodes included, even isolated ones)."""
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._num_nodes))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def to_adjacency_matrix(self, dtype=np.int8) -> np.ndarray:
+        """Dense symmetric adjacency matrix; only safe for small/medium graphs."""
+        matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=dtype)
+        for u, v in self.edges():
+            matrix[u, v] = 1
+            matrix[v, u] = 1
+        return matrix
+
+    def to_sparse_adjacency(self) -> sp.csr_matrix:
+        """Sparse CSR adjacency matrix."""
+        rows: List[int] = []
+        cols: List[int] = []
+        for u, v in self.edges():
+            rows.extend((u, v))
+            cols.extend((v, u))
+        data = np.ones(len(rows), dtype=np.int8)
+        return sp.csr_matrix((data, (rows, cols)), shape=(self._num_nodes, self._num_nodes))
+
+    def adjacency_lists(self) -> List[Set[int]]:
+        """Return (copies of) the adjacency sets, indexed by node id."""
+        return [set(neighbors) for neighbors in self._adjacency]
+
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes``, relabelled to ``0..len(nodes)-1``."""
+        nodes = list(nodes)
+        index: Dict[int, int] = {node: position for position, node in enumerate(nodes)}
+        sub = Graph(len(nodes))
+        node_set = set(nodes)
+        for u in nodes:
+            for v in self._adjacency[u]:
+                if v in node_set and u < v:
+                    sub.add_edge(index[u], index[v], allow_existing=True)
+        return sub
+
+    # -- dunder helpers ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._num_nodes == other._num_nodes and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash keeps them usable in ids
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} outside universe [0, {self._num_nodes})")
+
+
+__all__ = ["Graph", "Edge"]

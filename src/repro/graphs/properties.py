@@ -1,0 +1,252 @@
+"""Structural graph properties.
+
+These are the building blocks behind the benchmark's 15 queries and behind the
+dataset table (Table VI reports |V|, |E|, ACC and type for every dataset).
+They operate on :class:`repro.graphs.graph.Graph` directly — not through
+networkx — so they stay fast on the adjacency-set representation and are easy
+to test against networkx for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def density(graph: Graph) -> float:
+    """Graph density 2|E| / (|V|(|V|-1)); 0 for graphs with fewer than 2 nodes."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def degree_sequence(graph: Graph) -> np.ndarray:
+    """Degrees indexed by node id (alias of :meth:`Graph.degrees`)."""
+    return graph.degrees()
+
+
+def average_degree(graph: Graph) -> float:
+    """Average degree 2|E| / |V|; 0 for the empty node universe."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def degree_variance(graph: Graph) -> float:
+    """Population variance of the degree sequence."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(np.var(graph.degrees()))
+
+
+def max_degree(graph: Graph) -> int:
+    """Maximum degree; 0 for an edgeless graph."""
+    if graph.num_nodes == 0:
+        return 0
+    return int(graph.degrees().max())
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """Histogram ``h[d] = number of nodes with degree d`` (length max_degree + 1)."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def degree_distribution(graph: Graph) -> np.ndarray:
+    """Normalised degree distribution ``p[d] = fraction of nodes with degree d``."""
+    histogram = degree_histogram(graph).astype(float)
+    total = histogram.sum()
+    if total == 0:
+        return histogram
+    return histogram / total
+
+
+def triangle_count(graph: Graph) -> int:
+    """Total number of triangles in the graph.
+
+    Uses the standard neighbour-intersection method with the degree-ordering
+    optimisation: each triangle is counted exactly once at its lowest-ordered
+    vertex pair.
+    """
+    adjacency = graph.adjacency_lists()
+    order = np.argsort(graph.degrees(), kind="stable")
+    rank = np.empty(graph.num_nodes, dtype=np.int64)
+    rank[order] = np.arange(graph.num_nodes)
+    # Orient each edge from lower to higher rank; count paths of length 2
+    # that close into a triangle.
+    forward: List[set] = [set() for _ in range(graph.num_nodes)]
+    for u in range(graph.num_nodes):
+        for v in adjacency[u]:
+            if rank[u] < rank[v]:
+                forward[u].add(v)
+    triangles = 0
+    for u in range(graph.num_nodes):
+        for v in forward[u]:
+            triangles += len(forward[u] & forward[v])
+    return triangles
+
+
+def triangles_per_node(graph: Graph) -> np.ndarray:
+    """Number of triangles through each node (needed for local clustering)."""
+    adjacency = graph.adjacency_lists()
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    for u in range(graph.num_nodes):
+        neighbors = list(adjacency[u])
+        for i, v in enumerate(neighbors):
+            if v < u:
+                continue
+            common = adjacency[u] & adjacency[v]
+            for w in common:
+                if w > v:
+                    counts[u] += 1
+                    counts[v] += 1
+                    counts[w] += 1
+    return counts
+
+
+def local_clustering_coefficients(graph: Graph) -> np.ndarray:
+    """Per-node clustering coefficient C_i = e_i / (d_i choose 2); 0 when d_i < 2."""
+    adjacency = graph.adjacency_lists()
+    degrees = graph.degrees()
+    coefficients = np.zeros(graph.num_nodes, dtype=float)
+    for node in range(graph.num_nodes):
+        d = degrees[node]
+        if d < 2:
+            continue
+        neighbors = list(adjacency[node])
+        links = 0
+        for i, u in enumerate(neighbors):
+            neighbor_set = adjacency[u]
+            for v in neighbors[i + 1 :]:
+                if v in neighbor_set:
+                    links += 1
+        coefficients[node] = 2.0 * links / (d * (d - 1))
+    return coefficients
+
+
+def average_clustering_coefficient(graph: Graph) -> float:
+    """Average of per-node clustering coefficients (paper Equation 1)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(local_clustering_coefficients(graph).mean())
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 · triangles / number of connected triples."""
+    degrees = graph.degrees()
+    triples = int(np.sum(degrees * (degrees - 1) // 2))
+    if triples == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / triples
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson degree-degree correlation over edges (Newman's assortativity).
+
+    Returns 0.0 for degenerate graphs (no edges, or zero variance in the
+    end-point degrees), matching how the benchmark treats undefined values.
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    degrees = graph.degrees()
+    x: List[int] = []
+    y: List[int] = []
+    for u, v in graph.edges():
+        x.append(degrees[u])
+        y.append(degrees[v])
+        x.append(degrees[v])
+        y.append(degrees[u])
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    x_std = x_arr.std()
+    y_std = y_arr.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components as lists of node ids (iterative BFS)."""
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    components: List[List[int]] = []
+    adjacency = graph.adjacency_lists()
+    for start in range(graph.num_nodes):
+        if seen[start]:
+            continue
+        component = [start]
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    component.append(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def largest_connected_component(graph: Graph) -> List[int]:
+    """Node ids of the largest connected component (empty list for empty graphs)."""
+    components = connected_components(graph)
+    if not components:
+        return []
+    return max(components, key=len)
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Unweighted shortest-path distances from ``source``; -1 for unreachable nodes."""
+    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = [source]
+    adjacency = graph.adjacency_lists()
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if distances[neighbor] < 0:
+                    distances[neighbor] = level
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def summarize(graph: Graph) -> Dict[str, float]:
+    """Return the Table VI style summary: |V|, |E|, density, ACC."""
+    return {
+        "num_nodes": float(graph.num_nodes),
+        "num_edges": float(graph.num_edges),
+        "density": density(graph),
+        "average_degree": average_degree(graph),
+        "average_clustering_coefficient": average_clustering_coefficient(graph),
+    }
+
+
+__all__ = [
+    "density",
+    "degree_sequence",
+    "average_degree",
+    "degree_variance",
+    "max_degree",
+    "degree_histogram",
+    "degree_distribution",
+    "triangle_count",
+    "triangles_per_node",
+    "local_clustering_coefficients",
+    "average_clustering_coefficient",
+    "global_clustering_coefficient",
+    "degree_assortativity",
+    "connected_components",
+    "largest_connected_component",
+    "bfs_distances",
+    "summarize",
+]

@@ -1,0 +1,27 @@
+"""Error metrics (the U2 element, paper Table IV, E1-E11)."""
+
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    relative_error,
+)
+from repro.metrics.distribution import (
+    hellinger_distance,
+    kl_divergence,
+    kolmogorov_smirnov_statistic,
+)
+from repro.metrics.registry import METRIC_REGISTRY, get_metric, list_metrics
+
+__all__ = [
+    "relative_error",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "kl_divergence",
+    "hellinger_distance",
+    "kolmogorov_smirnov_statistic",
+    "METRIC_REGISTRY",
+    "get_metric",
+    "list_metrics",
+]

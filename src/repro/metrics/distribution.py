@@ -1,0 +1,74 @@
+"""Distribution-comparison metrics (E3, E4, E5 in the paper's Table IV).
+
+The degree-distribution query (Q6) and the distance-distribution query (Q9)
+compare a whole distribution rather than a scalar.  The three metrics the
+surveyed papers use are KL divergence, Hellinger distance and the
+Kolmogorov–Smirnov statistic.  Inputs can be unnormalised histograms of
+different lengths; they are padded to a common support and normalised here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _align(first: Sequence[float], second: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad two histograms to a common length and normalise them to sum to 1."""
+    first_arr = np.asarray(first, dtype=float)
+    second_arr = np.asarray(second, dtype=float)
+    if first_arr.ndim != 1 or second_arr.ndim != 1:
+        raise ValueError("distributions must be one-dimensional")
+    if np.any(first_arr < 0) or np.any(second_arr < 0):
+        raise ValueError("distributions must be non-negative")
+    length = max(first_arr.size, second_arr.size, 1)
+    first_padded = np.zeros(length)
+    second_padded = np.zeros(length)
+    first_padded[: first_arr.size] = first_arr
+    second_padded[: second_arr.size] = second_arr
+    first_total = first_padded.sum()
+    second_total = second_padded.sum()
+    if first_total > 0:
+        first_padded /= first_total
+    if second_total > 0:
+        second_padded /= second_total
+    return first_padded, second_padded
+
+
+def kl_divergence(true_distribution: Sequence[float], synthetic_distribution: Sequence[float],
+                  smoothing: float = 1e-9) -> float:
+    """KL(P_true || P_synthetic) (E3), with additive smoothing to keep it finite."""
+    p, q = _align(true_distribution, synthetic_distribution)
+    p = (p + smoothing) / (1.0 + smoothing * p.size)
+    q = (q + smoothing) / (1.0 + smoothing * q.size)
+    return float(np.sum(p * np.log(p / q)))
+
+
+def hellinger_distance(true_distribution: Sequence[float],
+                       synthetic_distribution: Sequence[float]) -> float:
+    """Hellinger distance (E4): in [0, 1], 0 iff the distributions coincide."""
+    p, q = _align(true_distribution, synthetic_distribution)
+    return float(np.sqrt(0.5 * np.sum((np.sqrt(p) - np.sqrt(q)) ** 2)))
+
+
+def kolmogorov_smirnov_statistic(true_distribution: Sequence[float],
+                                 synthetic_distribution: Sequence[float]) -> float:
+    """KS statistic (E5): maximum absolute difference of the two CDFs."""
+    p, q = _align(true_distribution, synthetic_distribution)
+    return float(np.max(np.abs(np.cumsum(p) - np.cumsum(q))))
+
+
+def total_variation_distance(true_distribution: Sequence[float],
+                             synthetic_distribution: Sequence[float]) -> float:
+    """Total variation distance, a convenient extra metric exposed for users."""
+    p, q = _align(true_distribution, synthetic_distribution)
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+__all__ = [
+    "kl_divergence",
+    "hellinger_distance",
+    "kolmogorov_smirnov_statistic",
+    "total_variation_distance",
+]

@@ -1,0 +1,74 @@
+"""Scalar and vector error metrics (E1, E2, E7, E8 in the paper's Table IV).
+
+All metrics follow the "smaller is better" convention and return plain floats.
+Relative error against a zero ground truth falls back to the absolute error,
+matching how the surveyed publications handle degenerate queries (e.g. the
+triangle count of a triangle-free road network).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def relative_error(true_value: float, synthetic_value: float) -> float:
+    """RE (E1): |Q(G) - Q(G')| / |Q(G)|; absolute error when Q(G) = 0."""
+    true_value = float(true_value)
+    synthetic_value = float(synthetic_value)
+    difference = abs(true_value - synthetic_value)
+    if true_value == 0.0:
+        return difference
+    return difference / abs(true_value)
+
+
+def mean_relative_error(true_values: Sequence[float], synthetic_values: Sequence[float]) -> float:
+    """MRE (E2): mean of per-element absolute differences divided by the true mean.
+
+    The paper defines MRE as (1/n) Σ |Q(G_i) - Q(G'_i)| over per-node results;
+    we normalise by the mean magnitude of the true values so the score is
+    scale-free, and fall back to the raw mean absolute difference when the
+    true values are all zero.
+    """
+    true_arr = np.asarray(true_values, dtype=float)
+    synthetic_arr = np.asarray(synthetic_values, dtype=float)
+    if true_arr.shape != synthetic_arr.shape:
+        raise ValueError("true and synthetic value arrays must have the same shape")
+    if true_arr.size == 0:
+        return 0.0
+    mean_abs_difference = float(np.mean(np.abs(true_arr - synthetic_arr)))
+    scale = float(np.mean(np.abs(true_arr)))
+    if scale == 0.0:
+        return mean_abs_difference
+    return mean_abs_difference / scale
+
+
+def mean_absolute_error(true_values: Sequence[float], synthetic_values: Sequence[float]) -> float:
+    """MAE (E7): mean absolute per-element difference."""
+    true_arr = np.asarray(true_values, dtype=float)
+    synthetic_arr = np.asarray(synthetic_values, dtype=float)
+    if true_arr.shape != synthetic_arr.shape:
+        raise ValueError("true and synthetic value arrays must have the same shape")
+    if true_arr.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(true_arr - synthetic_arr)))
+
+
+def mean_squared_error(true_values: Sequence[float], synthetic_values: Sequence[float]) -> float:
+    """MSE (E8): mean squared per-element difference."""
+    true_arr = np.asarray(true_values, dtype=float)
+    synthetic_arr = np.asarray(synthetic_values, dtype=float)
+    if true_arr.shape != synthetic_arr.shape:
+        raise ValueError("true and synthetic value arrays must have the same shape")
+    if true_arr.size == 0:
+        return 0.0
+    return float(np.mean((true_arr - synthetic_arr) ** 2))
+
+
+__all__ = [
+    "relative_error",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+]

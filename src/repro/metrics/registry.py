@@ -1,0 +1,79 @@
+"""Registry mapping the paper's metric codes (E1-E11) to implementations.
+
+Scalar metrics take ``(true_value, synthetic_value)``; vector metrics take two
+sequences; partition metrics take two partitions.  The registry records which
+signature each metric has so the benchmark runner can dispatch without
+special-casing individual queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.community.metrics import (
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    average_f1_score,
+    normalized_mutual_information,
+)
+from repro.metrics.distribution import (
+    hellinger_distance,
+    kl_divergence,
+    kolmogorov_smirnov_statistic,
+)
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    relative_error,
+)
+
+
+@dataclass(frozen=True)
+class MetricInfo:
+    """One error metric: its paper code, kind of inputs, and direction."""
+
+    name: str
+    code: str
+    kind: str  # "scalar", "vector", "distribution", or "partition"
+    higher_is_better: bool
+    func: Callable
+
+    def __call__(self, true_value, synthetic_value) -> float:
+        return float(self.func(true_value, synthetic_value))
+
+
+METRIC_REGISTRY: Dict[str, MetricInfo] = {
+    "re": MetricInfo("re", "E1", "scalar", False, relative_error),
+    "mre": MetricInfo("mre", "E2", "vector", False, mean_relative_error),
+    "kl": MetricInfo("kl", "E3", "distribution", False, kl_divergence),
+    "hellinger": MetricInfo("hellinger", "E4", "distribution", False, hellinger_distance),
+    "ks": MetricInfo("ks", "E5", "distribution", False, kolmogorov_smirnov_statistic),
+    "avg_f1": MetricInfo("avg_f1", "E6", "partition", True, average_f1_score),
+    "mae": MetricInfo("mae", "E7", "vector", False, mean_absolute_error),
+    "mse": MetricInfo("mse", "E8", "vector", False, mean_squared_error),
+    "ari": MetricInfo("ari", "E9", "partition", True, adjusted_rand_index),
+    "ami": MetricInfo("ami", "E10", "partition", True, adjusted_mutual_information),
+    "nmi": MetricInfo("nmi", "E11", "partition", True, normalized_mutual_information),
+}
+
+
+def list_metrics() -> List[str]:
+    """All registered metric names."""
+    return sorted(METRIC_REGISTRY)
+
+
+def get_metric(name: str) -> MetricInfo:
+    """Look up a metric by name (e.g. ``"re"``) or paper code (e.g. ``"E1"``)."""
+    key = name.lower()
+    if key in METRIC_REGISTRY:
+        return METRIC_REGISTRY[key]
+    for metric in METRIC_REGISTRY.values():
+        if metric.code.lower() == key:
+            return metric
+    available = ", ".join(sorted(METRIC_REGISTRY))
+    raise KeyError(f"unknown metric {name!r}; available: {available}")
+
+
+__all__ = ["MetricInfo", "METRIC_REGISTRY", "get_metric", "list_metrics"]

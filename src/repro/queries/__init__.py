@@ -1,0 +1,20 @@
+"""Graph queries (the U1 element, paper Table III/IV, Q1-Q15)."""
+
+from repro.queries.base import GraphQuery, QueryCategory
+from repro.queries.registry import (
+    PGB_QUERY_NAMES,
+    QUERY_REGISTRY,
+    get_query,
+    list_queries,
+    make_default_queries,
+)
+
+__all__ = [
+    "GraphQuery",
+    "QueryCategory",
+    "PGB_QUERY_NAMES",
+    "QUERY_REGISTRY",
+    "get_query",
+    "list_queries",
+    "make_default_queries",
+]

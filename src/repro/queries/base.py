@@ -1,0 +1,92 @@
+"""The query abstraction shared by all 15 benchmark queries.
+
+A query maps a graph to a value (scalar, vector, distribution or partition)
+and knows which error metric the benchmark uses to compare the value on the
+true graph against the value on the synthetic graph (paper Section V-D fixes
+one metric per query).  The benchmark runner only ever calls
+:meth:`GraphQuery.evaluate` and :meth:`GraphQuery.error`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any
+
+from repro.graphs.graph import Graph
+from repro.metrics.registry import get_metric
+
+
+class QueryCategory(enum.Enum):
+    """The five query categories of the paper's Table III."""
+
+    COUNTING = "counting"
+    DEGREE = "degree"
+    PATH = "path"
+    TOPOLOGY = "topology"
+    CENTRALITY = "centrality"
+
+
+class GraphQuery(abc.ABC):
+    """Base class for benchmark queries.
+
+    Subclasses set the class attributes and implement :meth:`evaluate`.
+    ``metric_name`` selects the error metric from
+    :mod:`repro.metrics.registry`; ``error`` may be overridden when the
+    comparison needs more than the metric applied to two ``evaluate`` results
+    (community detection, for instance, must run detection on both graphs).
+    """
+
+    #: Machine-readable name, e.g. ``"triangle_count"``.
+    name: str = "abstract"
+    #: The paper's query code, e.g. ``"Q3"``.
+    code: str = "Q0"
+    #: One of the five categories of Table III.
+    category: QueryCategory = QueryCategory.COUNTING
+    #: Error metric used by the benchmark instantiation for this query.
+    metric_name: str = "re"
+    #: Human-readable description used by reports.
+    description: str = ""
+
+    @abc.abstractmethod
+    def evaluate(self, graph: Graph) -> Any:
+        """Compute the query value on ``graph``."""
+
+    def error(self, true_graph: Graph, synthetic_graph: Graph) -> float:
+        """Error of the synthetic graph with respect to the true graph.
+
+        The default implementation evaluates the query on both graphs and
+        applies the configured metric; the value is oriented so that *smaller
+        is always better* (similarity scores such as NMI are flipped to
+        ``1 - score``), which lets the benchmark aggregate all queries with a
+        single "lowest error wins" rule (Definition 5).
+        """
+        metric = get_metric(self.metric_name)
+        true_value = self.evaluate(true_graph)
+        synthetic_value = self.evaluate(synthetic_graph)
+        score = metric(true_value, synthetic_value)
+        if metric.higher_is_better:
+            return 1.0 - score
+        return score
+
+    def similarity(self, true_graph: Graph, synthetic_graph: Graph) -> float:
+        """The raw (unflipped) metric value, for reports that show NMI etc. directly."""
+        metric = get_metric(self.metric_name)
+        score = metric(self.evaluate(true_graph), self.evaluate(synthetic_graph))
+        return score
+
+    def describe(self) -> dict:
+        """Static description used by reports and the registry."""
+        return {
+            "name": self.name,
+            "code": self.code,
+            "category": self.category.value,
+            "metric": self.metric_name,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(code={self.code}, name={self.name!r})"
+
+
+__all__ = ["GraphQuery", "QueryCategory"]

@@ -1,0 +1,52 @@
+"""Centrality query: Q15 (eigenvector centrality), scored with MAE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.queries.base import GraphQuery, QueryCategory
+
+
+def eigenvector_centrality(graph: Graph, max_iterations: int = 200,
+                           tolerance: float = 1e-8) -> np.ndarray:
+    """Eigenvector centrality via power iteration, L2-normalised.
+
+    Isolated nodes get centrality 0.  If the iteration fails to converge the
+    last iterate is returned — for the benchmark's purposes (an MAE against
+    another centrality vector) that is the standard behaviour.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.array([])
+    if graph.num_edges == 0:
+        return np.zeros(n)
+    adjacency = graph.to_sparse_adjacency().astype(float)
+    vector = np.full(n, 1.0 / np.sqrt(n))
+    for _ in range(max_iterations):
+        next_vector = adjacency @ vector
+        norm = np.linalg.norm(next_vector)
+        if norm == 0:
+            return np.zeros(n)
+        next_vector /= norm
+        if np.linalg.norm(next_vector - vector, ord=1) < tolerance * n:
+            vector = next_vector
+            break
+        vector = next_vector
+    return np.abs(vector)
+
+
+class EigenvectorCentralityQuery(GraphQuery):
+    """Q15: per-node eigenvector centrality, compared with mean absolute error."""
+
+    name = "eigenvector_centrality"
+    code = "Q15"
+    category = QueryCategory.CENTRALITY
+    metric_name = "mae"
+    description = "Eigenvector centrality of every node."
+
+    def evaluate(self, graph: Graph) -> np.ndarray:
+        return eigenvector_centrality(graph)
+
+
+__all__ = ["eigenvector_centrality", "EigenvectorCentralityQuery"]

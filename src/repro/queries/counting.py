@@ -1,0 +1,59 @@
+"""General counting queries: Q1 (|V|), Q2 (|E|), Q3 (triangle count)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import triangle_count
+from repro.queries.base import GraphQuery, QueryCategory
+
+
+class NodeCountQuery(GraphQuery):
+    """Q1: number of non-isolated nodes.
+
+    Synthetic graphs keep the same node universe as the original, so counting
+    universe size would make the query trivially exact for every algorithm;
+    following the surveyed implementations (and the non-integer |V| values of
+    the paper's Table XI), the query counts nodes that participate in at least
+    one edge.
+    """
+
+    name = "num_nodes"
+    code = "Q1"
+    category = QueryCategory.COUNTING
+    metric_name = "re"
+    description = "Number of non-isolated nodes."
+
+    def evaluate(self, graph: Graph) -> float:
+        degrees = graph.degrees()
+        return float(int(np.count_nonzero(degrees)))
+
+
+class EdgeCountQuery(GraphQuery):
+    """Q2: number of edges."""
+
+    name = "num_edges"
+    code = "Q2"
+    category = QueryCategory.COUNTING
+    metric_name = "re"
+    description = "Number of edges."
+
+    def evaluate(self, graph: Graph) -> float:
+        return float(graph.num_edges)
+
+
+class TriangleCountQuery(GraphQuery):
+    """Q3: number of triangles."""
+
+    name = "triangle_count"
+    code = "Q3"
+    category = QueryCategory.COUNTING
+    metric_name = "re"
+    description = "Number of triangles."
+
+    def evaluate(self, graph: Graph) -> float:
+        return float(triangle_count(graph))
+
+
+__all__ = ["NodeCountQuery", "EdgeCountQuery", "TriangleCountQuery"]

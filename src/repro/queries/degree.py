@@ -1,0 +1,52 @@
+"""Degree-information queries: Q4 (average degree), Q5 (degree variance),
+Q6 (degree distribution)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import average_degree, degree_distribution, degree_variance
+from repro.queries.base import GraphQuery, QueryCategory
+
+
+class AverageDegreeQuery(GraphQuery):
+    """Q4: average degree 2|E| / |V|."""
+
+    name = "average_degree"
+    code = "Q4"
+    category = QueryCategory.DEGREE
+    metric_name = "re"
+    description = "Average node degree."
+
+    def evaluate(self, graph: Graph) -> float:
+        return average_degree(graph)
+
+
+class DegreeVarianceQuery(GraphQuery):
+    """Q5: variance of the degree sequence."""
+
+    name = "degree_variance"
+    code = "Q5"
+    category = QueryCategory.DEGREE
+    metric_name = "re"
+    description = "Variance of the degree sequence."
+
+    def evaluate(self, graph: Graph) -> float:
+        return degree_variance(graph)
+
+
+class DegreeDistributionQuery(GraphQuery):
+    """Q6: degree distribution, compared with KL divergence (paper Section V-D)."""
+
+    name = "degree_distribution"
+    code = "Q6"
+    category = QueryCategory.DEGREE
+    metric_name = "kl"
+    description = "Normalised degree distribution."
+
+    def evaluate(self, graph: Graph) -> np.ndarray:
+        return degree_distribution(graph)
+
+
+__all__ = ["AverageDegreeQuery", "DegreeVarianceQuery", "DegreeDistributionQuery"]

@@ -1,0 +1,85 @@
+"""Query registry: Q1-Q15 by name and code.
+
+``make_default_queries`` returns the 15 queries of the benchmark instantiation
+(Table V: "15 graph queries listed in Table IV"), in the paper's order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.queries.base import GraphQuery
+from repro.queries.centrality import EigenvectorCentralityQuery
+from repro.queries.counting import EdgeCountQuery, NodeCountQuery, TriangleCountQuery
+from repro.queries.degree import (
+    AverageDegreeQuery,
+    DegreeDistributionQuery,
+    DegreeVarianceQuery,
+)
+from repro.queries.path import (
+    AverageShortestPathQuery,
+    DiameterQuery,
+    DistanceDistributionQuery,
+)
+from repro.queries.topology import (
+    AssortativityQuery,
+    AverageClusteringQuery,
+    CommunityDetectionQuery,
+    GlobalClusteringQuery,
+    ModularityQuery,
+)
+
+QueryFactory = Callable[[], GraphQuery]
+
+QUERY_REGISTRY: Dict[str, QueryFactory] = {
+    "num_nodes": NodeCountQuery,
+    "num_edges": EdgeCountQuery,
+    "triangle_count": TriangleCountQuery,
+    "average_degree": AverageDegreeQuery,
+    "degree_variance": DegreeVarianceQuery,
+    "degree_distribution": DegreeDistributionQuery,
+    "diameter": DiameterQuery,
+    "average_shortest_path": AverageShortestPathQuery,
+    "distance_distribution": DistanceDistributionQuery,
+    "global_clustering": GlobalClusteringQuery,
+    "average_clustering": AverageClusteringQuery,
+    "community_detection": CommunityDetectionQuery,
+    "modularity": ModularityQuery,
+    "assortativity": AssortativityQuery,
+    "eigenvector_centrality": EigenvectorCentralityQuery,
+}
+
+#: The benchmark's 15 queries, in the order of the paper's Table IV (Q1..Q15).
+PGB_QUERY_NAMES = tuple(QUERY_REGISTRY)
+
+
+def list_queries() -> List[str]:
+    """All registered query names, in Q1..Q15 order."""
+    return list(PGB_QUERY_NAMES)
+
+
+def get_query(name: str) -> GraphQuery:
+    """Instantiate a query by name (e.g. ``"triangle_count"``) or code (e.g. ``"Q3"``)."""
+    key = name.lower()
+    if key in QUERY_REGISTRY:
+        return QUERY_REGISTRY[key]()
+    for factory in QUERY_REGISTRY.values():
+        query = factory()
+        if query.code.lower() == key:
+            return query
+    available = ", ".join(QUERY_REGISTRY)
+    raise KeyError(f"unknown query {name!r}; available: {available}")
+
+
+def make_default_queries() -> List[GraphQuery]:
+    """All 15 benchmark queries, freshly instantiated, in Q1..Q15 order."""
+    return [QUERY_REGISTRY[name]() for name in PGB_QUERY_NAMES]
+
+
+__all__ = [
+    "QUERY_REGISTRY",
+    "PGB_QUERY_NAMES",
+    "list_queries",
+    "get_query",
+    "make_default_queries",
+]

@@ -1,0 +1,109 @@
+"""Topology-structure queries: Q10 (GCC), Q11 (ACC), Q12 (community detection),
+Q13 (modularity), Q14 (assortativity)."""
+
+from __future__ import annotations
+
+from repro.community.louvain import louvain_communities
+from repro.community.partition import Partition, modularity
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    average_clustering_coefficient,
+    degree_assortativity,
+    global_clustering_coefficient,
+)
+from repro.metrics.registry import get_metric
+from repro.queries.base import GraphQuery, QueryCategory
+
+
+class GlobalClusteringQuery(GraphQuery):
+    """Q10: global clustering coefficient (transitivity)."""
+
+    name = "global_clustering"
+    code = "Q10"
+    category = QueryCategory.TOPOLOGY
+    metric_name = "re"
+    description = "Global clustering coefficient (3 x triangles / triples)."
+
+    def evaluate(self, graph: Graph) -> float:
+        return global_clustering_coefficient(graph)
+
+
+class AverageClusteringQuery(GraphQuery):
+    """Q11: average clustering coefficient."""
+
+    name = "average_clustering"
+    code = "Q11"
+    category = QueryCategory.TOPOLOGY
+    metric_name = "re"
+    description = "Average of the per-node clustering coefficients."
+
+    def evaluate(self, graph: Graph) -> float:
+        return average_clustering_coefficient(graph)
+
+
+class CommunityDetectionQuery(GraphQuery):
+    """Q12: community detection, scored with NMI between the two partitions.
+
+    The query value is the Louvain partition of the graph; the error flips the
+    NMI similarity into ``1 - NMI`` so that, like every other query, smaller
+    is better (the reports show the raw NMI via :meth:`similarity`).
+    A fixed seed makes the Louvain runs deterministic per graph, so the
+    benchmark's repeated evaluations are comparable.
+    """
+
+    name = "community_detection"
+    code = "Q12"
+    category = QueryCategory.TOPOLOGY
+    metric_name = "nmi"
+    description = "Louvain community structure, compared with NMI."
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+
+    def evaluate(self, graph: Graph) -> Partition:
+        return louvain_communities(graph, rng=self.seed)
+
+
+class ModularityQuery(GraphQuery):
+    """Q13: modularity of the Louvain partition."""
+
+    name = "modularity"
+    code = "Q13"
+    category = QueryCategory.TOPOLOGY
+    metric_name = "re"
+    description = "Modularity of the detected community structure."
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+
+    def evaluate(self, graph: Graph) -> float:
+        partition = louvain_communities(graph, rng=self.seed)
+        return modularity(graph, partition)
+
+
+class AssortativityQuery(GraphQuery):
+    """Q14: degree assortativity coefficient.
+
+    Assortativity lives in [-1, 1] and is frequently close to 0, where a
+    relative error blows up; following the benchmark's convention for
+    degenerate denominators the error falls back to the absolute difference
+    (handled inside the RE metric).
+    """
+
+    name = "assortativity"
+    code = "Q14"
+    category = QueryCategory.TOPOLOGY
+    metric_name = "re"
+    description = "Degree assortativity (Pearson degree-degree correlation)."
+
+    def evaluate(self, graph: Graph) -> float:
+        return degree_assortativity(graph)
+
+
+__all__ = [
+    "GlobalClusteringQuery",
+    "AverageClusteringQuery",
+    "CommunityDetectionQuery",
+    "ModularityQuery",
+    "AssortativityQuery",
+]

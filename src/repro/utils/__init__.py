@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG handling, validation and timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

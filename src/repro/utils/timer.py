@@ -1,0 +1,72 @@
+"""Wall-clock and peak-memory measurement used by the resource benchmarks.
+
+Table IX (time cost) and Table X (memory consumption) in the paper report the
+cost of a single generation run per (algorithm, dataset) cell.  ``Timer`` and
+``measure_peak_memory`` provide those two measurements without any external
+dependency: wall-clock via ``time.perf_counter`` and peak allocation via
+``tracemalloc``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class ResourceUsage:
+    """Result of profiling one callable: seconds elapsed and peak MiB allocated."""
+
+    seconds: float
+    peak_mib: float
+    result: Any = field(default=None, repr=False)
+
+
+def measure_resources(func: Callable[[], Any]) -> ResourceUsage:
+    """Run ``func`` once, returning elapsed time, peak traced memory and result.
+
+    ``tracemalloc`` only tracks Python-level allocations, so numpy buffers are
+    included but interpreter overhead is not; this matches how the paper uses
+    memory numbers (relative comparison between algorithms, not absolute RSS).
+    """
+    tracemalloc.start()
+    try:
+        with Timer() as timer:
+            result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return ResourceUsage(seconds=timer.elapsed, peak_mib=peak / (1024 * 1024), result=result)
+
+
+def measure_peak_memory(func: Callable[[], Any]) -> Tuple[float, Any]:
+    """Return ``(peak_mib, result)`` for one invocation of ``func``."""
+    usage = measure_resources(func)
+    return usage.peak_mib, usage.result
+
+
+__all__ = ["Timer", "ResourceUsage", "measure_resources", "measure_peak_memory"]

@@ -1,0 +1,60 @@
+"""Argument-validation helpers shared across the library.
+
+The helpers raise ``ValueError`` with a message naming the offending argument,
+so call sites stay one-liners and error messages stay consistent.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive(value: Real, name: str) -> float:
+    """Return ``value`` as float, raising if it is not strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value: Real, name: str) -> float:
+    """Return ``value`` as float, raising if it is negative."""
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Real, name: str) -> float:
+    """Return ``value`` as float, raising unless it lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: Real, name: str, low: Real, high: Real) -> float:
+    """Return ``value`` as float, raising unless ``low <= value <= high``."""
+    value = float(value)
+    if not float(low) <= value <= float(high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_integer(value, name: str, minimum: int | None = None) -> int:
+    """Return ``value`` as int, raising if it is not integral or below ``minimum``."""
+    if isinstance(value, bool) or int(value) != value:
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+]

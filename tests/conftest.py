@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic graphs used throughout the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import barabasi_albert_graph, erdos_renyi_gnm_graph
+from repro.generators.sbm import planted_partition_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A single triangle on 3 nodes."""
+    return Graph.from_edge_list([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A path 0-1-2-3-4 (no triangles, diameter 4)."""
+    return Graph.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A star with centre 0 and 5 leaves."""
+    return Graph.from_edge_list([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def karate_like_graph() -> Graph:
+    """A small two-community graph (planted partition), fixed seed."""
+    return planted_partition_graph(num_blocks=2, block_size=12, p_in=0.7, p_out=0.05, rng=11)
+
+
+@pytest.fixture
+def medium_er_graph() -> Graph:
+    """A G(n, m) random graph with 60 nodes and 180 edges, fixed seed."""
+    return erdos_renyi_gnm_graph(60, 180, rng=5)
+
+
+@pytest.fixture
+def medium_ba_graph() -> Graph:
+    """A BA graph with 80 nodes, m=3, fixed seed."""
+    return barabasi_albert_graph(80, 3, rng=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed numpy Generator."""
+    return np.random.default_rng(1234)

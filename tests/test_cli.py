@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert len(args.algorithms) == 6
+        assert len(args.datasets) == 8
+        assert args.repetitions == 1
+
+    def test_recommend_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "tmf" in output
+        assert "facebook" in output
+        assert "eigenvector_centrality" in output
+
+    def test_recommend(self, capsys):
+        code = main(["recommend", "--nodes", "5000", "--acc", "0.6", "--epsilon", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recommended algorithm: dgg" in output
+
+    def test_recommend_with_priority_query(self, capsys):
+        main(["recommend", "--nodes", "5000", "--acc", "0.2", "--epsilon", "1.0",
+              "--query", "community_detection"])
+        assert "privhrg" in capsys.readouterr().out
+
+    def test_run_small_grid(self, capsys):
+        code = main([
+            "run",
+            "--algorithms", "tmf", "dgg",
+            "--datasets", "ba",
+            "--epsilons", "1.0",
+            "--queries", "num_edges", "average_degree",
+            "--repetitions", "1",
+            "--scale", "0.02",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Definition 5" in output
+        assert "Definition 6" in output
+        assert "tmf" in output
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--algorithms", "dgg", "--datasets", "ba", "--scale", "0.02"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "time (seconds)" in output
+        assert "peak memory" in output
+
+    def test_generate_writes_edge_list(self, tmp_path, capsys):
+        output_path = tmp_path / "synthetic.txt"
+        code = main([
+            "generate", "--dataset", "ba", "--algorithm", "tmf", "--epsilon", "1.0",
+            "--scale", "0.02", "--output", str(output_path),
+        ])
+        assert code == 0
+        assert output_path.exists()
+        assert "synthetic:" in capsys.readouterr().out
+
+    def test_generate_without_output(self, capsys):
+        code = main(["generate", "--dataset", "ba", "--algorithm", "dgg", "--epsilon", "2.0",
+                     "--scale", "0.02"])
+        assert code == 0
+        assert "guarantee" in capsys.readouterr().out

@@ -1,0 +1,185 @@
+"""Tests for the community-detection substrate: partitions, Louvain,
+label propagation and the partition-similarity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community.label_propagation import label_propagation_communities
+from repro.community.louvain import louvain_communities
+from repro.community.metrics import (
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    average_f1_score,
+    contingency_table,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.community.partition import Partition, modularity
+from repro.generators.sbm import planted_partition_graph
+from repro.graphs.graph import Graph
+
+
+class TestPartition:
+    def test_labels_normalised(self):
+        partition = Partition(["a", "b", "a", "c"])
+        assert list(partition.labels) == [0, 1, 0, 2]
+        assert partition.num_communities == 3
+
+    def test_from_communities(self):
+        partition = Partition.from_communities([[0, 1], [2, 3]], num_nodes=5)
+        # Node 4 is uncovered and gets its own singleton community.
+        assert partition.num_communities == 3
+        assert partition.community_of(0) == partition.community_of(1)
+        assert partition.community_of(4) not in (partition.community_of(0), partition.community_of(2))
+
+    def test_from_mapping(self):
+        partition = Partition.from_mapping({0: 5, 1: 5, 2: 9}, num_nodes=3)
+        assert partition.num_communities == 2
+
+    def test_communities_roundtrip(self):
+        partition = Partition([0, 0, 1, 1, 2])
+        communities = partition.communities()
+        assert communities == [[0, 1], [2, 3], [4]]
+
+    def test_sizes(self):
+        assert list(Partition([0, 0, 1]).sizes()) == [2, 1]
+
+    def test_equality(self):
+        assert Partition([0, 0, 1]) == Partition(["x", "x", "y"])
+        assert Partition([0, 0, 1]) != Partition([0, 1, 1])
+
+
+class TestModularity:
+    def test_single_community_is_zero(self, triangle_graph):
+        partition = Partition([0, 0, 0])
+        assert modularity(triangle_graph, partition) == pytest.approx(0.0)
+
+    def test_matches_networkx(self, karate_like_graph):
+        import networkx as nx
+
+        partition = louvain_communities(karate_like_graph, rng=0)
+        communities = [set(c) for c in partition.communities()]
+        expected = nx.community.modularity(karate_like_graph.to_networkx(), communities)
+        assert modularity(karate_like_graph, partition) == pytest.approx(expected)
+
+    def test_good_partition_beats_random(self, karate_like_graph):
+        good = Partition([0] * 12 + [1] * 12)
+        shuffled_labels = np.array([0, 1] * 12)
+        bad = Partition(shuffled_labels)
+        assert modularity(karate_like_graph, good) > modularity(karate_like_graph, bad)
+
+    def test_empty_graph(self):
+        assert modularity(Graph(3), Partition([0, 1, 2])) == 0.0
+
+    def test_size_mismatch_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            modularity(triangle_graph, Partition([0, 0]))
+
+
+class TestLouvain:
+    def test_recovers_planted_partition(self):
+        graph = planted_partition_graph(num_blocks=3, block_size=15, p_in=0.8, p_out=0.02, rng=3)
+        truth = Partition([block for block in range(3) for _ in range(15)])
+        detected = louvain_communities(graph, rng=0)
+        assert normalized_mutual_information(truth, detected) > 0.8
+
+    def test_positive_modularity_on_structured_graph(self, karate_like_graph):
+        partition = louvain_communities(karate_like_graph, rng=0)
+        assert modularity(karate_like_graph, partition) > 0.2
+
+    def test_edgeless_graph_gives_singletons(self):
+        partition = louvain_communities(Graph(5), rng=0)
+        assert partition.num_communities == 5
+
+    def test_empty_graph(self):
+        assert louvain_communities(Graph(0), rng=0).num_nodes == 0
+
+    def test_deterministic_given_seed(self, karate_like_graph):
+        first = louvain_communities(karate_like_graph, rng=9)
+        second = louvain_communities(karate_like_graph, rng=9)
+        assert first == second
+
+    def test_clique_pair_separated(self):
+        # Two 5-cliques joined by a single bridge edge.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(u, v) for u in range(5, 10) for v in range(u + 1, 10)]
+        edges += [(0, 5)]
+        graph = Graph.from_edge_list(edges, num_nodes=10)
+        partition = louvain_communities(graph, rng=0)
+        assert partition.community_of(1) == partition.community_of(2)
+        assert partition.community_of(6) == partition.community_of(7)
+        assert partition.community_of(1) != partition.community_of(6)
+
+
+class TestLabelPropagation:
+    def test_recovers_strong_communities(self):
+        graph = planted_partition_graph(num_blocks=2, block_size=20, p_in=0.9, p_out=0.01, rng=1)
+        truth = Partition([0] * 20 + [1] * 20)
+        detected = label_propagation_communities(graph, rng=0)
+        assert normalized_mutual_information(truth, detected) > 0.7
+
+    def test_edgeless_graph(self):
+        partition = label_propagation_communities(Graph(4), rng=0)
+        assert partition.num_communities == 4
+
+    def test_isolated_nodes_keep_own_label(self):
+        graph = Graph.from_edge_list([(0, 1)], num_nodes=3)
+        partition = label_propagation_communities(graph, rng=0)
+        assert partition.community_of(2) not in (
+            partition.community_of(0), partition.community_of(1))
+
+
+class TestPartitionMetrics:
+    def test_identical_partitions_score_perfect(self):
+        partition = Partition([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(partition, partition) == pytest.approx(1.0)
+        assert adjusted_rand_index(partition, partition) == pytest.approx(1.0)
+        assert adjusted_mutual_information(partition, partition) == pytest.approx(1.0)
+        assert average_f1_score(partition, partition) == pytest.approx(1.0)
+
+    def test_independent_partitions_score_low(self):
+        rng = np.random.default_rng(0)
+        first = Partition(rng.integers(0, 5, size=200))
+        second = Partition(rng.integers(0, 5, size=200))
+        assert adjusted_rand_index(first, second) == pytest.approx(0.0, abs=0.1)
+        assert adjusted_mutual_information(first, second) == pytest.approx(0.0, abs=0.1)
+
+    def test_nmi_against_sklearn_formula_small_case(self):
+        first = Partition([0, 0, 1, 1])
+        second = Partition([0, 1, 0, 1])
+        # Independent labels → MI = 0 → NMI = 0.
+        assert normalized_mutual_information(first, second) == pytest.approx(0.0, abs=1e-9)
+
+    def test_contingency_table(self):
+        table = contingency_table(Partition([0, 0, 1]), Partition([0, 1, 1]))
+        assert table.tolist() == [[1, 1], [0, 1]]
+
+    def test_mutual_information_non_negative(self):
+        first = Partition([0, 1, 0, 1, 2])
+        second = Partition([0, 0, 1, 1, 2])
+        assert mutual_information(first, second) >= 0.0
+
+    def test_metrics_against_networkx_partition_pair(self, karate_like_graph):
+        louvain = louvain_communities(karate_like_graph, rng=0)
+        lp = label_propagation_communities(karate_like_graph, rng=0)
+        nmi = normalized_mutual_information(louvain, lp)
+        ari = adjusted_rand_index(louvain, lp)
+        assert 0.0 <= nmi <= 1.0
+        assert -0.5 <= ari <= 1.0
+
+    def test_partition_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            contingency_table(Partition([0, 1]), Partition([0, 1, 2]))
+
+    def test_avg_f1_disjoint_communities(self):
+        first = Partition([0, 0, 0, 0])
+        second = Partition([0, 1, 2, 3])
+        score = average_f1_score(first, second)
+        assert 0.0 < score < 1.0
+
+    def test_single_community_edge_case(self):
+        single = Partition([0, 0, 0])
+        assert normalized_mutual_information(single, single) == 1.0
+        assert adjusted_mutual_information(single, single) == 1.0

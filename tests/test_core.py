@@ -1,0 +1,268 @@
+"""Tests for the benchmark core: spec validation, the runner, aggregation,
+profiling, reporting and the selection guidelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import (
+    best_count_by_dataset,
+    best_count_by_query,
+    error_curve,
+    mean_error_by_algorithm,
+    mean_error_table,
+    overall_win_totals,
+    winners_of_group,
+)
+from repro.core.guidelines import recommend_algorithm, recommend_from_results
+from repro.core.profiling import profile_algorithms, profiles_as_tables
+from repro.core.report import (
+    render_best_count_table,
+    render_error_table,
+    render_per_query_table,
+    render_resource_table,
+    render_summary,
+)
+from repro.core.runner import BenchmarkRunner, CellResult, run_benchmark
+from repro.core.spec import PGB_EPSILONS, BenchmarkSpec, SpecValidationError
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    """One small benchmark run shared by the aggregation/report tests."""
+    spec = BenchmarkSpec.smoke_test(seed=7)
+    return run_benchmark(spec)
+
+
+class TestSpec:
+    def test_paper_instantiation_matches_table5(self):
+        spec = BenchmarkSpec.paper_instantiation(scale=0.01, repetitions=1)
+        assert len(spec.algorithms) == 6
+        assert len(spec.datasets) == 8
+        assert spec.epsilons == PGB_EPSILONS
+        assert len(spec.queries) == 15
+
+    def test_paper_scale_experiment_count_exceeds_43200(self):
+        spec = BenchmarkSpec.paper_instantiation(scale=0.01, repetitions=10)
+        # 6 algorithms x 8 datasets x 6 budgets x 15 queries x 10 repetitions
+        assert spec.num_experiments == 43200
+
+    def test_empty_elements_rejected(self):
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(algorithms=())
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(datasets=())
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(epsilons=())
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(queries=())
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(epsilons=(0.0,))
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(epsilons=(2000.0,))
+
+    def test_huge_epsilon_allowed_when_not_strict(self):
+        spec = BenchmarkSpec(epsilons=(2000.0,), strict=False, repetitions=1, scale=0.02)
+        assert spec.epsilons == (2000.0,)
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            BenchmarkSpec(algorithms=("nope",))
+        with pytest.raises(KeyError):
+            BenchmarkSpec(datasets=("nope",)).load_graphs()
+        with pytest.raises(KeyError):
+            BenchmarkSpec(queries=("nope",))
+
+    def test_invalid_repetitions_and_scale(self):
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(repetitions=0)
+        with pytest.raises(SpecValidationError):
+            BenchmarkSpec(scale=0.0)
+
+    def test_smoke_spec_is_small(self):
+        spec = BenchmarkSpec.smoke_test()
+        assert spec.num_experiments <= 64
+
+    def test_make_algorithms_and_queries(self):
+        spec = BenchmarkSpec.smoke_test()
+        assert len(spec.make_algorithms()) == 2
+        assert len(spec.make_queries()) == 4
+
+
+class TestRunner:
+    def test_produces_cell_for_every_combination(self, smoke_results):
+        spec = smoke_results.spec
+        expected = len(spec.algorithms) * len(spec.datasets) * len(spec.epsilons) * len(spec.queries)
+        assert len(smoke_results.cells) == expected
+
+    def test_cells_record_coordinates(self, smoke_results):
+        cell = smoke_results.cells[0]
+        assert isinstance(cell, CellResult)
+        assert cell.algorithm in smoke_results.spec.algorithms
+        assert cell.dataset in smoke_results.spec.datasets
+        assert cell.query in smoke_results.spec.queries
+        assert cell.repetitions == smoke_results.spec.repetitions
+
+    def test_errors_are_finite_and_non_negative(self, smoke_results):
+        for cell in smoke_results.cells:
+            assert cell.error >= 0.0 or cell.error == pytest.approx(0.0)
+            assert cell.error < float("inf")
+
+    def test_filter(self, smoke_results):
+        tmf_cells = smoke_results.filter(algorithm="tmf")
+        assert tmf_cells
+        assert all(cell.algorithm == "tmf" for cell in tmf_cells)
+        narrowed = smoke_results.filter(algorithm="tmf", dataset="ba", epsilon=2.0)
+        assert all(cell.dataset == "ba" and cell.epsilon == 2.0 for cell in narrowed)
+
+    def test_axis_accessors_preserve_spec_order(self, smoke_results):
+        assert smoke_results.algorithms() == list(smoke_results.spec.algorithms)
+        assert smoke_results.datasets() == list(smoke_results.spec.datasets)
+        assert smoke_results.epsilons() == list(smoke_results.spec.epsilons)
+        assert smoke_results.queries() == list(smoke_results.spec.queries)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        spec = BenchmarkSpec(
+            algorithms=("dgg",), datasets=("ba",), epsilons=(1.0,),
+            queries=("num_edges",), repetitions=1, scale=0.02,
+        )
+        BenchmarkRunner(spec, progress=lambda *args: calls.append(args)).run()
+        assert calls == [("dgg", "ba", 1.0)]
+
+    def test_runner_deterministic_given_seed(self):
+        spec = BenchmarkSpec(
+            algorithms=("tmf",), datasets=("ba",), epsilons=(1.0,),
+            queries=("num_edges", "average_degree"), repetitions=2, scale=0.02, seed=99,
+        )
+        first = run_benchmark(spec)
+        second = run_benchmark(spec)
+        assert [cell.error for cell in first.cells] == [cell.error for cell in second.cells]
+
+
+class TestAggregation:
+    def test_winners_of_group_single_minimum(self):
+        cells = [
+            CellResult("a", "d", 1.0, "q", "Q1", 0.5, 0.0, 1, 0.0),
+            CellResult("b", "d", 1.0, "q", "Q1", 0.2, 0.0, 1, 0.0),
+        ]
+        assert winners_of_group(cells) == ["b"]
+
+    def test_winners_of_group_tie(self):
+        cells = [
+            CellResult("a", "d", 1.0, "q", "Q1", 0.2, 0.0, 1, 0.0),
+            CellResult("b", "d", 1.0, "q", "Q1", 0.2, 0.0, 1, 0.0),
+        ]
+        assert set(winners_of_group(cells)) == {"a", "b"}
+
+    def test_winners_empty(self):
+        assert winners_of_group([]) == []
+
+    def test_best_count_by_dataset_totals(self, smoke_results):
+        counts = best_count_by_dataset(smoke_results)
+        spec = smoke_results.spec
+        for epsilon in spec.epsilons:
+            for dataset in spec.datasets:
+                total = sum(counts[(epsilon, dataset, algorithm)] for algorithm in spec.algorithms)
+                # Each query awards at least one win (ties can add more).
+                assert total >= len(spec.queries)
+
+    def test_best_count_by_query_totals(self, smoke_results):
+        counts = best_count_by_query(smoke_results)
+        spec = smoke_results.spec
+        for query in spec.queries:
+            total = sum(counts[(query, algorithm)] for algorithm in spec.algorithms)
+            assert total >= len(spec.datasets) * len(spec.epsilons)
+
+    def test_mean_error_table(self, smoke_results):
+        table = mean_error_table(smoke_results, "num_edges")
+        spec = smoke_results.spec
+        assert len(table) == len(spec.algorithms) * len(spec.datasets) * len(spec.epsilons)
+
+    def test_error_curve_sorted_by_epsilon(self, smoke_results):
+        curve = error_curve(smoke_results, "num_edges", "ba", "tmf")
+        epsilons = [point[0] for point in curve]
+        assert epsilons == sorted(epsilons)
+
+    def test_overall_win_totals_and_mean_errors(self, smoke_results):
+        wins = overall_win_totals(smoke_results)
+        means = mean_error_by_algorithm(smoke_results)
+        assert set(wins) == set(smoke_results.spec.algorithms)
+        assert set(means) == set(smoke_results.spec.algorithms)
+        assert all(value >= 0 for value in means.values())
+
+
+class TestProfilingAndReports:
+    def test_profile_algorithms(self):
+        profiles = profile_algorithms(["dgg", "tmf"], ["ba"], epsilon=1.0, scale=0.02)
+        assert len(profiles) == 2
+        assert all(profile.seconds >= 0 for profile in profiles)
+        assert all(profile.peak_mib >= 0 for profile in profiles)
+
+    def test_profiles_as_tables(self):
+        profiles = profile_algorithms(["dgg"], ["ba"], epsilon=1.0, scale=0.02)
+        tables = profiles_as_tables(profiles)
+        assert "dgg" in tables["time"]["ba"]
+        assert "dgg" in tables["memory"]["ba"]
+
+    def test_render_best_count_table(self, smoke_results):
+        text = render_best_count_table(smoke_results)
+        assert "epsilon" in text
+        assert "tmf" in text and "dgg" in text
+        # The per-dataset winner is marked with '*'.
+        assert "*" in text
+
+    def test_render_per_query_table(self, smoke_results):
+        text = render_per_query_table(smoke_results)
+        assert "Q2" in text or "num_edges" in text
+
+    def test_render_error_table(self, smoke_results):
+        text = render_error_table(smoke_results, "num_edges", "ba")
+        assert "eps=0.5" in text and "eps=2" in text
+
+    def test_render_resource_table(self):
+        table = {"ba": {"dgg": 0.5, "tmf": 1.25}}
+        text = render_resource_table(table)
+        assert "ba" in text and "1.25" in text
+
+    def test_render_summary(self, smoke_results):
+        text = render_summary(smoke_results)
+        assert "single experiments" in text
+
+
+class TestGuidelines:
+    def test_large_epsilon_recommends_tmf(self):
+        assert recommend_algorithm(5000, 0.1, epsilon=10.0).algorithm == "tmf"
+
+    def test_small_epsilon_high_clustering_recommends_dgg(self):
+        assert recommend_algorithm(4000, 0.6, epsilon=0.5).algorithm == "dgg"
+
+    def test_small_low_clustering_graph_recommends_dpdk(self):
+        assert recommend_algorithm(2600, 0.02, epsilon=1.0).algorithm == "dp-dk"
+
+    def test_large_graph_recommends_tmf(self):
+        assert recommend_algorithm(22000, 0.01, epsilon=2.0).algorithm == "tmf"
+
+    def test_community_graph_moderate_budget_recommends_privgraph(self):
+        assert recommend_algorithm(7000, 0.4, epsilon=2.0).algorithm == "privgraph"
+
+    def test_priority_query_overrides(self):
+        assert recommend_algorithm(5000, 0.3, 1.0, priority_query="degree_distribution").algorithm == "dp-dk"
+        assert recommend_algorithm(5000, 0.3, 1.0, priority_query="community_detection").algorithm == "privhrg"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            recommend_algorithm(0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            recommend_algorithm(100, 0.1, 0.0)
+
+    def test_recommend_from_results(self, smoke_results):
+        recommendation = recommend_from_results(smoke_results, dataset="ba", epsilon=2.0)
+        assert recommendation.algorithm in smoke_results.spec.algorithms
+        assert "wins" in recommendation.reason
+
+    def test_recommend_from_results_missing_cell(self, smoke_results):
+        with pytest.raises(KeyError):
+            recommend_from_results(smoke_results, dataset="facebook", epsilon=3.3)

@@ -1,0 +1,198 @@
+"""Tests for privacy-budget bookkeeping and sensitivity calculus."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dp.budget import (
+    BudgetExceededError,
+    PrivacyBudget,
+    parallel_composition,
+    sequential_composition,
+)
+from repro.dp.definitions import PrivacyModel
+from repro.dp.sensitivity import (
+    GlobalSensitivity,
+    SmoothSensitivity,
+    cauchy_noise_for_smooth_sensitivity,
+    local_sensitivity_triangles,
+    local_sensitivity_triangles_at_distance,
+    smooth_sensitivity_upper_bound,
+)
+from repro.graphs.graph import Graph
+
+
+class TestPrivacyBudget:
+    def test_initial_state(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        assert budget.spent_epsilon == 0.0
+        assert budget.remaining_epsilon == 1.0
+
+    def test_spend_tracks_ledger(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        budget.spend(0.4, label="stage_a")
+        budget.spend(0.6, label="stage_b")
+        assert budget.ledger == {"stage_a": 0.4, "stage_b": 0.6}
+        assert budget.remaining_epsilon == pytest.approx(0.0)
+
+    def test_overspend_raises(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.2)
+
+    def test_delta_overspend_raises(self):
+        budget = PrivacyBudget(epsilon=1.0, delta=0.01)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.5, delta=0.02)
+
+    def test_split_fractions(self):
+        budget = PrivacyBudget(epsilon=2.0)
+        amounts = budget.split([0.25, 0.75], labels=["a", "b"])
+        assert amounts == [0.5, 1.5]
+        budget.assert_fully_spent()
+
+    def test_split_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(epsilon=1.0).split([0.6, 0.6])
+        with pytest.raises(ValueError):
+            PrivacyBudget(epsilon=1.0).split([])
+        with pytest.raises(ValueError):
+            PrivacyBudget(epsilon=1.0).split([0.5, -0.1])
+
+    def test_spend_all_remaining(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        budget.spend(0.3)
+        assert budget.spend_all_remaining() == pytest.approx(0.7)
+        with pytest.raises(BudgetExceededError):
+            budget.spend_all_remaining()
+
+    def test_spend_fraction_of_total(self):
+        budget = PrivacyBudget(epsilon=4.0)
+        assert budget.spend_fraction(0.5) == 2.0
+
+    def test_assert_fully_spent_raises_when_not(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        budget.spend(0.5)
+        with pytest.raises(AssertionError):
+            budget.assert_fully_spent()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(epsilon=1.0, delta=-0.1)
+
+
+class TestComposition:
+    def test_sequential_is_sum(self):
+        assert sequential_composition([0.5, 0.25, 0.25]) == 1.0
+
+    def test_parallel_is_max(self):
+        assert parallel_composition([0.5, 0.25]) == 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sequential_composition([0.5, 0.0])
+        with pytest.raises(ValueError):
+            parallel_composition([])
+
+
+class TestGlobalSensitivity:
+    def test_edge_count(self):
+        assert GlobalSensitivity().edge_count() == 1.0
+
+    def test_degree_sequence(self):
+        assert GlobalSensitivity().degree_sequence() == 2.0
+
+    def test_degree_histogram(self):
+        assert GlobalSensitivity().degree_histogram() == 4.0
+
+    def test_dk2_scales_with_max_degree(self):
+        sensitivity = GlobalSensitivity()
+        assert sensitivity.dk2_series(10) == 41.0
+        assert sensitivity.dk2_series(0) == 1.0
+
+    def test_triangle_count(self):
+        assert GlobalSensitivity().triangle_count(7) == 7.0
+
+    def test_node_model_guard(self):
+        with pytest.raises(ValueError):
+            GlobalSensitivity(PrivacyModel.NODE_CDP).edge_count()
+        with pytest.raises(ValueError):
+            GlobalSensitivity(PrivacyModel.EDGE_CDP).node_degree_vector(3)
+
+    def test_node_degree_vector(self):
+        assert GlobalSensitivity(PrivacyModel.NODE_CDP).node_degree_vector(5) == 11.0
+
+
+class TestLocalTriangleSensitivity:
+    def test_triangle_graph(self, triangle_graph):
+        # Any pair in a triangle has exactly one common neighbour.
+        assert local_sensitivity_triangles(triangle_graph) == 1.0
+
+    def test_path_graph_has_common_neighbours(self, path_graph):
+        # Nodes 0 and 2 share neighbour 1.
+        assert local_sensitivity_triangles(path_graph) == 1.0
+
+    def test_empty_graph(self):
+        assert local_sensitivity_triangles(Graph(4)) == 0.0
+
+    def test_distance_bound_monotone(self, triangle_graph):
+        base = local_sensitivity_triangles_at_distance(triangle_graph, 0)
+        one = local_sensitivity_triangles_at_distance(triangle_graph, 1)
+        assert one >= base
+
+    def test_distance_bound_capped_by_n_minus_2(self, triangle_graph):
+        assert local_sensitivity_triangles_at_distance(triangle_graph, 100) == 1.0
+
+
+class TestSmoothSensitivity:
+    def test_value_decays_with_beta(self):
+        low_beta = SmoothSensitivity(beta=0.01).value(lambda t: 1.0 + t)
+        high_beta = SmoothSensitivity(beta=2.0).value(lambda t: 1.0 + t)
+        assert low_beta >= high_beta
+
+    def test_value_at_least_local_sensitivity(self):
+        smoother = SmoothSensitivity(beta=0.5)
+        assert smoother.value(lambda t: 3.0) == pytest.approx(3.0)
+
+    def test_for_epsilon_calibration(self):
+        smoother = SmoothSensitivity.for_epsilon(epsilon=1.0, delta=0.01)
+        assert smoother.beta == pytest.approx(1.0 / (2 * math.log(200.0)))
+
+    def test_value_from_sequence(self):
+        smoother = SmoothSensitivity(beta=1.0, horizon=3)
+        assert smoother.value_from_sequence([2.0, 0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_upper_bound_helper_at_least_local(self):
+        bound = smooth_sensitivity_upper_bound(
+            local_sensitivity=5.0, growth_per_edit=1.0, hard_cap=100.0, beta=0.2
+        )
+        assert bound >= 5.0
+        assert bound <= 100.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SmoothSensitivity(beta=0.0)
+        with pytest.raises(ValueError):
+            SmoothSensitivity(beta=1.0, horizon=0)
+        with pytest.raises(ValueError):
+            SmoothSensitivity.for_epsilon(1.0, delta=1.5)
+
+
+class TestCauchyNoise:
+    def test_scalar_output(self, rng):
+        value = cauchy_noise_for_smooth_sensitivity(1.0, epsilon=1.0, rng=rng)
+        assert isinstance(value, float)
+
+    def test_zero_sensitivity_gives_zero_noise(self, rng):
+        assert cauchy_noise_for_smooth_sensitivity(0.0, epsilon=1.0, rng=rng) == 0.0
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            cauchy_noise_for_smooth_sensitivity(1.0, epsilon=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            cauchy_noise_for_smooth_sensitivity(-1.0, epsilon=1.0, rng=rng)

@@ -1,0 +1,126 @@
+"""Tests for privacy models, guarantees and graph neighbouring relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dp.definitions import (
+    PrivacyGuarantee,
+    PrivacyModel,
+    edge_neighbors,
+    is_edge_neighbor,
+    is_node_neighbor,
+    neighboring_pairs_differ_by,
+    node_neighbors,
+)
+from repro.graphs.graph import Graph
+
+
+class TestPrivacyModel:
+    def test_central_vs_local(self):
+        assert PrivacyModel.EDGE_CDP.is_central
+        assert PrivacyModel.NODE_CDP.is_central
+        assert PrivacyModel.EDGE_LDP.is_local
+        assert PrivacyModel.NODE_LDP.is_local
+
+    def test_protects_nodes(self):
+        assert PrivacyModel.NODE_CDP.protects_nodes
+        assert not PrivacyModel.EDGE_CDP.protects_nodes
+
+    def test_stronger_than_within_trust_model(self):
+        assert PrivacyModel.NODE_CDP.stronger_than(PrivacyModel.EDGE_CDP)
+        assert not PrivacyModel.EDGE_CDP.stronger_than(PrivacyModel.NODE_CDP)
+
+    def test_incomparable_across_trust_models(self):
+        assert not PrivacyModel.NODE_LDP.stronger_than(PrivacyModel.EDGE_CDP)
+
+
+class TestPrivacyGuarantee:
+    def test_pure_guarantee(self):
+        guarantee = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0)
+        assert guarantee.is_pure
+
+    def test_delta_rule_of_thumb(self):
+        guarantee = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0, delta=0.01)
+        assert guarantee.is_meaningful_for(50)  # 0.01 < 1/50? no -> 0.02; check below
+        assert not guarantee.is_meaningful_for(200)
+
+    def test_meaningful_for_requires_positive_users(self):
+        guarantee = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0)
+        with pytest.raises(ValueError):
+            guarantee.is_meaningful_for(0)
+
+    def test_compose_adds_budgets(self):
+        first = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0, delta=0.01)
+        second = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=0.5, delta=0.0)
+        combined = first.compose(second)
+        assert combined.epsilon == 1.5
+        assert combined.delta == 0.01
+
+    def test_compose_rejects_model_mismatch(self):
+        first = PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0)
+        second = PrivacyGuarantee(PrivacyModel.NODE_CDP, epsilon=1.0)
+        with pytest.raises(ValueError):
+            first.compose(second)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivacyGuarantee(PrivacyModel.EDGE_CDP, epsilon=1.0, delta=1.0)
+
+
+class TestNeighbouringRelations:
+    def test_edge_neighbor_by_removal(self, triangle_graph):
+        neighbor = triangle_graph.copy()
+        neighbor.remove_edge(0, 1)
+        assert is_edge_neighbor(triangle_graph, neighbor)
+
+    def test_edge_neighbor_by_addition(self, path_graph):
+        neighbor = path_graph.copy()
+        neighbor.add_edge(0, 4)
+        assert is_edge_neighbor(path_graph, neighbor)
+
+    def test_not_edge_neighbor_when_two_edges_differ(self, triangle_graph):
+        neighbor = triangle_graph.copy()
+        neighbor.remove_edge(0, 1)
+        neighbor.remove_edge(1, 2)
+        assert not is_edge_neighbor(triangle_graph, neighbor)
+
+    def test_not_edge_neighbor_when_sizes_differ(self, triangle_graph):
+        assert not is_edge_neighbor(triangle_graph, Graph(4))
+
+    def test_node_neighbor_isolating_a_node(self, star_graph):
+        neighbor = star_graph.copy()
+        for leaf in range(1, 6):
+            neighbor.remove_edge(0, leaf)
+        assert is_node_neighbor(star_graph, neighbor)
+
+    def test_node_neighbor_rejects_unrelated_changes(self, path_graph):
+        neighbor = path_graph.copy()
+        neighbor.remove_edge(0, 1)
+        neighbor.remove_edge(3, 4)
+        # Differences touch two non-adjacent node pairs; no single node covers both.
+        assert not is_node_neighbor(path_graph, neighbor)
+
+    def test_edge_neighbors_enumeration(self, triangle_graph):
+        neighbors = list(edge_neighbors(triangle_graph))
+        # 3 removals + 0 additions (triangle on 3 nodes is complete).
+        assert len(neighbors) == 3
+        assert all(is_edge_neighbor(triangle_graph, n) for n in neighbors)
+
+    def test_edge_neighbors_limit(self, path_graph):
+        assert len(list(edge_neighbors(path_graph, limit=2))) == 2
+
+    def test_node_neighbors_enumeration(self, triangle_graph):
+        neighbors = list(node_neighbors(triangle_graph))
+        assert len(neighbors) == 3
+        assert all(is_node_neighbor(triangle_graph, n) for n in neighbors)
+
+    def test_differ_by_counts(self, triangle_graph):
+        neighbor = triangle_graph.copy()
+        neighbor.remove_edge(0, 1)
+        neighbor.add_edge(0, 1)  # put it back, then change something else
+        neighbor.remove_edge(1, 2)
+        only_first, only_second = neighboring_pairs_differ_by(triangle_graph, neighbor)
+        assert (only_first, only_second) == (1, 0)

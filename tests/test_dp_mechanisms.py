@@ -1,0 +1,182 @@
+"""Tests for the DP perturbation primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+    laplace_noise,
+)
+
+
+class TestLaplaceNoise:
+    def test_shape(self, rng):
+        noise = laplace_noise(1.0, size=100, rng=rng)
+        assert noise.shape == (100,)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            laplace_noise(0.0)
+
+    def test_mean_and_std_roughly_match(self, rng):
+        noise = laplace_noise(2.0, size=20000, rng=rng)
+        assert abs(noise.mean()) < 0.15
+        # Laplace(b) has std = b * sqrt(2).
+        assert abs(noise.std() - 2.0 * math.sqrt(2)) < 0.2
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        assert LaplaceMechanism(epsilon=2.0, sensitivity=4.0).scale == 2.0
+
+    def test_randomize_scalar_returns_float(self, rng):
+        value = LaplaceMechanism(epsilon=1.0).randomize(10.0, rng=rng)
+        assert isinstance(value, float)
+
+    def test_randomize_array_shape(self, rng):
+        values = LaplaceMechanism(epsilon=1.0).randomize(np.zeros(7), rng=rng)
+        assert values.shape == (7,)
+
+    def test_randomize_count_clamped(self, rng):
+        mechanism = LaplaceMechanism(epsilon=0.01)
+        counts = [mechanism.randomize_count(0, rng=rng) for _ in range(50)]
+        assert all(count >= 0 for count in counts)
+        assert all(isinstance(count, int) for count in counts)
+
+    def test_noise_magnitude_decreases_with_epsilon(self, rng):
+        loose = LaplaceMechanism(epsilon=0.1).randomize(np.zeros(5000), rng=rng)
+        tight = LaplaceMechanism(epsilon=10.0).randomize(np.zeros(5000), rng=rng)
+        assert np.abs(loose).mean() > np.abs(tight).mean()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_deterministic_with_same_seed(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        assert mechanism.randomize(5.0, rng=3) == mechanism.randomize(5.0, rng=3)
+
+
+class TestGeometricMechanism:
+    def test_output_is_integer(self, rng):
+        assert isinstance(GeometricMechanism(epsilon=1.0).randomize(10, rng=rng), int)
+
+    def test_alpha(self):
+        assert GeometricMechanism(epsilon=1.0).alpha == pytest.approx(math.exp(-1.0))
+
+    def test_unbiased(self, rng):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        draws = [mechanism.randomize(100, rng=rng) for _ in range(5000)]
+        assert abs(np.mean(draws) - 100) < 0.5
+
+    def test_higher_epsilon_less_noise(self, rng):
+        noisy = [GeometricMechanism(epsilon=0.1).randomize(0, rng=rng) for _ in range(2000)]
+        quiet = [GeometricMechanism(epsilon=5.0).randomize(0, rng=rng) for _ in range(2000)]
+        assert np.abs(noisy).mean() > np.abs(quiet).mean()
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+        expected = math.sqrt(2 * math.log(1.25 / 1e-5))
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=1.0)
+
+    def test_randomize_array(self, rng):
+        values = GaussianMechanism(epsilon=1.0, delta=0.01).randomize(np.ones(10), rng=rng)
+        assert values.shape == (10,)
+
+    def test_noise_scales_with_sensitivity(self, rng):
+        small = GaussianMechanism(epsilon=1.0, delta=0.01, sensitivity=1.0)
+        large = GaussianMechanism(epsilon=1.0, delta=0.01, sensitivity=10.0)
+        assert large.sigma == pytest.approx(10 * small.sigma)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self):
+        probs = ExponentialMechanism(epsilon=1.0).probabilities([1.0, 2.0, 3.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_higher_score_more_likely(self):
+        probs = ExponentialMechanism(epsilon=2.0).probabilities([0.0, 10.0])
+        assert probs[1] > probs[0]
+
+    def test_uniform_when_scores_equal(self):
+        probs = ExponentialMechanism(epsilon=1.0).probabilities([5.0, 5.0, 5.0])
+        assert np.allclose(probs, 1.0 / 3.0)
+
+    def test_select_index_range(self, rng):
+        mechanism = ExponentialMechanism(epsilon=1.0)
+        index = mechanism.select_index([1.0, 2.0, 3.0], rng=rng)
+        assert index in (0, 1, 2)
+
+    def test_select_with_quality_function(self, rng):
+        mechanism = ExponentialMechanism(epsilon=50.0)
+        chosen = mechanism.select(["a", "bb", "ccc"], quality=len, rng=rng)
+        # With a huge ε the longest candidate is selected almost surely.
+        assert chosen == "ccc"
+
+    def test_empty_scores_raise(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(epsilon=1.0).probabilities([])
+
+    def test_numerical_stability_with_large_scores(self):
+        probs = ExponentialMechanism(epsilon=1.0).probabilities([1e6, 1e6 + 1])
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestRandomizedResponse:
+    def test_keep_probability(self):
+        rr = RandomizedResponse(epsilon=math.log(3))
+        assert rr.keep_probability == pytest.approx(0.75)
+
+    def test_randomize_bit_valid_output(self, rng):
+        rr = RandomizedResponse(epsilon=1.0)
+        assert rr.randomize_bit(0, rng=rng) in (0, 1)
+        assert rr.randomize_bit(1, rng=rng) in (0, 1)
+
+    def test_randomize_bit_rejects_non_binary(self, rng):
+        with pytest.raises(ValueError):
+            RandomizedResponse(epsilon=1.0).randomize_bit(2, rng=rng)
+
+    def test_randomize_bits_vectorised(self, rng):
+        bits = np.zeros(1000, dtype=int)
+        out = RandomizedResponse(epsilon=1.0).randomize_bits(bits, rng=rng)
+        assert out.shape == bits.shape
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_randomize_bits_rejects_non_binary(self, rng):
+        with pytest.raises(ValueError):
+            RandomizedResponse(epsilon=1.0).randomize_bits([0, 2], rng=rng)
+
+    def test_flip_rate_matches_theory(self, rng):
+        epsilon = 1.0
+        rr = RandomizedResponse(epsilon=epsilon)
+        bits = np.ones(20000, dtype=int)
+        out = rr.randomize_bits(bits, rng=rng)
+        observed_keep = out.mean()
+        assert abs(observed_keep - rr.keep_probability) < 0.02
+
+    def test_unbias_mean_recovers_truth(self, rng):
+        rr = RandomizedResponse(epsilon=2.0)
+        true_mean = 0.3
+        bits = (rng.random(50000) < true_mean).astype(int)
+        noisy = rr.randomize_bits(bits, rng=rng)
+        estimate = rr.unbias_mean(float(noisy.mean()))
+        assert abs(estimate - true_mean) < 0.02

@@ -1,0 +1,173 @@
+"""Tests for the basic graph constructor models: ER, BA, degree-sequence, Chung-Lu, SBM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.chung_lu import chung_lu_edge_probability, chung_lu_graph
+from repro.generators.degree_sequence import (
+    configuration_model_graph,
+    havel_hakimi_graph,
+    is_graphical,
+    repair_degree_sequence,
+)
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_gnm_graph,
+    erdos_renyi_gnp_graph,
+)
+from repro.generators.sbm import planted_partition_graph, stochastic_block_model_graph
+from repro.graphs.properties import density
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        graph = erdos_renyi_gnm_graph(50, 100, rng=0)
+        assert graph.num_edges == 100
+
+    def test_gnm_dense_case(self):
+        graph = erdos_renyi_gnm_graph(10, 40, rng=0)
+        assert graph.num_edges == 40
+
+    def test_gnm_rejects_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm_graph(5, 11, rng=0)
+
+    def test_gnm_zero_edges(self):
+        assert erdos_renyi_gnm_graph(10, 0, rng=0).num_edges == 0
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp_graph(10, 0.0, rng=0).num_edges == 0
+        assert erdos_renyi_gnp_graph(6, 1.0, rng=0).num_edges == 15
+
+    def test_gnp_expected_density(self):
+        graph = erdos_renyi_gnp_graph(200, 0.1, rng=0)
+        assert density(graph) == pytest.approx(0.1, abs=0.02)
+
+    def test_gnp_probability_validated(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp_graph(10, 1.5, rng=0)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert_graph(100, 3, rng=0)
+        # Each of the n - m arriving nodes adds exactly m edges.
+        assert graph.num_edges == pytest.approx((100 - 3) * 3, abs=3)
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(300, 2, rng=0)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_m_must_be_smaller_than_n(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3, rng=0)
+
+
+class TestGraphicality:
+    def test_graphical_sequences(self):
+        assert is_graphical([2, 2, 2])
+        assert is_graphical([3, 3, 3, 3])
+        assert is_graphical([])
+
+    def test_non_graphical_sequences(self):
+        assert not is_graphical([1])          # odd sum
+        assert not is_graphical([3, 1, 1])    # Erdos-Gallai violation
+        assert not is_graphical([5, 1, 1, 1]) # degree exceeds n-1
+
+    def test_repair_clamps_and_fixes_parity(self):
+        repaired = repair_degree_sequence([4.7, -2.0, 1.2], num_nodes=3)
+        assert repaired.sum() % 2 == 0
+        assert repaired.max() <= 2
+        assert repaired.min() >= 0
+
+    def test_repair_keeps_graphical_sequence(self):
+        repaired = repair_degree_sequence([2, 2, 2])
+        assert list(repaired) == [2, 2, 2]
+
+
+class TestHavelHakimi:
+    def test_realises_graphical_sequence_exactly(self):
+        degrees = [3, 3, 2, 2, 2]
+        assert is_graphical(degrees)
+        graph = havel_hakimi_graph(degrees)
+        assert sorted(graph.degrees(), reverse=True) == sorted(degrees, reverse=True)
+
+    def test_regular_sequence(self):
+        graph = havel_hakimi_graph([2] * 6)
+        assert all(d == 2 for d in graph.degrees())
+
+    def test_zero_sequence(self):
+        graph = havel_hakimi_graph([0, 0, 0])
+        assert graph.num_edges == 0
+
+    def test_non_graphical_sequence_degrades_gracefully(self):
+        graph = havel_hakimi_graph([5, 1, 1, 1])
+        # Cannot realise the sequence, but must stay a simple graph.
+        assert graph.num_edges <= 4
+        assert all(d <= 3 for d in graph.degrees())
+
+
+class TestConfigurationModel:
+    def test_degree_sums_close(self, rng):
+        degrees = [3, 3, 2, 2, 2, 2]
+        graph = configuration_model_graph(degrees, rng=rng)
+        assert abs(2 * graph.num_edges - sum(degrees)) <= 2
+
+    def test_simple_graph_invariants(self, rng):
+        graph = configuration_model_graph([4] * 20, rng=rng)
+        assert all(u != v for u, v in graph.edges())
+        assert len(graph.edge_set()) == graph.num_edges
+
+    def test_empty_sequence(self, rng):
+        assert configuration_model_graph([], rng=rng).num_nodes == 0
+
+
+class TestChungLu:
+    def test_edge_probability_formula(self):
+        assert chung_lu_edge_probability(3, 4, 24) == 0.5
+        assert chung_lu_edge_probability(10, 10, 10) == 1.0
+        assert chung_lu_edge_probability(1, 1, 0) == 0.0
+
+    def test_expected_degrees_approximately_met(self):
+        weights = [10.0] * 50 + [2.0] * 50
+        totals = []
+        for seed in range(5):
+            graph = chung_lu_graph(weights, rng=seed)
+            totals.append(graph.degrees().mean())
+        expected_mean = np.mean(weights) * (1 - np.mean(weights) / np.sum(weights))
+        assert np.mean(totals) == pytest.approx(np.mean(weights), rel=0.25)
+        assert expected_mean > 0  # sanity on the helper expression itself
+
+    def test_zero_weights_give_empty_graph(self):
+        assert chung_lu_graph([0.0, 0.0, 0.0], rng=0).num_edges == 0
+
+    def test_negative_weights_clipped(self):
+        graph = chung_lu_graph([-5.0, 3.0, 3.0], rng=0)
+        assert graph.degree(0) <= 2  # node with negative weight gets few or no edges
+
+
+class TestSBM:
+    def test_planted_partition_block_structure(self):
+        graph = planted_partition_graph(num_blocks=2, block_size=20, p_in=0.8, p_out=0.02, rng=0)
+        intra = sum(1 for u, v in graph.edges() if (u < 20) == (v < 20))
+        inter = graph.num_edges - intra
+        assert intra > inter
+
+    def test_probability_matrix_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model_graph([2, 2], [[0.5, 0.2], [0.3, 0.5]], rng=0)  # asymmetric
+        with pytest.raises(ValueError):
+            stochastic_block_model_graph([2, 2], [[0.5, 1.2], [1.2, 0.5]], rng=0)  # p > 1
+        with pytest.raises(ValueError):
+            stochastic_block_model_graph([2], [[0.5, 0.5], [0.5, 0.5]], rng=0)  # shape mismatch
+
+    def test_zero_probability_gives_empty_graph(self):
+        graph = stochastic_block_model_graph([5, 5], [[0.0, 0.0], [0.0, 0.0]], rng=0)
+        assert graph.num_edges == 0
+
+    def test_num_nodes_is_sum_of_blocks(self):
+        graph = planted_partition_graph(3, 7, 0.5, 0.1, rng=0)
+        assert graph.num_nodes == 21

@@ -1,0 +1,179 @@
+"""Tests for the richer constructor models: BTER, dK-series, HRG, Kronecker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.bter import bter_graph
+from repro.generators.dk_series import (
+    dk1_series,
+    dk2_distance,
+    dk2_series,
+    degree_sequence_from_dk1,
+    graph_from_dk1,
+    graph_from_dk2,
+)
+from repro.generators.hrg import Dendrogram, fit_dendrogram_mcmc, sample_hrg_graph
+from repro.generators.kronecker import (
+    KroneckerInitiator,
+    fit_kronecker_initiator,
+    sample_kronecker_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import average_clustering_coefficient, triangle_count
+
+
+class TestBTER:
+    def test_roughly_matches_degree_mass(self, rng):
+        degrees = [5] * 30 + [2] * 30
+        graph = bter_graph(degrees, rng=rng)
+        assert graph.num_nodes == 60
+        assert 0.5 * sum(degrees) / 2 <= graph.num_edges <= 1.6 * sum(degrees) / 2
+
+    def test_produces_clustering(self, rng):
+        degrees = [6] * 60
+        graph = bter_graph(degrees, rng=rng)
+        assert average_clustering_coefficient(graph) > 0.05
+
+    def test_zero_degrees(self, rng):
+        graph = bter_graph([0, 0, 0, 0], rng=rng)
+        assert graph.num_edges == 0
+
+    def test_custom_clustering_profile(self, rng):
+        flat = bter_graph([5] * 40, clustering_profile=lambda d: 0.0, rng=rng)
+        clustered = bter_graph([5] * 40, clustering_profile=lambda d: 0.9, rng=rng)
+        assert average_clustering_coefficient(clustered) >= average_clustering_coefficient(flat)
+
+    def test_empty_input(self, rng):
+        assert bter_graph([], rng=rng).num_nodes == 0
+
+
+class TestDkSeries:
+    def test_dk1_counts_nodes(self, star_graph):
+        series = dk1_series(star_graph)
+        assert series == {1: 5, 5: 1}
+
+    def test_dk2_counts_edges(self, star_graph):
+        series = dk2_series(star_graph)
+        assert series == {(1, 5): 5}
+
+    def test_dk2_triangle(self, triangle_graph):
+        assert dk2_series(triangle_graph) == {(2, 2): 3}
+
+    def test_degree_sequence_from_dk1(self):
+        sequence = degree_sequence_from_dk1({2: 3, 1: 2}, num_nodes=6)
+        assert sorted(sequence, reverse=True) == [2, 2, 2, 1, 1, 0]
+
+    def test_graph_from_dk1_reproduces_distribution(self, medium_ba_graph):
+        series = dk1_series(medium_ba_graph)
+        rebuilt = graph_from_dk1(series, num_nodes=medium_ba_graph.num_nodes)
+        # Havel-Hakimi on the exact series reproduces the degree sequence.
+        assert sorted(rebuilt.degrees()) == sorted(medium_ba_graph.degrees())
+
+    def test_graph_from_dk2_preserves_edge_count_roughly(self, karate_like_graph):
+        series = dk2_series(karate_like_graph)
+        rebuilt = graph_from_dk2(series, num_nodes=karate_like_graph.num_nodes, rng=0)
+        assert rebuilt.num_edges == pytest.approx(karate_like_graph.num_edges, rel=0.35)
+
+    def test_dk2_distance_zero_for_identical(self, triangle_graph):
+        series = dk2_series(triangle_graph)
+        assert dk2_distance(series, dict(series)) == 0.0
+
+    def test_dk2_distance_symmetric_difference(self):
+        assert dk2_distance({(1, 1): 2}, {(1, 1): 5, (2, 2): 1}) == 4.0
+
+
+class TestDendrogram:
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            Dendrogram(Graph(1), rng=0)
+
+    def test_internal_node_count(self, karate_like_graph):
+        dendrogram = Dendrogram(karate_like_graph, rng=0)
+        assert dendrogram.num_internal == karate_like_graph.num_nodes - 1
+
+    def test_leaves_partition_the_nodes(self, karate_like_graph):
+        dendrogram = Dendrogram(karate_like_graph, rng=0)
+        root = max(node.index for node in dendrogram.internal_nodes())
+        # The root's left and right subtrees partition all leaves.
+        internal = {node.index: node for node in dendrogram.internal_nodes()}
+        root_node = internal[root]
+        left = set(dendrogram.leaves_under(root_node.left))
+        right = set(dendrogram.leaves_under(root_node.right))
+        assert left | right == set(range(karate_like_graph.num_nodes))
+        assert not (left & right)
+
+    def test_log_likelihood_is_finite_and_nonpositive(self, karate_like_graph):
+        dendrogram = Dendrogram(karate_like_graph, rng=0)
+        assert np.isfinite(dendrogram.log_likelihood)
+        assert dendrogram.log_likelihood <= 0.0
+
+    def test_swap_delta_matches_apply(self, karate_like_graph, rng):
+        dendrogram = Dendrogram(karate_like_graph, rng=0)
+        move = dendrogram.propose_swap(rng=rng)
+        predicted = dendrogram.swap_log_likelihood_delta(move)
+        before = dendrogram.log_likelihood
+        applied = dendrogram.apply_swap(move)
+        assert applied == pytest.approx(predicted)
+        assert dendrogram.log_likelihood == pytest.approx(before + predicted)
+
+    def test_mcmc_does_not_decrease_likelihood_much(self, karate_like_graph):
+        initial = Dendrogram(karate_like_graph, rng=0).log_likelihood
+        fitted = fit_dendrogram_mcmc(karate_like_graph, num_steps=300, rng=0)
+        assert fitted.log_likelihood >= initial - 1e-6
+
+    def test_sample_hrg_graph_size(self, karate_like_graph):
+        dendrogram = fit_dendrogram_mcmc(karate_like_graph, num_steps=100, rng=0)
+        sample = sample_hrg_graph(dendrogram, rng=0)
+        assert sample.num_nodes == karate_like_graph.num_nodes
+        assert sample.num_edges > 0
+
+    def test_theta_overrides_respected(self, karate_like_graph):
+        dendrogram = fit_dendrogram_mcmc(karate_like_graph, num_steps=50, rng=0)
+        overrides = {node.index: 0.0 for node in dendrogram.internal_nodes()}
+        empty = sample_hrg_graph(dendrogram, rng=0, theta_overrides=overrides)
+        assert empty.num_edges == 0
+
+
+class TestKronecker:
+    def test_initiator_validation(self):
+        with pytest.raises(ValueError):
+            KroneckerInitiator(1.2, 0.5, 0.3)
+
+    def test_graph_size_is_power_of_two(self):
+        assert KroneckerInitiator(0.9, 0.5, 0.2).graph_size(5) == 32
+
+    def test_expected_edges_grow_with_entries(self):
+        small = KroneckerInitiator(0.5, 0.3, 0.2)
+        large = KroneckerInitiator(0.9, 0.6, 0.5)
+        assert large.expected_edges(6) > small.expected_edges(6)
+
+    def test_expected_statistics_positive(self):
+        initiator = KroneckerInitiator(0.9, 0.5, 0.3)
+        assert initiator.expected_wedges(5) > 0
+        assert initiator.expected_triangles(5) > 0
+
+    def test_fit_and_sample_roundtrip(self, medium_ba_graph):
+        initiator, k = fit_kronecker_initiator(medium_ba_graph, grid_points=8, refine_rounds=1)
+        assert 2 ** k >= medium_ba_graph.num_nodes
+        sample = sample_kronecker_graph(
+            initiator, k, num_nodes=medium_ba_graph.num_nodes, rng=0,
+            num_edges=medium_ba_graph.num_edges,
+        )
+        assert sample.num_nodes == medium_ba_graph.num_nodes
+        assert sample.num_edges == pytest.approx(medium_ba_graph.num_edges, rel=0.25)
+
+    def test_sample_rejects_oversized_universe(self):
+        initiator = KroneckerInitiator(0.9, 0.5, 0.2)
+        with pytest.raises(ValueError):
+            sample_kronecker_graph(initiator, k=3, num_nodes=20, rng=0)
+
+    def test_sample_zero_edges(self):
+        initiator = KroneckerInitiator(0.9, 0.5, 0.2)
+        graph = sample_kronecker_graph(initiator, k=4, rng=0, num_edges=0)
+        assert graph.num_edges == 0
+
+    def test_fit_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            fit_kronecker_initiator(Graph(1))

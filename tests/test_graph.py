@@ -1,0 +1,163 @@
+"""Tests for the core Graph type."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edge_list_infers_size(self):
+        graph = Graph.from_edge_list([(0, 3), (1, 2)])
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 2
+
+    def test_from_edge_list_explicit_size(self):
+        graph = Graph.from_edge_list([(0, 1)], num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_from_networkx_relabels(self):
+        nx_graph = nx.Graph([("a", "b"), ("b", "c")])
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_from_dense_adjacency(self):
+        matrix = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        graph = Graph.from_adjacency_matrix(matrix)
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+
+    def test_from_sparse_adjacency(self):
+        matrix = sp.csr_matrix(np.array([[0, 1], [1, 0]]))
+        graph = Graph.from_adjacency_matrix(matrix)
+        assert graph.num_edges == 1
+
+    def test_from_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Graph.from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(0, 1)
+        assert triangle_graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestMutation:
+    def test_add_edge(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_add_edge_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph(3).add_edge(1, 1)
+
+    def test_add_edge_rejects_duplicate(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 0)
+
+    def test_add_edge_allow_existing(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1, allow_existing=True)
+        assert graph.num_edges == 1
+
+    def test_add_edge_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(3).add_edge(0, 3)
+
+    def test_add_edges_from_skips_duplicates_and_loops(self):
+        graph = Graph(4)
+        added = graph.add_edges_from([(0, 1), (1, 0), (2, 2), (2, 3)])
+        assert added == 2
+        assert graph.num_edges == 2
+
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge(0, 1)
+        assert not triangle_graph.has_edge(0, 1)
+        assert triangle_graph.num_edges == 2
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3).remove_edge(0, 1)
+
+
+class TestAccessors:
+    def test_degrees(self, star_graph):
+        degrees = star_graph.degrees()
+        assert degrees[0] == 5
+        assert all(degrees[i] == 1 for i in range(1, 6))
+
+    def test_degree_single(self, star_graph):
+        assert star_graph.degree(0) == 5
+
+    def test_neighbors(self, triangle_graph):
+        assert set(triangle_graph.neighbors(0)) == {1, 2}
+
+    def test_edges_are_ordered_pairs(self, triangle_graph):
+        assert all(u < v for u, v in triangle_graph.edges())
+
+    def test_edge_set(self, path_graph):
+        assert path_graph.edge_set() == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_equality(self, triangle_graph):
+        same = Graph.from_edge_list([(0, 2), (0, 1), (1, 2)], num_nodes=3)
+        assert triangle_graph == same
+        different = Graph.from_edge_list([(0, 1)], num_nodes=3)
+        assert triangle_graph != different
+
+    def test_repr(self, triangle_graph):
+        assert "num_nodes=3" in repr(triangle_graph)
+
+
+class TestConversions:
+    def test_to_networkx_roundtrip(self, karate_like_graph):
+        nx_graph = karate_like_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == karate_like_graph.num_nodes
+        assert nx_graph.number_of_edges() == karate_like_graph.num_edges
+        back = Graph.from_networkx(nx_graph)
+        assert back.num_edges == karate_like_graph.num_edges
+
+    def test_to_adjacency_matrix_symmetric(self, triangle_graph):
+        matrix = triangle_graph.to_adjacency_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * triangle_graph.num_edges
+
+    def test_to_sparse_adjacency(self, path_graph):
+        sparse = path_graph.to_sparse_adjacency()
+        assert sparse.shape == (5, 5)
+        assert sparse.nnz == 2 * path_graph.num_edges
+
+    def test_adjacency_lists_are_copies(self, triangle_graph):
+        lists = triangle_graph.adjacency_lists()
+        lists[0].clear()
+        assert set(triangle_graph.neighbors(0)) == {1, 2}
+
+    def test_subgraph_relabels(self, path_graph):
+        sub = path_graph.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_subgraph_excludes_outside_edges(self, star_graph):
+        sub = star_graph.subgraph([1, 2, 3])
+        assert sub.num_edges == 0

@@ -1,0 +1,133 @@
+"""Tests for edge-list I/O, the synthetic dataset generators and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import synth
+from repro.graphs.datasets import (
+    PGB_DATASET_NAMES,
+    get_dataset,
+    list_datasets,
+    load_dataset,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import parse_edge_lines, read_edge_list, write_edge_list
+from repro.graphs.properties import average_clustering_coefficient, density
+
+
+class TestEdgeListIO:
+    def test_parse_skips_comments_and_blanks(self):
+        lines = ["# comment", "", "0 1", "1,2", "% another", "2 3"]
+        assert parse_edge_lines(lines) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_edge_lines(["justonetoken"])
+
+    def test_roundtrip(self, tmp_path, karate_like_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(karate_like_graph, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == karate_like_graph.num_edges
+
+    def test_read_relabels_sparse_ids(self, tmp_path):
+        path = tmp_path / "gap.txt"
+        path.write_text("10 20\n20 30\n")
+        graph = read_edge_list(path, relabel=True)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_read_without_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "ids.txt"
+        path.write_text("0 1\n3 4\n")
+        graph = read_edge_list(path, relabel=False)
+        assert graph.num_nodes == 5
+
+
+class TestSyntheticGenerators:
+    def test_road_network_is_sparse_and_unclustered(self):
+        graph = synth.road_network(scale=0.3, rng=0)
+        assert density(graph) < 0.02
+        assert average_clustering_coefficient(graph) < 0.1
+
+    def test_social_graph_is_clustered(self):
+        graph = synth.social_community_graph(scale=0.05, rng=0)
+        assert average_clustering_coefficient(graph) > 0.3
+
+    def test_collaboration_graph_is_highly_clustered(self):
+        graph = synth.collaboration_graph(scale=0.03, rng=0)
+        assert average_clustering_coefficient(graph) > 0.4
+
+    def test_core_periphery_graph_size(self):
+        graph = synth.core_periphery_graph(scale=0.05, rng=0)
+        assert graph.num_nodes > 100
+        assert graph.num_edges > graph.num_nodes
+
+    def test_economic_graph_is_very_sparse(self):
+        graph = synth.sparse_economic_graph(scale=0.05, rng=0)
+        assert graph.num_edges < 3 * graph.num_nodes
+
+    def test_p2p_graph_has_negligible_clustering(self):
+        graph = synth.peer_to_peer_graph(scale=0.05, rng=0)
+        assert average_clustering_coefficient(graph) < 0.05
+
+    def test_er_and_ba_benchmarks(self):
+        er = synth.er_benchmark_graph(scale=0.03, rng=0)
+        ba = synth.ba_benchmark_graph(scale=0.03, rng=0)
+        assert er.num_nodes == ba.num_nodes == 300
+        assert er.num_edges > ba.num_edges
+
+    def test_grqc_like_graph(self):
+        graph = synth.grqc_like_graph(scale=0.05, rng=0)
+        assert graph.num_nodes > 100
+        assert average_clustering_coefficient(graph) > 0.3
+
+    def test_generators_are_deterministic_given_seed(self):
+        first = synth.social_community_graph(scale=0.03, rng=42)
+        second = synth.social_community_graph(scale=0.03, rng=42)
+        assert first.edge_set() == second.edge_set()
+
+
+class TestDatasetRegistry:
+    def test_eight_benchmark_datasets(self):
+        assert len(PGB_DATASET_NAMES) == 8
+        assert set(list_datasets()) == set(PGB_DATASET_NAMES)
+
+    def test_verification_dataset_listed_on_request(self):
+        assert "ca-grqc" in list_datasets(include_verification=True)
+        assert "ca-grqc" not in list_datasets()
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("Facebook").name == "facebook"
+
+    def test_get_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("no-such-graph")
+
+    def test_every_dataset_loads_at_small_scale(self):
+        for name in PGB_DATASET_NAMES:
+            graph = load_dataset(name, scale=0.02, seed=0)
+            assert isinstance(graph, Graph)
+            assert graph.num_nodes >= 4
+
+    def test_domains_cover_the_seven_paper_types(self):
+        domains = {get_dataset(name).domain for name in PGB_DATASET_NAMES}
+        assert domains == {
+            "traffic", "social", "web", "academic", "financial", "technology", "synthetic",
+        }
+
+    def test_load_dataset_is_cached(self):
+        first = load_dataset("ba", scale=0.02, seed=0)
+        second = load_dataset("ba", scale=0.02, seed=0)
+        assert first is second
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_dataset("ba").load(scale=0.0)
+
+    def test_paper_statistics_recorded(self):
+        info = get_dataset("facebook")
+        assert info.paper_num_nodes == 4039
+        assert info.paper_num_edges == 88234
+        assert info.paper_acc == pytest.approx(0.6055)

@@ -1,0 +1,144 @@
+"""Tests for structural graph properties, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    average_clustering_coefficient,
+    average_degree,
+    bfs_distances,
+    connected_components,
+    degree_assortativity,
+    degree_distribution,
+    degree_histogram,
+    degree_variance,
+    density,
+    global_clustering_coefficient,
+    largest_connected_component,
+    local_clustering_coefficients,
+    max_degree,
+    summarize,
+    triangle_count,
+    triangles_per_node,
+)
+
+
+class TestBasicProperties:
+    def test_density_triangle(self, triangle_graph):
+        assert density(triangle_graph) == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        assert density(Graph(1)) == 0.0
+
+    def test_average_degree(self, star_graph):
+        assert average_degree(star_graph) == pytest.approx(10 / 6)
+
+    def test_degree_variance_regular_graph_is_zero(self, triangle_graph):
+        assert degree_variance(triangle_graph) == 0.0
+
+    def test_max_degree(self, star_graph):
+        assert max_degree(star_graph) == 5
+
+    def test_degree_histogram(self, star_graph):
+        histogram = degree_histogram(star_graph)
+        assert histogram[1] == 5
+        assert histogram[5] == 1
+
+    def test_degree_distribution_sums_to_one(self, medium_ba_graph):
+        assert degree_distribution(medium_ba_graph).sum() == pytest.approx(1.0)
+
+
+class TestTriangleAndClustering:
+    def test_triangle_count_triangle(self, triangle_graph):
+        assert triangle_count(triangle_graph) == 1
+
+    def test_triangle_count_path(self, path_graph):
+        assert triangle_count(path_graph) == 0
+
+    def test_triangle_count_matches_networkx(self, medium_er_graph):
+        expected = sum(nx.triangles(medium_er_graph.to_networkx()).values()) // 3
+        assert triangle_count(medium_er_graph) == expected
+
+    def test_triangles_per_node_matches_networkx(self, karate_like_graph):
+        expected = nx.triangles(karate_like_graph.to_networkx())
+        computed = triangles_per_node(karate_like_graph)
+        assert all(computed[node] == expected[node] for node in range(karate_like_graph.num_nodes))
+
+    def test_local_clustering_matches_networkx(self, karate_like_graph):
+        expected = nx.clustering(karate_like_graph.to_networkx())
+        computed = local_clustering_coefficients(karate_like_graph)
+        for node in range(karate_like_graph.num_nodes):
+            assert computed[node] == pytest.approx(expected[node])
+
+    def test_average_clustering_matches_networkx(self, medium_ba_graph):
+        expected = nx.average_clustering(medium_ba_graph.to_networkx())
+        assert average_clustering_coefficient(medium_ba_graph) == pytest.approx(expected)
+
+    def test_global_clustering_matches_networkx(self, medium_ba_graph):
+        expected = nx.transitivity(medium_ba_graph.to_networkx())
+        assert global_clustering_coefficient(medium_ba_graph) == pytest.approx(expected)
+
+    def test_global_clustering_no_triples(self):
+        graph = Graph.from_edge_list([(0, 1)])
+        assert global_clustering_coefficient(graph) == 0.0
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, medium_ba_graph):
+        expected = nx.degree_assortativity_coefficient(medium_ba_graph.to_networkx())
+        assert degree_assortativity(medium_ba_graph) == pytest.approx(expected, abs=1e-8)
+
+    def test_empty_graph(self):
+        assert degree_assortativity(Graph(5)) == 0.0
+
+    def test_regular_graph_degenerate(self, triangle_graph):
+        # All degrees equal → zero variance → defined as 0 by convention.
+        assert degree_assortativity(triangle_graph) == 0.0
+
+
+class TestComponentsAndDistances:
+    def test_connected_components_path(self, path_graph):
+        components = connected_components(path_graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2, 3, 4]
+
+    def test_connected_components_with_isolates(self):
+        graph = Graph.from_edge_list([(0, 1)], num_nodes=4)
+        components = connected_components(graph)
+        assert len(components) == 3
+
+    def test_largest_connected_component(self):
+        graph = Graph.from_edge_list([(0, 1), (1, 2), (3, 4)], num_nodes=6)
+        assert sorted(largest_connected_component(graph)) == [0, 1, 2]
+
+    def test_bfs_distances_path(self, path_graph):
+        distances = bfs_distances(path_graph, 0)
+        assert list(distances) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable_marked_minus_one(self):
+        graph = Graph.from_edge_list([(0, 1)], num_nodes=3)
+        distances = bfs_distances(graph, 0)
+        assert distances[2] == -1
+
+    def test_bfs_matches_networkx(self, karate_like_graph):
+        expected = nx.single_source_shortest_path_length(karate_like_graph.to_networkx(), 0)
+        computed = bfs_distances(karate_like_graph, 0)
+        for node, distance in expected.items():
+            assert computed[node] == distance
+
+
+class TestSummarize:
+    def test_contains_table6_columns(self, karate_like_graph):
+        summary = summarize(karate_like_graph)
+        assert set(summary) == {
+            "num_nodes",
+            "num_edges",
+            "density",
+            "average_degree",
+            "average_clustering_coefficient",
+        }
+        assert summary["num_nodes"] == karate_like_graph.num_nodes

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full pipeline from datasets through
+algorithms to aggregated report tables, on reduced-scale inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BenchmarkSpec,
+    get_algorithm,
+    load_dataset,
+    make_default_algorithms,
+    make_default_queries,
+    run_benchmark,
+)
+from repro.core.aggregate import best_count_by_dataset, best_count_by_query
+from repro.core.report import (
+    render_best_count_table,
+    render_per_query_table,
+    render_summary,
+)
+from repro.core.spec import PGB_EPSILONS
+
+
+class TestFullPipelineSmall:
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = BenchmarkSpec(
+            algorithms=("tmf", "dgg", "privgraph"),
+            datasets=("minnesota", "facebook", "ba"),
+            epsilons=(0.5, 5.0),
+            queries=(
+                "num_edges",
+                "average_degree",
+                "degree_distribution",
+                "global_clustering",
+                "modularity",
+            ),
+            repetitions=2,
+            scale=0.03,
+            seed=11,
+        )
+        return run_benchmark(spec)
+
+    def test_every_cell_present(self, results):
+        assert len(results.cells) == 3 * 3 * 2 * 5
+
+    def test_definition5_table_renders(self, results):
+        counts = best_count_by_dataset(results)
+        assert sum(counts.values()) >= 2 * 3 * 5  # at least one winner per query cell
+        text = render_best_count_table(results)
+        assert "facebook" in text
+
+    def test_definition6_table_renders(self, results):
+        counts = best_count_by_query(results)
+        text = render_per_query_table(results)
+        assert "Q13" in text
+        assert sum(counts.values()) >= 2 * 3 * 5
+
+    def test_summary_mentions_experiment_count(self, results):
+        assert str(results.spec.num_experiments) in render_summary(results)
+
+    def test_epsilon_trend_for_tmf_edge_count(self, results):
+        """More budget → TmF's edge-count error should not get dramatically worse."""
+        low = [cell.error for cell in results.filter(algorithm="tmf", epsilon=0.5, query="num_edges")]
+        high = [cell.error for cell in results.filter(algorithm="tmf", epsilon=5.0, query="num_edges")]
+        assert sum(high) <= sum(low) + 0.5
+
+
+class TestPaperShapeChecks:
+    """Scaled-down sanity checks of the headline findings in Section VI."""
+
+    def test_all_six_algorithms_run_on_one_dataset(self):
+        graph = load_dataset("facebook", scale=0.02, seed=0)
+        for algorithm in make_default_algorithms():
+            synthetic = algorithm.generate_graph(graph, epsilon=1.0, rng=0)
+            assert synthetic.num_nodes == graph.num_nodes
+
+    def test_tmf_beats_small_budget_self_on_edges(self):
+        """TmF's edge count error shrinks when ε grows from 0.1 to 10 (Table VII trend)."""
+        graph = load_dataset("gnutella", scale=0.02, seed=0)
+        tmf = get_algorithm("tmf")
+        errors = {}
+        for epsilon in (0.1, 10.0):
+            synthetic = tmf.generate_graph(graph, epsilon=epsilon, rng=3)
+            errors[epsilon] = abs(synthetic.num_edges - graph.num_edges) / graph.num_edges
+        assert errors[10.0] <= errors[0.1] + 0.05
+
+    def test_dgg_preserves_clustering_on_social_graph(self):
+        """DGG (BTER-based) keeps clustering in the right order of magnitude on
+        high-ACC graphs, which is why it wins cases on Facebook in the paper."""
+        from repro.graphs.properties import average_clustering_coefficient
+
+        graph = load_dataset("facebook", scale=0.02, seed=0)
+        synthetic = get_algorithm("dgg").generate_graph(graph, epsilon=2.0, rng=0)
+        true_acc = average_clustering_coefficient(graph)
+        synthetic_acc = average_clustering_coefficient(synthetic)
+        assert synthetic_acc > 0.05 * true_acc
+
+    def test_default_epsilon_grid_matches_paper(self):
+        assert PGB_EPSILONS == (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+    def test_queries_and_algorithms_count_matches_paper(self):
+        assert len(make_default_queries()) == 15
+        assert len(make_default_algorithms()) == 6

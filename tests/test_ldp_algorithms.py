@@ -1,0 +1,118 @@
+"""Tests for the Edge-LDP generators (LDPGen, randomized neighbour lists)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.ldp import LDPGen, RandomizedNeighborLists
+from repro.algorithms.registry import LDP_ALGORITHM_NAMES, get_algorithm
+from repro.core.spec import BenchmarkSpec, SpecValidationError
+from repro.dp.definitions import PrivacyModel
+from repro.graphs.graph import Graph
+
+
+class TestLDPGen:
+    def test_declares_edge_ldp(self):
+        assert LDPGen().privacy_model is PrivacyModel.EDGE_LDP
+
+    def test_preserves_node_universe(self, karate_like_graph):
+        synthetic = LDPGen().generate_graph(karate_like_graph, epsilon=2.0, rng=0)
+        assert synthetic.num_nodes == karate_like_graph.num_nodes
+
+    def test_budget_fully_spent(self, karate_like_graph):
+        result = LDPGen().generate(karate_like_graph, epsilon=1.0, rng=0)
+        assert sum(result.budget_ledger.values()) == pytest.approx(1.0)
+        assert set(result.budget_ledger) == {"coarse_degrees", "refined_degrees"}
+
+    def test_deterministic_given_seed(self, karate_like_graph):
+        first = LDPGen().generate_graph(karate_like_graph, epsilon=1.0, rng=5)
+        second = LDPGen().generate_graph(karate_like_graph, epsilon=1.0, rng=5)
+        assert first.edge_set() == second.edge_set()
+
+    def test_high_budget_preserves_edge_mass(self, karate_like_graph):
+        synthetic = LDPGen().generate_graph(karate_like_graph, epsilon=50.0, rng=0)
+        assert synthetic.num_edges == pytest.approx(karate_like_graph.num_edges, rel=0.6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LDPGen(num_clusters=0)
+        with pytest.raises(ValueError):
+            LDPGen(first_round_fraction=1.0)
+
+    def test_diagnostics_report_clusters(self, karate_like_graph):
+        result = LDPGen(num_clusters=4).generate(karate_like_graph, epsilon=1.0, rng=0)
+        assert 1 <= result.diagnostics["num_clusters"] <= 4
+
+
+class TestRandomizedNeighborLists:
+    def test_declares_edge_ldp(self):
+        assert RandomizedNeighborLists().privacy_model is PrivacyModel.EDGE_LDP
+
+    def test_output_is_simple_graph(self, karate_like_graph):
+        synthetic = RandomizedNeighborLists().generate_graph(karate_like_graph, epsilon=1.0, rng=0)
+        assert synthetic.num_nodes == karate_like_graph.num_nodes
+        assert all(u != v for u, v in synthetic.edges())
+
+    def test_high_budget_recovers_most_true_edges(self, karate_like_graph):
+        synthetic = RandomizedNeighborLists().generate_graph(karate_like_graph, epsilon=20.0, rng=0)
+        overlap = len(synthetic.edge_set() & karate_like_graph.edge_set())
+        assert overlap >= 0.8 * karate_like_graph.num_edges
+
+    def test_small_budget_output_much_noisier(self, karate_like_graph):
+        tight = RandomizedNeighborLists().generate_graph(karate_like_graph, epsilon=20.0, rng=0)
+        loose = RandomizedNeighborLists().generate_graph(karate_like_graph, epsilon=0.1, rng=0)
+        true_edges = karate_like_graph.edge_set()
+        tight_overlap = len(tight.edge_set() & true_edges) / max(tight.num_edges, 1)
+        loose_overlap = len(loose.edge_set() & true_edges) / max(loose.num_edges, 1)
+        assert tight_overlap >= loose_overlap
+
+    def test_refuses_oversized_graph(self):
+        generator = RandomizedNeighborLists(max_nodes=10)
+        with pytest.raises(ValueError):
+            generator.generate(Graph(11, [(0, 1)]), epsilon=1.0, rng=0)
+
+    def test_diagnostics_contain_estimates(self, karate_like_graph):
+        result = RandomizedNeighborLists().generate(karate_like_graph, epsilon=1.0, rng=0)
+        assert "reported_edges" in result.diagnostics
+        assert "estimated_true_edges" in result.diagnostics
+
+
+class TestPrincipleM1Enforcement:
+    def test_registry_exposes_ldp_names(self):
+        assert LDP_ALGORITHM_NAMES == ("ldpgen", "rnl")
+        for name in LDP_ALGORITHM_NAMES:
+            assert get_algorithm(name).privacy_model is PrivacyModel.EDGE_LDP
+
+    def test_spec_rejects_mixed_privacy_models(self):
+        with pytest.raises(SpecValidationError, match="M1"):
+            BenchmarkSpec(
+                algorithms=("tmf", "ldpgen"),
+                datasets=("ba",),
+                epsilons=(1.0,),
+                queries=("num_edges",),
+                repetitions=1,
+                scale=0.02,
+            )
+
+    def test_spec_allows_pure_ldp_lineup(self):
+        spec = BenchmarkSpec(
+            algorithms=LDP_ALGORITHM_NAMES,
+            datasets=("ba",),
+            epsilons=(1.0,),
+            queries=("num_edges",),
+            repetitions=1,
+            scale=0.02,
+        )
+        assert spec.num_experiments == 2
+
+    def test_mixed_models_allowed_when_not_strict(self):
+        spec = BenchmarkSpec(
+            algorithms=("tmf", "ldpgen"),
+            datasets=("ba",),
+            epsilons=(1.0,),
+            queries=("num_edges",),
+            repetitions=1,
+            scale=0.02,
+            strict=False,
+        )
+        assert len(spec.make_algorithms()) == 2

@@ -1,0 +1,126 @@
+"""Tests for the error metrics (E1-E11) and the metric registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.distribution import (
+    hellinger_distance,
+    kl_divergence,
+    kolmogorov_smirnov_statistic,
+    total_variation_distance,
+)
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    relative_error,
+)
+from repro.metrics.registry import METRIC_REGISTRY, get_metric, list_metrics
+
+
+class TestScalarErrors:
+    def test_relative_error_basic(self):
+        assert relative_error(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_relative_error_exact(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_relative_error_zero_truth_falls_back_to_absolute(self):
+        assert relative_error(0.0, 3.0) == 3.0
+
+    def test_relative_error_symmetric_in_magnitude(self):
+        assert relative_error(10.0, 12.0) == relative_error(10.0, 8.0)
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+        assert mean_relative_error([2.0, 2.0], [1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_mean_relative_error_zero_truth(self):
+        assert mean_relative_error([0.0, 0.0], [1.0, 1.0]) == 1.0
+
+    def test_mean_relative_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [1.0, 2.0])
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_empty_vectors(self):
+        assert mean_absolute_error([], []) == 0.0
+        assert mean_squared_error([], []) == 0.0
+        assert mean_relative_error([], []) == 0.0
+
+
+class TestDistributionMetrics:
+    def test_kl_identical_is_near_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_positive_for_different(self):
+        assert kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0.5
+
+    def test_kl_handles_zero_bins(self):
+        value = kl_divergence([1.0, 0.0], [0.5, 0.5])
+        assert np.isfinite(value)
+
+    def test_kl_handles_different_lengths(self):
+        value = kl_divergence([0.5, 0.5], [0.3, 0.3, 0.4])
+        assert np.isfinite(value) and value > 0
+
+    def test_kl_accepts_unnormalised_histograms(self):
+        assert kl_divergence([2, 3, 5], [0.2, 0.3, 0.5]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance([1, 0], [1, 0]) == pytest.approx(0.0)
+        assert hellinger_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_hellinger_symmetric(self):
+        assert hellinger_distance([0.3, 0.7], [0.6, 0.4]) == pytest.approx(
+            hellinger_distance([0.6, 0.4], [0.3, 0.7]))
+
+    def test_ks_statistic(self):
+        assert kolmogorov_smirnov_statistic([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert kolmogorov_smirnov_statistic([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_total_variation(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence([-0.1, 1.1], [0.5, 0.5])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            hellinger_distance([[0.5], [0.5]], [0.5, 0.5])
+
+
+class TestMetricRegistry:
+    def test_all_eleven_paper_metrics_registered(self):
+        codes = {metric.code for metric in METRIC_REGISTRY.values()}
+        assert codes == {f"E{i}" for i in range(1, 12)}
+
+    def test_lookup_by_name_and_code(self):
+        assert get_metric("re").code == "E1"
+        assert get_metric("E11").name == "nmi"
+        assert get_metric("NMI").name == "nmi"
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            get_metric("nope")
+
+    def test_list_metrics(self):
+        assert "re" in list_metrics()
+        assert len(list_metrics()) == 11
+
+    def test_metric_info_callable(self):
+        assert get_metric("re")(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_direction_flags(self):
+        assert get_metric("nmi").higher_is_better
+        assert not get_metric("re").higher_is_better
+        assert not get_metric("kl").higher_is_better

@@ -1,0 +1,157 @@
+"""Tests for the Node-CDP generators and the closed-form utility module."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.node_dp import (
+    NodeDPDegreeHistogram,
+    NodeDPEdgeCount,
+    project_to_max_degree,
+)
+from repro.core.spec import BenchmarkSpec, SpecValidationError
+from repro.core.theory import (
+    expected_degree_histogram_l1_error,
+    expected_edge_count_relative_error,
+    laplace_expected_absolute_error,
+    randomized_response_density_blowup,
+    randomized_response_false_positive_edges,
+    smooth_vs_global_noise_ratio,
+)
+from repro.dp.definitions import PrivacyModel
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.graphs.graph import Graph
+
+
+class TestProjection:
+    def test_caps_every_degree(self, star_graph):
+        projected = project_to_max_degree(star_graph, theta=2)
+        assert projected.degrees().max() <= 2
+
+    def test_no_change_when_theta_large(self, karate_like_graph):
+        projected = project_to_max_degree(karate_like_graph, theta=1000)
+        assert projected.edge_set() == karate_like_graph.edge_set()
+
+    def test_projection_is_deterministic(self, karate_like_graph):
+        first = project_to_max_degree(karate_like_graph, theta=3)
+        second = project_to_max_degree(karate_like_graph, theta=3)
+        assert first.edge_set() == second.edge_set()
+
+    def test_projection_only_removes_edges(self, karate_like_graph):
+        projected = project_to_max_degree(karate_like_graph, theta=3)
+        assert projected.edge_set() <= karate_like_graph.edge_set()
+
+    def test_invalid_theta(self, triangle_graph):
+        with pytest.raises(ValueError):
+            project_to_max_degree(triangle_graph, theta=0)
+
+
+class TestNodeDPGenerators:
+    @pytest.mark.parametrize("generator_class", [NodeDPDegreeHistogram, NodeDPEdgeCount])
+    def test_declares_node_cdp(self, generator_class):
+        assert generator_class().privacy_model is PrivacyModel.NODE_CDP
+
+    @pytest.mark.parametrize("generator_class", [NodeDPDegreeHistogram, NodeDPEdgeCount])
+    def test_generates_simple_graph_on_same_universe(self, generator_class, karate_like_graph):
+        synthetic = generator_class(theta=8).generate_graph(karate_like_graph, epsilon=2.0, rng=0)
+        assert synthetic.num_nodes == karate_like_graph.num_nodes
+        assert all(u != v for u, v in synthetic.edges())
+
+    @pytest.mark.parametrize("generator_class", [NodeDPDegreeHistogram, NodeDPEdgeCount])
+    def test_budget_fully_spent(self, generator_class, karate_like_graph):
+        result = generator_class(theta=8).generate(karate_like_graph, epsilon=1.0, rng=0)
+        assert sum(result.budget_ledger.values()) == pytest.approx(1.0)
+
+    def test_degree_cap_respected_in_target_sequence(self, karate_like_graph):
+        generator = NodeDPDegreeHistogram(theta=4)
+        result = generator.generate(karate_like_graph, epsilon=20.0, rng=0)
+        # Chung-Lu realises expected degrees, so allow a small overshoot.
+        assert result.graph.degrees().max() <= 4 + 4
+
+    def test_diagnostics_track_projection(self, karate_like_graph):
+        result = NodeDPDegreeHistogram(theta=3).generate(karate_like_graph, epsilon=1.0, rng=0)
+        assert result.diagnostics["dropped_edges"] >= 0
+        assert result.diagnostics["projected_edges"] <= karate_like_graph.num_edges
+
+    def test_high_budget_edge_count_tracks_projected_graph(self, karate_like_graph):
+        generator = NodeDPEdgeCount(theta=50)
+        result = generator.generate(karate_like_graph, epsilon=100.0, rng=0)
+        assert result.graph.num_edges == pytest.approx(karate_like_graph.num_edges, rel=0.2)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            NodeDPDegreeHistogram(theta=0)
+        with pytest.raises(ValueError):
+            NodeDPEdgeCount(theta=-1)
+
+    def test_spec_rejects_mixing_node_and_edge_cdp(self):
+        from repro.algorithms.registry import register_algorithm
+
+        register_algorithm("node-dp-hist", NodeDPDegreeHistogram, overwrite=True)
+        with pytest.raises(SpecValidationError, match="M1"):
+            BenchmarkSpec(
+                algorithms=("tmf", "node-dp-hist"),
+                datasets=("ba",),
+                epsilons=(1.0,),
+                queries=("num_edges",),
+                repetitions=1,
+                scale=0.02,
+            )
+
+
+class TestTheory:
+    def test_laplace_expected_absolute_error(self):
+        assert laplace_expected_absolute_error(2.0, 0.5) == 4.0
+
+    def test_laplace_expectation_matches_simulation(self, rng):
+        epsilon, sensitivity = 1.0, 1.0
+        mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=sensitivity)
+        draws = np.abs(mechanism.randomize(np.zeros(40000), rng=rng))
+        assert draws.mean() == pytest.approx(
+            laplace_expected_absolute_error(sensitivity, epsilon), rel=0.05)
+
+    def test_edge_count_relative_error(self):
+        assert expected_edge_count_relative_error(1000, 0.1) == pytest.approx(0.01)
+        assert expected_edge_count_relative_error(1000, 10.0) < expected_edge_count_relative_error(
+            1000, 0.1)
+
+    def test_degree_histogram_l1_error(self):
+        assert expected_degree_histogram_l1_error(1.0, 10) == 40.0
+
+    def test_rr_false_positives_dominate_sparse_graphs_at_small_epsilon(self):
+        n, m = 10000, 50000
+        false_positives = randomized_response_false_positive_edges(n, m, epsilon=0.5)
+        assert false_positives > 10 * m  # the density explosion of principle G1-G2
+
+    def test_rr_false_positives_vanish_at_large_epsilon(self):
+        n, m = 1000, 5000
+        assert randomized_response_false_positive_edges(n, m, epsilon=15.0) < m * 0.01
+
+    def test_rr_density_blowup_monotone_in_epsilon(self):
+        blowup_small = randomized_response_density_blowup(2000, 10000, epsilon=0.1)
+        blowup_large = randomized_response_density_blowup(2000, 10000, epsilon=8.0)
+        assert blowup_small > blowup_large >= 0.5
+
+    def test_rr_matches_mechanism_keep_probability(self):
+        from repro.dp.mechanisms import RandomizedResponse
+
+        epsilon = 1.3
+        keep = RandomizedResponse(epsilon=epsilon).keep_probability
+        assert 1.0 / (math.exp(epsilon) + 1.0) == pytest.approx(1.0 - keep)
+
+    def test_smooth_vs_global_ratio(self):
+        # Local sensitivity far below global → smooth sensitivity pays off.
+        assert smooth_vs_global_noise_ratio(2.0, 100.0, epsilon=1.0, delta=0.01) < 1.0
+        # Local sensitivity equal to global → the factor-2 overhead remains.
+        assert smooth_vs_global_noise_ratio(10.0, 10.0, epsilon=1.0, delta=0.01) == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_edge_count_relative_error(0, 1.0)
+        with pytest.raises(ValueError):
+            randomized_response_false_positive_edges(5, 100, 1.0)
+        with pytest.raises(ValueError):
+            smooth_vs_global_noise_ratio(1.0, 1.0, epsilon=1.0, delta=1.5)

@@ -1,0 +1,88 @@
+"""Tests for saving/loading benchmark results (JSON and CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.aggregate import best_count_by_dataset
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    export_results_csv,
+    load_results_json,
+    results_from_dict,
+    results_to_dict,
+    save_results_json,
+)
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+
+
+@pytest.fixture(scope="module")
+def results():
+    spec = BenchmarkSpec(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree", "modularity"),
+        repetitions=1,
+        scale=0.02,
+        seed=5,
+    )
+    return run_benchmark(spec)
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip_preserves_cells(self, results):
+        payload = results_to_dict(results)
+        rebuilt = results_from_dict(payload)
+        assert len(rebuilt.cells) == len(results.cells)
+        assert rebuilt.cells[0] == results.cells[0]
+        assert rebuilt.spec.algorithms == results.spec.algorithms
+
+    def test_file_roundtrip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results_json(results, path)
+        loaded = load_results_json(path)
+        assert [cell.error for cell in loaded.cells] == [cell.error for cell in results.cells]
+
+    def test_json_is_valid_and_versioned(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results_json(results, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["spec"]["datasets"] == ["ba"]
+
+    def test_unsupported_version_rejected(self, results):
+        payload = results_to_dict(results)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            results_from_dict(payload)
+
+    def test_aggregation_works_on_loaded_results(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results_json(results, path)
+        loaded = load_results_json(path)
+        counts = best_count_by_dataset(loaded)
+        assert counts == best_count_by_dataset(results)
+
+
+class TestCsvExport:
+    def test_csv_has_one_row_per_cell(self, results, tmp_path):
+        path = tmp_path / "results.csv"
+        export_results_csv(results, path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == len(results.cells) + 1  # header + cells
+        assert rows[0][0] == "algorithm"
+
+    def test_csv_values_match_cells(self, results, tmp_path):
+        path = tmp_path / "results.csv"
+        export_results_csv(results, path)
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            first = next(reader)
+        assert first["algorithm"] == results.cells[0].algorithm
+        assert float(first["error"]) == pytest.approx(results.cells[0].error)

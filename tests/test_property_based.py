@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+)
+from repro.community.partition import Partition, modularity
+from repro.dp.budget import PrivacyBudget
+from repro.dp.mechanisms import ExponentialMechanism, LaplaceMechanism, RandomizedResponse
+from repro.generators.degree_sequence import (
+    havel_hakimi_graph,
+    is_graphical,
+    repair_degree_sequence,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    average_clustering_coefficient,
+    degree_distribution,
+    density,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from repro.metrics.distribution import hellinger_distance, kl_divergence
+from repro.metrics.errors import relative_error
+
+# -- strategies ---------------------------------------------------------------
+
+node_counts = st.integers(min_value=2, max_value=12)
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random graphs with an arbitrary subset of the possible edges."""
+    n = draw(node_counts)
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    included = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [pair for pair, keep in zip(pairs, included) if keep]
+    return Graph.from_edge_list(edges, num_nodes=n)
+
+
+@st.composite
+def degree_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    return draw(st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n))
+
+
+@st.composite
+def histograms(draw):
+    size = draw(st.integers(min_value=1, max_value=10))
+    return draw(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=size, max_size=size))
+
+
+# -- graph invariants ---------------------------------------------------------
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert graph.degrees().sum() == 2 * graph.num_edges
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_density_in_unit_interval(self, graph):
+        assert 0.0 <= density(graph) <= 1.0
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_clustering_coefficients_in_unit_interval(self, graph):
+        assert 0.0 <= average_clustering_coefficient(graph) <= 1.0
+        assert 0.0 <= global_clustering_coefficient(graph) <= 1.0
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_count_matches_networkx(self, graph):
+        import networkx as nx
+
+        expected = sum(nx.triangles(graph.to_networkx()).values()) // 3
+        assert triangle_count(graph) == expected
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_distribution_normalised(self, graph):
+        distribution = degree_distribution(graph)
+        if graph.num_nodes:
+            assert distribution.sum() == pytest.approx(1.0)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_roundtrip(self, graph):
+        rebuilt = Graph.from_adjacency_matrix(graph.to_adjacency_matrix())
+        assert rebuilt == graph
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+
+# -- degree-sequence machinery -------------------------------------------------
+
+
+class TestDegreeSequenceProperties:
+    @given(degree_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_repair_produces_even_sum_and_valid_range(self, degrees):
+        repaired = repair_degree_sequence(degrees, num_nodes=len(degrees))
+        assert repaired.sum() % 2 == 0
+        assert repaired.min() >= 0
+        assert repaired.max() <= max(len(degrees) - 1, 0)
+
+    @given(degree_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_havel_hakimi_never_exceeds_targets(self, degrees):
+        repaired = repair_degree_sequence(degrees, num_nodes=len(degrees))
+        graph = havel_hakimi_graph(repaired)
+        assert np.all(graph.degrees() <= repaired)
+
+    @given(degree_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_havel_hakimi_exact_when_graphical(self, degrees):
+        repaired = repair_degree_sequence(degrees, num_nodes=len(degrees))
+        if is_graphical(repaired.tolist()):
+            graph = havel_hakimi_graph(repaired)
+            assert sorted(graph.degrees()) == sorted(repaired)
+
+
+# -- DP mechanisms --------------------------------------------------------------
+
+
+class TestMechanismProperties:
+    @given(st.floats(min_value=0.01, max_value=20.0), st.floats(min_value=-100, max_value=100),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_laplace_output_is_finite(self, epsilon, value, seed):
+        assert np.isfinite(LaplaceMechanism(epsilon=epsilon).randomize(value, rng=seed))
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=8),
+           st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_probabilities_valid(self, scores, epsilon):
+        probs = ExponentialMechanism(epsilon=epsilon).probabilities(scores)
+        assert probs.shape == (len(scores),)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    @given(st.floats(min_value=0.01, max_value=10.0), st.integers(min_value=0, max_value=1),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_randomized_response_output_binary(self, epsilon, bit, seed):
+        assert RandomizedResponse(epsilon=epsilon).randomize_bit(bit, rng=seed) in (0, 1)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_split_never_overspends(self, raw_fractions):
+        total = sum(raw_fractions)
+        fractions = [fraction / total for fraction in raw_fractions]
+        budget = PrivacyBudget(epsilon=2.0)
+        amounts = budget.split(fractions)
+        assert sum(amounts) == pytest.approx(2.0, abs=1e-6)
+        assert budget.remaining_epsilon == pytest.approx(0.0, abs=1e-6)
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(histograms(), histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_kl_non_negative(self, p, q):
+        assert kl_divergence(p, q) >= -1e-9
+
+    @given(histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_kl_self_is_zero(self, p):
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    @given(histograms(), histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_hellinger_bounded_and_symmetric(self, p, q):
+        forward = hellinger_distance(p, q)
+        backward = hellinger_distance(q, p)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+        assert forward == pytest.approx(backward)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6), st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_non_negative(self, true_value, synthetic_value):
+        assert relative_error(true_value, synthetic_value) >= 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_self_similarity_perfect(self, labels):
+        partition = Partition(labels)
+        assert normalized_mutual_information(partition, partition) == pytest.approx(1.0)
+        assert adjusted_rand_index(partition, partition) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=20),
+           st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_nmi_bounded(self, labels_a, labels_b):
+        size = min(len(labels_a), len(labels_b))
+        first = Partition(labels_a[:size])
+        second = Partition(labels_b[:size])
+        assert 0.0 <= normalized_mutual_information(first, second) <= 1.0
+
+
+# -- modularity -------------------------------------------------------------------
+
+
+class TestModularityProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_modularity_bounded(self, graph):
+        partition = Partition([node % 2 for node in range(graph.num_nodes)])
+        value = modularity(graph, partition)
+        assert -1.0 <= value <= 1.0

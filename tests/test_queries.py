@@ -1,0 +1,190 @@
+"""Tests for the 15 benchmark queries and the query registry."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.queries.base import QueryCategory
+from repro.queries.centrality import EigenvectorCentralityQuery, eigenvector_centrality
+from repro.queries.counting import EdgeCountQuery, NodeCountQuery, TriangleCountQuery
+from repro.queries.degree import (
+    AverageDegreeQuery,
+    DegreeDistributionQuery,
+    DegreeVarianceQuery,
+)
+from repro.queries.path import (
+    AverageShortestPathQuery,
+    DiameterQuery,
+    DistanceDistributionQuery,
+)
+from repro.queries.registry import (
+    PGB_QUERY_NAMES,
+    get_query,
+    list_queries,
+    make_default_queries,
+)
+from repro.queries.topology import (
+    AssortativityQuery,
+    AverageClusteringQuery,
+    CommunityDetectionQuery,
+    GlobalClusteringQuery,
+    ModularityQuery,
+)
+
+
+class TestCountingQueries:
+    def test_node_count_ignores_isolated_nodes(self):
+        graph = Graph.from_edge_list([(0, 1)], num_nodes=5)
+        assert NodeCountQuery().evaluate(graph) == 2.0
+
+    def test_edge_count(self, triangle_graph):
+        assert EdgeCountQuery().evaluate(triangle_graph) == 3.0
+
+    def test_triangle_count(self, triangle_graph, path_graph):
+        query = TriangleCountQuery()
+        assert query.evaluate(triangle_graph) == 1.0
+        assert query.evaluate(path_graph) == 0.0
+
+    def test_error_uses_relative_error(self, triangle_graph):
+        bigger = triangle_graph.copy()
+        bigger_universe = Graph.from_edge_list(list(triangle_graph.edges()) + [(0, 3)], num_nodes=4)
+        error = EdgeCountQuery().error(triangle_graph, bigger_universe)
+        assert error == pytest.approx(1.0 / 3.0)
+        del bigger
+
+
+class TestDegreeQueries:
+    def test_average_degree(self, star_graph):
+        assert AverageDegreeQuery().evaluate(star_graph) == pytest.approx(10 / 6)
+
+    def test_degree_variance(self, triangle_graph):
+        assert DegreeVarianceQuery().evaluate(triangle_graph) == 0.0
+
+    def test_degree_distribution_sums_to_one(self, medium_ba_graph):
+        distribution = DegreeDistributionQuery().evaluate(medium_ba_graph)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_degree_distribution_error_is_kl(self, medium_ba_graph, medium_er_graph):
+        query = DegreeDistributionQuery()
+        assert query.metric_name == "kl"
+        assert query.error(medium_ba_graph, medium_ba_graph) == pytest.approx(0.0, abs=1e-6)
+        assert query.error(medium_ba_graph, medium_er_graph) > 0.0
+
+
+class TestPathQueries:
+    def test_diameter_path_graph(self, path_graph):
+        assert DiameterQuery().evaluate(path_graph) == 4.0
+
+    def test_diameter_matches_networkx(self, karate_like_graph):
+        expected = nx.diameter(karate_like_graph.to_networkx())
+        assert DiameterQuery().evaluate(karate_like_graph) == float(expected)
+
+    def test_average_shortest_path_matches_networkx(self, karate_like_graph):
+        expected = nx.average_shortest_path_length(karate_like_graph.to_networkx())
+        computed = AverageShortestPathQuery().evaluate(karate_like_graph)
+        assert computed == pytest.approx(expected, rel=1e-9)
+
+    def test_path_queries_use_largest_component(self):
+        graph = Graph.from_edge_list([(0, 1), (1, 2), (3, 4)], num_nodes=5)
+        assert DiameterQuery().evaluate(graph) == 2.0
+
+    def test_empty_graph_path_queries(self):
+        graph = Graph(5)
+        assert DiameterQuery().evaluate(graph) == 0.0
+        assert AverageShortestPathQuery().evaluate(graph) == 0.0
+
+    def test_distance_distribution(self, path_graph):
+        distribution = DistanceDistributionQuery().evaluate(path_graph)
+        assert distribution.sum() == pytest.approx(1.0)
+        # Path 0-1-2-3-4: distances 1,2,3,4 occur with decreasing frequency.
+        assert distribution[1] > distribution[4]
+
+    def test_source_sampling_bounds_cost(self, medium_er_graph):
+        query = DiameterQuery(max_sources=4)
+        assert query.evaluate(medium_er_graph) >= 1.0
+
+    def test_invalid_max_sources(self):
+        with pytest.raises(ValueError):
+            DiameterQuery(max_sources=0)
+
+
+class TestTopologyQueries:
+    def test_global_clustering(self, triangle_graph):
+        assert GlobalClusteringQuery().evaluate(triangle_graph) == pytest.approx(1.0)
+
+    def test_average_clustering(self, triangle_graph, path_graph):
+        assert AverageClusteringQuery().evaluate(triangle_graph) == pytest.approx(1.0)
+        assert AverageClusteringQuery().evaluate(path_graph) == 0.0
+
+    def test_community_detection_error_zero_for_identical_graph(self, karate_like_graph):
+        query = CommunityDetectionQuery()
+        assert query.error(karate_like_graph, karate_like_graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_community_detection_similarity_is_nmi(self, karate_like_graph, medium_er_graph):
+        query = CommunityDetectionQuery()
+        # Similar graph → high NMI; unrelated graph with same node count n=60 vs 24
+        # cannot be compared, so build a same-size random graph instead.
+        assert query.similarity(karate_like_graph, karate_like_graph) == pytest.approx(1.0)
+
+    def test_modularity_query(self, karate_like_graph):
+        assert ModularityQuery().evaluate(karate_like_graph) > 0.2
+
+    def test_assortativity_query_matches_property(self, medium_ba_graph):
+        value = AssortativityQuery().evaluate(medium_ba_graph)
+        expected = nx.degree_assortativity_coefficient(medium_ba_graph.to_networkx())
+        assert value == pytest.approx(expected, abs=1e-8)
+
+
+class TestCentralityQuery:
+    def test_matches_networkx(self, karate_like_graph):
+        expected = nx.eigenvector_centrality_numpy(karate_like_graph.to_networkx())
+        computed = eigenvector_centrality(karate_like_graph)
+        # networkx normalises by L2 norm as well; compare up to small tolerance.
+        for node in range(karate_like_graph.num_nodes):
+            assert computed[node] == pytest.approx(abs(expected[node]), abs=5e-3)
+
+    def test_edgeless_graph_gives_zeros(self):
+        assert np.all(eigenvector_centrality(Graph(4)) == 0.0)
+
+    def test_error_is_mae(self, karate_like_graph):
+        query = EigenvectorCentralityQuery()
+        assert query.error(karate_like_graph, karate_like_graph) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestQueryRegistry:
+    def test_fifteen_queries(self):
+        assert len(PGB_QUERY_NAMES) == 15
+        assert len(make_default_queries()) == 15
+
+    def test_codes_are_q1_to_q15(self):
+        codes = [query.code for query in make_default_queries()]
+        assert codes == [f"Q{i}" for i in range(1, 16)]
+
+    def test_lookup_by_name_and_code(self):
+        assert get_query("triangle_count").code == "Q3"
+        assert get_query("Q15").name == "eigenvector_centrality"
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            get_query("does_not_exist")
+
+    def test_all_five_categories_covered(self):
+        categories = {query.category for query in make_default_queries()}
+        assert categories == set(QueryCategory)
+
+    def test_each_query_has_registered_metric(self):
+        from repro.metrics.registry import get_metric
+
+        for query in make_default_queries():
+            assert get_metric(query.metric_name) is not None
+
+    def test_describe(self):
+        description = get_query("modularity").describe()
+        assert description["code"] == "Q13"
+        assert description["category"] == "topology"
+
+    def test_list_queries_in_order(self):
+        assert list_queries() == list(PGB_QUERY_NAMES)

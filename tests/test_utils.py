@@ -1,0 +1,132 @@
+"""Tests for repro.utils: rng handling, validation helpers and timers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.timer import Timer, measure_peak_memory, measure_resources
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(42).integers(0, 1000, size=5)
+        second = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        first = [child.integers(0, 100) for child in spawn_rngs(3, 3)]
+        second = [child.integers(0, 100) for child in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_change_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_result_in_int32_range(self):
+        seed = derive_seed(9, "algo", "dataset", 0.5)
+        assert 0 <= seed < 2**31
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_check_probability_rejects(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_check_in_range(self):
+        assert check_in_range(3, "x", 1, 5) == 3.0
+        with pytest.raises(ValueError):
+            check_in_range(6, "x", 1, 5)
+
+    def test_check_integer(self):
+        assert check_integer(4, "n") == 4
+        assert check_integer(4.0, "n") == 4
+
+    def test_check_integer_rejects_fraction(self):
+        with pytest.raises(ValueError):
+            check_integer(4.5, "n")
+
+    def test_check_integer_minimum(self):
+        with pytest.raises(ValueError):
+            check_integer(0, "n", minimum=1)
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_measure_resources_returns_result(self):
+        usage = measure_resources(lambda: 21 * 2)
+        assert usage.result == 42
+        assert usage.seconds >= 0.0
+        assert usage.peak_mib >= 0.0
+
+    def test_measure_peak_memory_tracks_allocation(self):
+        peak, result = measure_peak_memory(lambda: bytearray(4 * 1024 * 1024))
+        assert len(result) == 4 * 1024 * 1024
+        assert peak >= 3.0  # at least ~4 MiB was allocated
