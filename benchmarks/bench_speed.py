@@ -1,0 +1,179 @@
+"""Speed trajectory of the array-native pipeline: before vs after.
+
+Measures the three layers the vectorization PR touched, on a Chung–Lu graph
+(10k nodes by default, power-law-ish expected degrees):
+
+* ``graph_core``     — degree / CSR / dense-adjacency / subgraph conversions
+                       through the memoized array layer vs the scalar
+                       reference loops;
+* ``tmf_generation`` — vectorized TmF (mask keep + bulk rejection fill) vs
+                       the retained scalar path (bit-identical output);
+* ``query_evaluation`` — the full 15-query evaluation through one memoized
+                       :class:`EvaluationContext` vs the seed behaviour
+                       (every query re-deriving its own views, scalar
+                       property loops).
+
+Results are written to ``BENCH_speed.json`` so future PRs can track the
+trajectory; re-run with ``--quick`` for the CI smoke (a smaller graph, same
+protocol).  The combined TmF + 15-query speedup is the acceptance number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # full (10k nodes)
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_speed.py --min-combined-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.tmf import TmF
+from repro.generators.chung_lu import chung_lu_graph
+from repro.graphs import reference
+from repro.graphs.graph import Graph
+from repro.queries.context import EvaluationContext
+from repro.queries.registry import make_default_queries
+
+EPSILON = 1.0
+SEED = 2024
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def build_input_graph(nodes: int) -> Graph:
+    """Deterministic Chung–Lu input with a mildly heavy-tailed degree target."""
+    weights = 8.0 * (np.arange(1, nodes + 1) / nodes) ** (-0.3)
+    return chung_lu_graph(weights, rng=SEED)
+
+
+def bench_graph_core(graph: Graph) -> dict:
+    arr = np.asarray(graph.edge_array())
+    n = graph.num_nodes
+    sample = np.linspace(0, n - 1, n // 2).astype(np.int64).tolist()
+    dense_cap = n <= 4000  # the scalar dense fill is O(n² + m); keep it honest but bounded
+
+    def before():
+        scalar = reference.scalar_build_graph(arr.tolist(), n)
+        reference.scalar_degrees(scalar)
+        reference.scalar_to_sparse_adjacency(scalar)
+        if dense_cap:
+            reference.scalar_to_adjacency_matrix(scalar)
+        reference.scalar_subgraph(scalar, sample)
+
+    def after():
+        bulk = Graph.from_edge_array(arr, n)
+        bulk.degrees()
+        bulk.to_sparse_adjacency()
+        if dense_cap:
+            bulk.to_adjacency_matrix()
+        bulk.subgraph(sample)
+
+    before_s, _ = _timed(before)
+    after_s, _ = _timed(after)
+    return {"before_seconds": before_s, "after_seconds": after_s,
+            "speedup": before_s / after_s if after_s > 0 else float("inf")}
+
+
+def bench_tmf(graph: Graph) -> tuple[dict, Graph]:
+    before_s, scalar_graph = _timed(
+        lambda: TmF(vectorized=False).generate_graph(graph, EPSILON, rng=SEED)
+    )
+    after_s, vector_graph = _timed(
+        lambda: TmF().generate_graph(graph, EPSILON, rng=SEED)
+    )
+    assert vector_graph == scalar_graph, "vectorized TmF diverged from the scalar path"
+    return (
+        {"before_seconds": before_s, "after_seconds": after_s,
+         "speedup": before_s / after_s if after_s > 0 else float("inf")},
+        vector_graph,
+    )
+
+
+def bench_queries(synthetic: Graph) -> dict:
+    queries = make_default_queries()
+
+    def before():
+        return reference.scalar_query_values(synthetic)
+
+    def after():
+        context = EvaluationContext(synthetic)
+        return {query.name: query.evaluate_in(context) for query in queries}
+
+    before_s, before_values = _timed(before)
+    after_s, after_values = _timed(after)
+    # Sanity: the two paths must agree on every deterministic scalar query.
+    for name in ("num_edges", "triangle_count", "diameter", "global_clustering"):
+        assert abs(float(before_values[name]) - float(after_values[name])) < 1e-9, name
+    return {"before_seconds": before_s, "after_seconds": after_s,
+            "speedup": before_s / after_s if after_s > 0 else float("inf")}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="array-layer speed trajectory")
+    parser.add_argument("--nodes", type=int, default=10_000)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 2000 nodes, same protocol")
+    parser.add_argument("--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_speed.json"))
+    parser.add_argument("--min-combined-speedup", type=float, default=None,
+                        help="exit non-zero when TmF + query speedup falls below this")
+    args = parser.parse_args(argv)
+
+    nodes = 2000 if args.quick else args.nodes
+    graph = build_input_graph(nodes)
+    print(f"input graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    layers = {}
+    layers["graph_core"] = bench_graph_core(graph)
+    tmf_layer, synthetic = bench_tmf(graph)
+    layers["tmf_generation"] = tmf_layer
+    layers["query_evaluation"] = bench_queries(synthetic)
+
+    combined_before = (layers["tmf_generation"]["before_seconds"]
+                       + layers["query_evaluation"]["before_seconds"])
+    combined_after = (layers["tmf_generation"]["after_seconds"]
+                      + layers["query_evaluation"]["after_seconds"])
+    combined = {
+        "before_seconds": combined_before,
+        "after_seconds": combined_after,
+        "speedup": combined_before / combined_after if combined_after > 0 else float("inf"),
+    }
+
+    payload = {
+        "benchmark": "bench_speed",
+        "protocol_version": 1,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "quick": bool(args.quick),
+        "epsilon": EPSILON,
+        "seed": SEED,
+        "layers": layers,
+        "combined_tmf_plus_queries": combined,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(f"{'layer':<22} {'before':>9} {'after':>9} {'speedup':>9}")
+    for name, layer in {**layers, "combined": combined}.items():
+        print(f"{name:<22} {layer['before_seconds']:>8.3f}s {layer['after_seconds']:>8.3f}s "
+              f"{layer['speedup']:>8.1f}x")
+    print(f"wrote {args.output}")
+
+    if args.min_combined_speedup is not None and combined["speedup"] < args.min_combined_speedup:
+        print(f"FAIL: combined speedup {combined['speedup']:.1f}x "
+              f"< required {args.min_combined_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

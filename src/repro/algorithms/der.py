@@ -22,11 +22,14 @@ import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import GraphGenerator
 from repro.dp.budget import PrivacyBudget
 from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.graphs.graph import Graph
+from repro.utils.sampling import rejection_sample_codes
 
 
 @dataclass
@@ -79,16 +82,18 @@ class DER(GraphGenerator):
         depth = max(min(depth, 8), 1)
         per_level_epsilon = budget.epsilon / depth
 
-        # Count edges inside a region of the upper-triangular adjacency matrix.
-        adjacency = graph.adjacency_lists()
+        # Count edges inside a region of the upper-triangular adjacency matrix
+        # with one array mask over the canonical (u < v) edge array.
+        edge_arr = graph.edge_array()
+        edge_u = edge_arr[:, 0]
+        edge_v = edge_arr[:, 1]
 
         def count_cells(region: _Region) -> int:
-            count = 0
-            for u in range(region.r0, region.r1):
-                for v in adjacency[u]:
-                    if u < v and region.c0 <= v < region.c1:
-                        count += 1
-            return count
+            inside = (
+                (edge_u >= region.r0) & (edge_u < region.r1)
+                & (edge_v >= region.c0) & (edge_v < region.c1)
+            )
+            return int(np.count_nonzero(inside))
 
         mechanism_levels = [
             LaplaceMechanism(epsilon=per_level_epsilon, sensitivity=1.0) for _ in range(depth)
@@ -117,24 +122,30 @@ class DER(GraphGenerator):
                 for child in region.split():
                     frontier.append((child, level + 1))
 
-        # Reconstruct: fill each leaf with uniformly random upper-triangle cells.
-        synthetic = Graph(n)
+        # Reconstruct: fill each leaf with uniformly random upper-triangle
+        # cells, sampled in bulk.  Leaf regions are disjoint blocks of the
+        # matrix, so per-leaf deduplication is enough.
+        accepted_codes = []
         for region, noisy in leaves:
             if noisy <= 0:
                 continue
-            placed = 0
-            attempts = 0
-            max_attempts = 30 * noisy + 50
-            while placed < noisy and attempts < max_attempts:
-                attempts += 1
-                u = int(rng.integers(region.r0, region.r1))
-                v = int(rng.integers(region.c0, region.c1))
-                if u == v or v <= u or synthetic.has_edge(u, v):
-                    # Only the upper triangle represents undirected edges; skip
-                    # the diagonal and the mirrored lower triangle.
-                    continue
-                synthetic.add_edge(u, v)
-                placed += 1
+
+            def propose(batch: int, region: _Region = region):
+                u = rng.integers(region.r0, region.r1, size=batch)
+                v = rng.integers(region.c0, region.c1, size=batch)
+                # Only the upper triangle represents undirected edges; the
+                # diagonal and the mirrored lower triangle are rejected.
+                return u * np.int64(n) + v, u < v
+
+            codes, _ = rejection_sample_codes(noisy, 30 * noisy + 50, propose)
+            accepted_codes.append(codes)
+
+        if accepted_codes:
+            all_codes = np.concatenate(accepted_codes)
+            edges = np.column_stack([all_codes // n, all_codes % n])
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+        synthetic = Graph.from_edge_array(edges, n)
 
         self._record_diagnostics(num_leaf_regions=len(leaves), quadtree_depth=depth)
         return synthetic

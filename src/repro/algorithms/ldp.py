@@ -35,6 +35,7 @@ from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import RandomizedResponse
 from repro.generators.chung_lu import chung_lu_graph
 from repro.graphs.graph import Graph
+from repro.utils.sampling import rejection_sample_codes
 
 
 class LDPGen(GraphGenerator):
@@ -78,17 +79,18 @@ class LDPGen(GraphGenerator):
         for cluster_id, members in enumerate(clusters):
             cluster_of[members] = cluster_id
         true_counts = np.zeros((n, len(clusters)))
-        adjacency = graph.adjacency_lists()
-        for node in range(n):
-            for neighbor in adjacency[node]:
-                true_counts[node, cluster_of[neighbor]] += 1.0
+        edge_arr = graph.edge_array()
+        np.add.at(true_counts, (edge_arr[:, 0], cluster_of[edge_arr[:, 1]]), 1.0)
+        np.add.at(true_counts, (edge_arr[:, 1], cluster_of[edge_arr[:, 0]]), 1.0)
         noisy_counts = true_counts + rng.laplace(0.0, 1.0 / eps_round2, size=true_counts.shape)
         noisy_counts = np.clip(noisy_counts, 0.0, None)
 
         # Construction: within-cluster and cross-cluster edges are realised with
         # a Chung-Lu pass per cluster pair, using the estimated per-user counts
         # as expected degrees toward that cluster (a BTER-style two-level wiring).
-        synthetic = Graph(n)
+        # Cluster pairs produce disjoint edge blocks, so all blocks are
+        # accumulated as arrays and the graph is built once at the end.
+        edge_blocks: List[np.ndarray] = []
         for i, members_i in enumerate(clusters):
             for j in range(i, len(clusters)):
                 members_j = clusters[j]
@@ -96,36 +98,39 @@ class LDPGen(GraphGenerator):
                 expected_j = noisy_counts[members_j, i]
                 if i == j:
                     local = chung_lu_graph(expected_i, rng=rng)
-                    for u_local, v_local in local.edges():
-                        synthetic.add_edge(int(members_i[u_local]), int(members_i[v_local]),
-                                           allow_existing=True)
+                    edge_blocks.append(members_i[local.edge_array()])
                 else:
-                    self._wire_bipartite(synthetic, members_i, members_j,
-                                         expected_i, expected_j, rng)
+                    edge_blocks.append(
+                        self._wire_bipartite(n, members_i, members_j,
+                                             expected_i, expected_j, rng)
+                    )
+        all_edges = (np.concatenate(edge_blocks) if edge_blocks
+                     else np.empty((0, 2), dtype=np.int64))
+        synthetic = Graph.from_edge_array(all_edges, n)
         self._record_diagnostics(num_clusters=len(clusters))
         return synthetic
 
     @staticmethod
-    def _wire_bipartite(synthetic: Graph, left: np.ndarray, right: np.ndarray,
-                        expected_left: np.ndarray, expected_right: np.ndarray, rng) -> None:
-        """Place cross-cluster edges matching the estimated cross-degree mass."""
+    def _wire_bipartite(n: int, left: np.ndarray, right: np.ndarray,
+                        expected_left: np.ndarray, expected_right: np.ndarray,
+                        rng) -> np.ndarray:
+        """Cross-cluster edges matching the estimated cross-degree mass."""
         total = 0.5 * (expected_left.sum() + expected_right.sum())
         target = int(round(total))
         if target <= 0 or len(left) == 0 or len(right) == 0:
-            return
+            return np.empty((0, 2), dtype=np.int64)
         weight_left = expected_left / expected_left.sum() if expected_left.sum() > 0 else None
         weight_right = expected_right / expected_right.sum() if expected_right.sum() > 0 else None
-        attempts = 0
-        placed = 0
-        max_attempts = 20 * target + 50
-        while placed < target and attempts < max_attempts:
-            attempts += 1
-            u = int(rng.choice(left, p=weight_left))
-            v = int(rng.choice(right, p=weight_right))
-            if u == v or synthetic.has_edge(u, v):
-                continue
-            synthetic.add_edge(u, v)
-            placed += 1
+
+        def propose(batch: int):
+            u = rng.choice(left, size=batch, p=weight_left)
+            v = rng.choice(right, size=batch, p=weight_right)
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            return lo * np.int64(n) + hi, u != v
+
+        codes, _ = rejection_sample_codes(target, 20 * target + 50, propose)
+        return np.column_stack([codes // n, codes % n])
 
 
 class RandomizedNeighborLists(GraphGenerator):
@@ -154,42 +159,46 @@ class RandomizedNeighborLists(GraphGenerator):
         # probabilities instead of materialising every user's bit vector:
         # a true edge survives with probability `keep`, a non-edge flips to a
         # reported edge with probability `1 - keep`.
-        synthetic = Graph(n)
-        for u, v in graph.edges():
-            if rng.random() < keep:
-                synthetic.add_edge(u, v)
+        edge_arr = graph.edge_array()
+        m = edge_arr.shape[0]
+        kept = edge_arr[rng.random(m) < keep] if m else edge_arr
+        true_codes = edge_arr[:, 0] * np.int64(n) + edge_arr[:, 1]
+        kept_codes = kept[:, 0] * np.int64(n) + kept[:, 1]
         # Number of false positives among the (max_edges - m) non-edges.
         max_edges = n * (n - 1) // 2
-        false_positive_count = int(rng.binomial(max_edges - graph.num_edges, 1.0 - keep))
+        false_positive_count = int(rng.binomial(max_edges - m, 1.0 - keep))
         # Unbiased estimate of the true edge count from the reported density,
         # used to downsample the (hugely dense at small ε) reported graph.
-        reported_edges = synthetic.num_edges + false_positive_count
+        reported_edges = kept.shape[0] + false_positive_count
         estimated_true = (reported_edges - (1.0 - keep) * max_edges) / (2.0 * keep - 1.0) \
             if keep != 0.5 else reported_edges
         target_edges = int(np.clip(round(estimated_true), 0, max_edges))
 
-        added = 0
-        attempts = 0
-        max_attempts = 30 * false_positive_count + 100
-        while added < false_positive_count and attempts < max_attempts:
-            attempts += 1
-            u = int(rng.integers(0, n))
-            v = int(rng.integers(0, n))
-            if u == v or graph.has_edge(u, v) or synthetic.has_edge(u, v):
-                continue
-            synthetic.add_edge(u, v)
-            added += 1
+        def propose(batch: int):
+            pairs = rng.integers(0, n, size=(batch, 2))
+            u = pairs[:, 0]
+            v = pairs[:, 1]
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            return lo * np.int64(n) + hi, u != v
+
+        # False positives must avoid both the true edges and the kept ones.
+        blocked = np.union1d(true_codes, kept_codes)
+        false_codes, _ = rejection_sample_codes(
+            false_positive_count, 30 * false_positive_count + 100, propose, blocked
+        )
+        reported_codes = np.concatenate([kept_codes, false_codes])
 
         # Post-process: keep a uniform subsample of the reported edges sized to
         # the unbiased edge-count estimate (post-processing is free under DP).
-        if synthetic.num_edges > target_edges > 0:
-            edges = list(synthetic.edges())
-            chosen = rng.choice(len(edges), size=target_edges, replace=False)
-            downsampled = Graph(n)
-            downsampled.add_edges_from(edges[int(index)] for index in chosen)
-            synthetic = downsampled
-        elif target_edges == 0:
-            synthetic = Graph(n)
+        if target_edges == 0:
+            reported_codes = reported_codes[:0]
+        elif reported_codes.size > target_edges:
+            chosen = rng.choice(reported_codes.size, size=target_edges, replace=False)
+            reported_codes = reported_codes[chosen]
+        synthetic = Graph.from_edge_array(
+            np.column_stack([reported_codes // n, reported_codes % n]), n
+        )
 
         self._record_diagnostics(
             reported_edges=reported_edges,

@@ -33,6 +33,7 @@ from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import ExponentialMechanism, LaplaceMechanism
 from repro.generators.chung_lu import chung_lu_graph
 from repro.graphs.graph import Graph
+from repro.utils.sampling import rejection_sample_codes
 
 
 class PrivGraph(GraphGenerator):
@@ -75,81 +76,83 @@ class PrivGraph(GraphGenerator):
         # --- Stage 1: private re-assignment with the exponential mechanism.
         # Quality of assigning node v to community c = number of v's neighbours
         # currently in c; sensitivity 1 (adding/removing one edge changes one
-        # neighbour count by 1).
+        # neighbour count by 1).  The per-node neighbour tallies are one
+        # scatter-add over the edge array and all n selections are a single
+        # Gumbel-max draw.
         mechanism = ExponentialMechanism(epsilon=eps_community, sensitivity=1.0)
-        labels = seed_partition.labels
-        private_labels = np.empty(n, dtype=np.int64)
-        adjacency = graph.adjacency_lists()
-        for node in range(n):
-            scores = np.zeros(num_communities)
-            for neighbor in adjacency[node]:
-                scores[labels[neighbor]] += 1.0
-            private_labels[node] = mechanism.select_index(scores, rng=rng)
+        labels = np.asarray(seed_partition.labels, dtype=np.int64)
+        edge_arr = graph.edge_array()
+        scores = np.zeros((n, num_communities))
+        np.add.at(scores, (edge_arr[:, 0], labels[edge_arr[:, 1]]), 1.0)
+        np.add.at(scores, (edge_arr[:, 1], labels[edge_arr[:, 0]]), 1.0)
+        private_labels = mechanism.select_indices(scores, rng=rng)
 
-        communities: List[List[int]] = [[] for _ in range(num_communities)]
-        for node, label in enumerate(private_labels):
-            communities[int(label)].append(node)
-        communities = [community for community in communities if community]
+        member_arrays: List[np.ndarray] = [
+            members for members in
+            (np.nonzero(private_labels == label)[0] for label in range(num_communities))
+            if members.size
+        ]
 
-        # --- Stage 2: noisy intra-community degree sequences.
+        # --- Stage 2: noisy intra-community degree sequences.  An edge is
+        # intra iff both endpoints landed in the same private community.
         degree_mechanism = LaplaceMechanism(epsilon=eps_degrees, sensitivity=2.0)
+        intra_mask = private_labels[edge_arr[:, 0]] == private_labels[edge_arr[:, 1]]
+        intra_degree_all = np.bincount(edge_arr[intra_mask].ravel(), minlength=n).astype(float)
         intra_degrees: List[np.ndarray] = []
-        for community in communities:
-            community_set = set(community)
-            true_degrees = np.array(
-                [sum(1 for neighbor in adjacency[node] if neighbor in community_set)
-                 for node in community],
-                dtype=float,
-            )
-            noisy = degree_mechanism.randomize(true_degrees, rng=rng)
-            intra_degrees.append(np.clip(noisy, 0.0, float(max(len(community) - 1, 0))))
+        for members in member_arrays:
+            noisy = degree_mechanism.randomize(intra_degree_all[members], rng=rng)
+            intra_degrees.append(np.clip(noisy, 0.0, float(max(members.size - 1, 0))))
 
-        # --- Stage 3: noisy inter-community edge counts.
+        # --- Stage 3: noisy inter-community edge counts, tallied as one
+        # bincount over (community, community) pair codes.
         edge_mechanism = LaplaceMechanism(epsilon=eps_edges, sensitivity=1.0)
-        community_index: Dict[int, int] = {}
-        for community_id, community in enumerate(communities):
-            for node in community:
-                community_index[node] = community_id
-        inter_counts: Dict[Tuple[int, int], int] = {}
-        for u, v in graph.edges():
-            cu, cv = community_index[u], community_index[v]
-            if cu == cv:
-                continue
-            key = (min(cu, cv), max(cu, cv))
-            inter_counts[key] = inter_counts.get(key, 0) + 1
+        k = len(member_arrays)
+        community_of = np.empty(n, dtype=np.int64)
+        for community_id, members in enumerate(member_arrays):
+            community_of[members] = community_id
+        cu = community_of[edge_arr[:, 0]]
+        cv = community_of[edge_arr[:, 1]]
+        inter = cu != cv
+        pair_codes = (np.minimum(cu, cv)[inter] * np.int64(k) + np.maximum(cu, cv)[inter])
+        pair_counts = np.bincount(pair_codes, minlength=k * k)
         noisy_inter: Dict[Tuple[int, int], int] = {}
-        for i in range(len(communities)):
-            for j in range(i + 1, len(communities)):
-                true_count = inter_counts.get((i, j), 0)
+        for i in range(k):
+            for j in range(i + 1, k):
+                true_count = int(pair_counts[i * k + j])
                 noisy_count = edge_mechanism.randomize_count(true_count, rng=rng, minimum=0)
-                max_possible = len(communities[i]) * len(communities[j])
+                max_possible = member_arrays[i].size * member_arrays[j].size
                 if noisy_count > 0:
                     noisy_inter[(i, j)] = min(noisy_count, max_possible)
 
-        # --- Construction.
-        synthetic = Graph(n)
-        for community, noisy_degrees in zip(communities, intra_degrees):
-            if len(community) < 2:
+        # --- Construction.  Intra blocks (one Chung-Lu pass per community)
+        # and inter blocks (bulk rejection sampling per community pair) are
+        # disjoint, so the graph is assembled once from the accumulated edges.
+        edge_blocks: List[np.ndarray] = []
+        for members, noisy_degrees in zip(member_arrays, intra_degrees):
+            if members.size < 2:
                 continue
             local = chung_lu_graph(noisy_degrees, rng=rng)
-            for u_local, v_local in local.edges():
-                synthetic.add_edge(community[u_local], community[v_local], allow_existing=True)
+            edge_blocks.append(members[local.edge_array()])
         for (i, j), count in noisy_inter.items():
-            nodes_i = communities[i]
-            nodes_j = communities[j]
-            placed = 0
-            attempts = 0
-            max_attempts = 20 * count + 50
-            while placed < count and attempts < max_attempts:
-                attempts += 1
-                u = int(nodes_i[int(rng.integers(0, len(nodes_i)))])
-                v = int(nodes_j[int(rng.integers(0, len(nodes_j)))])
-                if not synthetic.has_edge(u, v):
-                    synthetic.add_edge(u, v)
-                    placed += 1
+            nodes_i = member_arrays[i]
+            nodes_j = member_arrays[j]
+
+            def propose(batch: int, nodes_i=nodes_i, nodes_j=nodes_j):
+                u = nodes_i[rng.integers(0, nodes_i.size, size=batch)]
+                v = nodes_j[rng.integers(0, nodes_j.size, size=batch)]
+                lo = np.minimum(u, v)
+                hi = np.maximum(u, v)
+                return lo * np.int64(n) + hi, np.ones(batch, dtype=bool)
+
+            codes, _ = rejection_sample_codes(count, 20 * count + 50, propose)
+            edge_blocks.append(np.column_stack([codes // n, codes % n]))
+
+        all_edges = (np.concatenate(edge_blocks) if edge_blocks
+                     else np.empty((0, 2), dtype=np.int64))
+        synthetic = Graph.from_edge_array(all_edges, n)
 
         self._record_diagnostics(
-            num_communities=len(communities),
+            num_communities=k,
             inter_community_pairs=len(noisy_inter),
         )
         return synthetic

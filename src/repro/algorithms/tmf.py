@@ -18,10 +18,19 @@ representation is the full adjacency matrix:
 
 Budget split: ε₁ = min(ε/2, ln n · s) for the edge count (the original paper
 uses a small share), ε₂ = ε − ε₁ for the per-cell noise.
+
+The default code path is fully vectorized: the per-edge keep decision is one
+uniform draw per edge applied as an array mask, and the random top-up is the
+batched rejection sampler of :mod:`repro.utils.sampling` over encoded
+upper-triangle cells.  Both stages consume the RNG stream in exactly the
+order the scalar loops did, so ``TmF(vectorized=False)`` (the retained scalar
+path) produces bit-identical graphs for the same seed — the equivalence suite
+relies on this.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 
 import numpy as np
@@ -31,6 +40,9 @@ from repro.dp.budget import PrivacyBudget
 from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.graphs.graph import Graph
+from repro.utils.sampling import rejection_sample_codes
+
+logger = logging.getLogger(__name__)
 
 
 class TmF(GraphGenerator):
@@ -41,11 +53,12 @@ class TmF(GraphGenerator):
     sensitivity_type = "global"
     requires_delta = False
 
-    def __init__(self, edge_count_fraction: float = 0.1) -> None:
+    def __init__(self, edge_count_fraction: float = 0.1, vectorized: bool = True) -> None:
         super().__init__(delta=0.0)
         if not 0.0 < edge_count_fraction < 1.0:
             raise ValueError("edge_count_fraction must lie strictly between 0 and 1")
         self.edge_count_fraction = edge_count_fraction
+        self.vectorized = vectorized
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         n = graph.num_nodes
@@ -77,7 +90,57 @@ class TmF(GraphGenerator):
         keep_prob = self._laplace_tail(1.0 - theta, epsilon_cells)
         # Probability that a non-edge (cell value 0) survives: P(Lap > θ).
         false_prob = self._laplace_tail(-theta, epsilon_cells)
+        # Expected number of passing 0-cells — reported so benchmark users can
+        # compare the closed-form filter with the realised random top-up.
+        expected_false = zero_cells * false_prob
 
+        if self.vectorized:
+            return self._construct_vectorized(
+                graph, n, noisy_m, theta, keep_prob, false_prob, expected_false, rng
+            )
+        return self._construct_scalar(
+            graph, n, noisy_m, theta, keep_prob, false_prob, expected_false, rng
+        )
+
+    # -- construction: vectorized (default) ---------------------------------
+    def _construct_vectorized(self, graph: Graph, n: int, noisy_m: int, theta: float,
+                              keep_prob: float, false_prob: float, expected_false: float,
+                              rng) -> Graph:
+        edge_arr = graph.edge_array()
+        m = edge_arr.shape[0]
+        if m:
+            keep_mask = rng.random(m) < keep_prob
+            kept = edge_arr[keep_mask]
+        else:
+            kept = edge_arr
+        kept_codes = kept[:, 0] * np.int64(n) + kept[:, 1]  # already sorted (canonical order)
+
+        to_add = max(noisy_m - kept.shape[0], 0)
+        max_attempts = 30 * max(to_add, 1) + 100
+
+        def propose(batch: int):
+            pairs = rng.integers(0, n, size=(batch, 2))
+            u = pairs[:, 0]
+            v = pairs[:, 1]
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            return lo * np.int64(n) + hi, u != v
+
+        added_codes, _ = rejection_sample_codes(to_add, max_attempts, propose, kept_codes)
+        all_codes = np.concatenate([kept_codes, added_codes])
+        edges = np.empty((all_codes.size, 2), dtype=np.int64)
+        edges[:, 0] = all_codes // n
+        edges[:, 1] = all_codes % n
+        synthetic = Graph.from_edge_array(edges, n)
+
+        self._finish(noisy_m, theta, int(kept.shape[0]), keep_prob, expected_false,
+                     int(added_codes.size), to_add)
+        return synthetic
+
+    # -- construction: scalar reference (retained for equivalence tests) ----
+    def _construct_scalar(self, graph: Graph, n: int, noisy_m: int, theta: float,
+                          keep_prob: float, false_prob: float, expected_false: float,
+                          rng) -> Graph:
         kept_edges = []
         for u, v in graph.edges():
             if rng.random() < keep_prob:
@@ -90,7 +153,6 @@ class TmF(GraphGenerator):
         # 0-cells that pass the filter are exchangeable, and the original
         # algorithm tops up with the highest-noise 0-cells, which is a uniform
         # draw over non-edges.
-        expected_false = zero_cells * false_prob
         remaining = max(noisy_m - synthetic.num_edges, 0)
         to_add = remaining
         added = 0
@@ -105,14 +167,30 @@ class TmF(GraphGenerator):
             synthetic.add_edge(u, v)
             added += 1
 
+        self._finish(noisy_m, theta, len(kept_edges), keep_prob, expected_false,
+                     added, to_add)
+        return synthetic
+
+    def _finish(self, noisy_m: int, theta: float, kept_count: int, keep_prob: float,
+                expected_false: float, added: int, to_add: int) -> None:
+        shortfall = to_add - added
+        if shortfall > 0:
+            # The rejection fill ran out of attempts before reaching the noisy
+            # edge target — the synthetic graph silently carries fewer edges
+            # than m̃.  Surface it instead of swallowing it.
+            logger.warning(
+                "TmF fill under-delivered: added %d of %d random edges "
+                "(noisy_m=%d, kept=%d)", added, to_add, noisy_m, kept_count,
+            )
         self._record_diagnostics(
             noisy_edge_count=noisy_m,
             threshold=theta,
-            kept_true_edges=len(kept_edges),
+            kept_true_edges=kept_count,
             true_edge_keep_probability=keep_prob,
+            expected_false_cells=expected_false,
             added_random_edges=added,
+            fill_shortfall=shortfall,
         )
-        return synthetic
 
     @staticmethod
     def _laplace_tail(value: float, epsilon: float) -> float:

@@ -52,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--epsilons", nargs="+", type=float, default=list(PGB_EPSILONS))
     run_parser.add_argument("--queries", nargs="+", default=list(PGB_QUERY_NAMES))
     run_parser.add_argument("--repetitions", type=int, default=1)
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for grid cells; results are "
+                                 "identical for any worker count")
     run_parser.add_argument("--scale", type=float, default=0.02)
     run_parser.add_argument("--seed", type=int, default=2024)
     run_parser.add_argument("--no-strict", action="store_true",
@@ -114,6 +117,7 @@ def _command_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         strict=not args.no_strict,
+        workers=args.workers,
     )
     print(f"running {spec.num_experiments} single experiments...")
     results = run_benchmark(spec)

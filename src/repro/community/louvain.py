@@ -17,7 +17,7 @@ aggregated levels can reuse the same move routine.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Dict, List
 
 from repro.graphs.graph import Graph
@@ -37,7 +37,14 @@ def _graph_to_weighted(graph: Graph) -> _WeightedAdjacency:
 
 def _one_level(adjacency: _WeightedAdjacency, self_loops: List[float], resolution: float,
                rng) -> List[int]:
-    """Run the local-move phase; returns the community label of each node."""
+    """Run the local-move phase; returns the community label of each node.
+
+    Uses queue-based pruning (Ozaki et al. 2016): instead of re-scanning all
+    nodes every pass, only nodes whose neighbourhood changed since their last
+    visit are revisited.  The per-node modularity-gain rule is unchanged, so
+    the quality is that of classic Louvain at a fraction of the move-phase
+    cost on large graphs.
+    """
     n = len(adjacency)
     community = list(range(n))
     # Node strength = weighted degree + 2 * self loop; total weight 2m.
@@ -48,35 +55,40 @@ def _one_level(adjacency: _WeightedAdjacency, self_loops: List[float], resolutio
     if two_m <= 0:
         return community
 
-    improved = True
-    passes = 0
     order = list(range(n))
-    while improved and passes < 32:
-        improved = False
-        passes += 1
-        rng.shuffle(order)
-        for node in order:
-            current = community[node]
-            node_strength = strength[node]
-            # Weight of links from `node` to each neighbouring community.
-            links_to: Dict[int, float] = defaultdict(float)
-            for neighbor, weight in adjacency[node].items():
-                links_to[community[neighbor]] += weight
-            # Remove the node from its community.
-            community_strength[current] -= node_strength
-            best_community = current
-            best_gain = links_to.get(current, 0.0) - resolution * community_strength[current] * node_strength / two_m
-            for candidate, link_weight in links_to.items():
-                if candidate == current:
-                    continue
-                gain = link_weight - resolution * community_strength[candidate] * node_strength / two_m
-                if gain > best_gain + 1e-12:
-                    best_gain = gain
-                    best_community = candidate
-            community_strength[best_community] += node_strength
-            if best_community != current:
-                community[node] = best_community
-                improved = True
+    rng.shuffle(order)
+    queue = deque(order)
+    queued = [True] * n
+    visits = 0
+    max_visits = 64 * n  # mirrors the old 32-full-passes cap with headroom
+    while queue and visits < max_visits:
+        node = queue.popleft()
+        queued[node] = False
+        visits += 1
+        current = community[node]
+        node_strength = strength[node]
+        # Weight of links from `node` to each neighbouring community.
+        links_to: Dict[int, float] = defaultdict(float)
+        for neighbor, weight in adjacency[node].items():
+            links_to[community[neighbor]] += weight
+        # Remove the node from its community.
+        community_strength[current] -= node_strength
+        best_community = current
+        best_gain = links_to.get(current, 0.0) - resolution * community_strength[current] * node_strength / two_m
+        for candidate, link_weight in links_to.items():
+            if candidate == current:
+                continue
+            gain = link_weight - resolution * community_strength[candidate] * node_strength / two_m
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_community = candidate
+        community_strength[best_community] += node_strength
+        if best_community != current:
+            community[node] = best_community
+            for neighbor in adjacency[node]:
+                if community[neighbor] != best_community and not queued[neighbor]:
+                    queue.append(neighbor)
+                    queued[neighbor] = True
     return community
 
 

@@ -54,6 +54,7 @@ def results_to_dict(results: BenchmarkResults) -> dict:
             "scale": spec.scale,
             "seed": spec.seed,
             "strict": spec.strict,
+            "workers": spec.workers,
         },
         "cells": [
             {column: getattr(cell, column) for column in _CSV_COLUMNS}
@@ -77,6 +78,7 @@ def results_from_dict(payload: dict) -> BenchmarkResults:
         scale=float(spec_payload["scale"]),
         seed=int(spec_payload["seed"]),
         strict=bool(spec_payload.get("strict", True)),
+        workers=int(spec_payload.get("workers", 1)),
     )
     cells: List[CellResult] = []
     for cell_payload in payload["cells"]:

@@ -6,6 +6,16 @@ each synthetic graph, and records the *average* error per query — exactly the
 procedure of the paper's Section V-D ("we run each experiment 10 times and
 calculate the average of the utility metrics").
 
+Grid cells are independent, so they can run on a ``ProcessPoolExecutor``
+(``workers`` in the spec / ``--workers`` in the CLI).  Every repetition draws
+its noise from a :class:`numpy.random.SeedSequence` keyed by
+``(master seed, algorithm, dataset, ε, repetition)`` rather than from a
+shared sequential stream, which makes the results *bit-identical* for any
+worker count and any execution order.  Each synthetic graph is evaluated
+through a memoized :class:`~repro.queries.context.EvaluationContext`, so the
+15 queries share their expensive derivations (BFS sweeps, Louvain runs,
+triangle counts).
+
 Results are plain dataclass records collected into :class:`BenchmarkResults`,
 which the aggregation module turns into the paper's tables.
 """
@@ -14,16 +24,17 @@ from __future__ import annotations
 
 import logging
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import GraphGenerator
 from repro.core.spec import BenchmarkSpec
 from repro.graphs.graph import Graph
 from repro.queries.base import GraphQuery
-from repro.utils.rng import ensure_rng
+from repro.queries.context import EvaluationContext
+from repro.utils.rng import keyed_seed_sequence
 
 logger = logging.getLogger(__name__)
 
@@ -45,45 +56,162 @@ class CellResult:
 
 @dataclass
 class BenchmarkResults:
-    """All cell results of one benchmark run plus the spec that produced them."""
+    """All cell results of one benchmark run plus the spec that produced them.
+
+    Lookup methods are served from per-coordinate index sets built once per
+    cell-list state (and rebuilt only when cells are added), instead of
+    rescanning every cell on every call.
+    """
 
     spec: BenchmarkSpec
     cells: List[CellResult] = field(default_factory=list)
+    _index: Optional[Dict[str, Dict[object, Set[int]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _index_snapshot: Optional[List[CellResult]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _indexes(self) -> Dict[str, Dict[object, Set[int]]]:
+        """Per-field value → cell-index sets, rebuilt only when cells change.
+
+        Staleness is detected by element identity against the snapshot the
+        index was built from (a cheap C-level pointer scan), so in-place
+        replacements are caught, not just length changes.
+        """
+        snapshot = self._index_snapshot
+        stale = (
+            self._index is None
+            or snapshot is None
+            or len(snapshot) != len(self.cells)
+            or any(a is not b for a, b in zip(snapshot, self.cells))
+        )
+        if stale:
+            index: Dict[str, Dict[object, Set[int]]] = {
+                "algorithm": {}, "dataset": {}, "epsilon": {}, "query": {},
+            }
+            for position, cell in enumerate(self.cells):
+                index["algorithm"].setdefault(cell.algorithm, set()).add(position)
+                index["dataset"].setdefault(cell.dataset, set()).add(position)
+                index["epsilon"].setdefault(cell.epsilon, set()).add(position)
+                index["query"].setdefault(cell.query, set()).add(position)
+            self._index = index
+            self._index_snapshot = list(self.cells)
+        return self._index
+
+    def _epsilon_indices(self, epsilon: float) -> Set[int]:
+        matches: Set[int] = set()
+        for value, positions in self._indexes()["epsilon"].items():
+            if abs(value - epsilon) <= 1e-12:
+                matches |= positions
+        return matches
 
     def filter(self, algorithm: str | None = None, dataset: str | None = None,
                epsilon: float | None = None, query: str | None = None) -> List[CellResult]:
         """Cells matching the given coordinates (None matches everything)."""
-        out = []
-        for cell in self.cells:
-            if algorithm is not None and cell.algorithm != algorithm:
-                continue
-            if dataset is not None and cell.dataset != dataset:
-                continue
-            if epsilon is not None and abs(cell.epsilon - epsilon) > 1e-12:
-                continue
-            if query is not None and cell.query != query:
-                continue
-            out.append(cell)
-        return out
+        indexes = self._indexes()
+        candidate_sets: List[Set[int]] = []
+        if algorithm is not None:
+            candidate_sets.append(indexes["algorithm"].get(algorithm, set()))
+        if dataset is not None:
+            candidate_sets.append(indexes["dataset"].get(dataset, set()))
+        if epsilon is not None:
+            candidate_sets.append(self._epsilon_indices(epsilon))
+        if query is not None:
+            candidate_sets.append(indexes["query"].get(query, set()))
+        if not candidate_sets:
+            return list(self.cells)
+        positions = set.intersection(*candidate_sets)
+        return [self.cells[position] for position in sorted(positions)]
 
     def algorithms(self) -> List[str]:
         """Algorithm names present in the results, in spec order."""
-        return [name for name in self.spec.algorithms if any(c.algorithm == name for c in self.cells)]
+        present = self._indexes()["algorithm"]
+        return [name for name in self.spec.algorithms if name in present]
 
     def datasets(self) -> List[str]:
         """Dataset names present in the results, in spec order."""
-        return [name for name in self.spec.datasets if any(c.dataset == name for c in self.cells)]
+        present = self._indexes()["dataset"]
+        return [name for name in self.spec.datasets if name in present]
 
     def epsilons(self) -> List[float]:
         """Privacy budgets present in the results, in spec order."""
-        return [eps for eps in self.spec.epsilons if any(abs(c.epsilon - eps) < 1e-12 for c in self.cells)]
+        return [eps for eps in self.spec.epsilons if self._epsilon_indices(eps)]
 
     def queries(self) -> List[str]:
         """Query names present in the results, in spec order."""
-        return [name for name in self.spec.queries if any(c.query == name for c in self.cells)]
+        present = self._indexes()["query"]
+        return [name for name in self.spec.queries if name in present]
 
 
 ProgressCallback = Callable[[str, str, float], None]
+
+
+def repetition_seed_sequence(master_seed: int, algorithm: str, dataset: str,
+                             epsilon: float, repetition: int) -> np.random.SeedSequence:
+    """The keyed seed sequence of one (algorithm, dataset, ε, repetition) run.
+
+    Exposed so external tooling can reproduce any single repetition of a
+    benchmark run without executing the rest of the grid.
+    """
+    return keyed_seed_sequence(
+        master_seed, "cell", algorithm, dataset, float(epsilon), repetition
+    )
+
+
+def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
+                  query_names: Sequence[str], true_values: Dict[str, object],
+                  repetitions: int, master_seed: int) -> List[CellResult]:
+    """Run one grid cell; used verbatim by both the serial and parallel paths."""
+    from repro.algorithms.registry import get_algorithm
+    from repro.metrics.registry import get_metric
+    from repro.queries.registry import get_query
+
+    queries = [get_query(name) for name in query_names]
+    errors: Dict[str, List[float]] = {query.name: [] for query in queries}
+    generation_time = 0.0
+    for repetition in range(repetitions):
+        algorithm = get_algorithm(algorithm_name)
+        seed = repetition_seed_sequence(
+            master_seed, algorithm_name, dataset_name, epsilon, repetition
+        )
+        start = time.perf_counter()
+        try:
+            synthetic = algorithm.generate_graph(graph, epsilon, rng=np.random.default_rng(seed))
+        except Exception:  # pragma: no cover - defensive: one failure should not kill the run
+            logger.exception(
+                "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
+                algorithm_name, dataset_name, epsilon, repetition,
+            )
+            continue
+        generation_time += time.perf_counter() - start
+        context = EvaluationContext(synthetic)
+        for query in queries:
+            metric = get_metric(query.metric_name)
+            synthetic_value = query.evaluate_in(context)
+            score = metric(true_values[query.name], synthetic_value)
+            error = 1.0 - score if metric.higher_is_better else score
+            errors[query.name].append(float(error))
+
+    cells: List[CellResult] = []
+    for query in queries:
+        values = errors[query.name]
+        if not values:
+            continue
+        cells.append(
+            CellResult(
+                algorithm=algorithm_name,
+                dataset=dataset_name,
+                epsilon=float(epsilon),
+                query=query.name,
+                query_code=query.code,
+                error=float(np.mean(values)),
+                error_std=float(np.std(values)),
+                repetitions=len(values),
+                generation_seconds=generation_time / max(len(values), 1),
+            )
+        )
+    return cells
 
 
 class BenchmarkRunner:
@@ -96,86 +224,87 @@ class BenchmarkRunner:
     progress:
         Optional callback ``(algorithm, dataset, epsilon)`` invoked before each
         generation, useful for long runs.
+    workers:
+        Number of worker processes; overrides ``spec.workers`` when given.
+        With 1 worker everything runs in-process.  Results are bit-identical
+        for every worker count thanks to the keyed per-repetition seeding.
     """
 
-    def __init__(self, spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None) -> None:
+    def __init__(self, spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None,
+                 workers: Optional[int] = None) -> None:
         self.spec = spec
         self.progress = progress
+        self.workers = workers
 
     def run(self) -> BenchmarkResults:
         """Execute the full grid and return the collected results."""
+        workers = self.workers if self.workers is not None else self.spec.workers
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         results = BenchmarkResults(spec=self.spec)
         graphs = self.spec.load_graphs()
         queries = self.spec.make_queries()
-        master = ensure_rng(self.spec.seed)
+        query_names = [query.name for query in queries]
 
+        # Pre-compute the true query values once per dataset (through one
+        # shared context each): they do not depend on the algorithm or ε.
+        true_values: Dict[str, Dict[str, object]] = {}
         for dataset_name, graph in graphs.items():
-            # Pre-compute the true query values once per dataset: they do not
-            # depend on the algorithm or the privacy budget.
-            true_values = {query.name: query.evaluate(graph) for query in queries}
-            for algorithm_name in self.spec.algorithms:
-                for epsilon in self.spec.epsilons:
-                    if self.progress is not None:
-                        self.progress(algorithm_name, dataset_name, epsilon)
-                    cells = self._run_cell(
-                        algorithm_name, dataset_name, graph, epsilon, queries, true_values, master
+            context = EvaluationContext(graph)
+            true_values[dataset_name] = {
+                query.name: query.evaluate_in(context) for query in queries
+            }
+
+        tasks: List[Tuple[str, str, float]] = [
+            (algorithm_name, dataset_name, epsilon)
+            for dataset_name in graphs
+            for algorithm_name in self.spec.algorithms
+            for epsilon in self.spec.epsilons
+        ]
+
+        if workers == 1:
+            for algorithm_name, dataset_name, epsilon in tasks:
+                if self.progress is not None:
+                    self.progress(algorithm_name, dataset_name, epsilon)
+                results.cells.extend(
+                    _execute_cell(
+                        algorithm_name, dataset_name, graphs[dataset_name], epsilon,
+                        query_names, true_values[dataset_name],
+                        self.spec.repetitions, self.spec.seed,
                     )
-                    results.cells.extend(cells)
+                )
+            return results
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = []
+            for algorithm_name, dataset_name, epsilon in tasks:
+                if self.progress is not None:
+                    self.progress(algorithm_name, dataset_name, epsilon)
+                futures.append(
+                    pool.submit(
+                        _execute_cell,
+                        algorithm_name, dataset_name, graphs[dataset_name], epsilon,
+                        query_names, true_values[dataset_name],
+                        self.spec.repetitions, self.spec.seed,
+                    )
+                )
+            # Collect in submission order so the cell list layout matches the
+            # serial path regardless of completion order.
+            for future in futures:
+                results.cells.extend(future.result())
         return results
 
-    # -- internals -----------------------------------------------------------
-    def _run_cell(self, algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
-                  queries: Sequence[GraphQuery], true_values: Dict[str, object],
-                  master) -> List[CellResult]:
-        from repro.algorithms.registry import get_algorithm
-        from repro.metrics.registry import get_metric
 
-        errors: Dict[str, List[float]] = {query.name: [] for query in queries}
-        generation_time = 0.0
-        for repetition in range(self.spec.repetitions):
-            algorithm = get_algorithm(algorithm_name)
-            seed = int(master.integers(0, 2**31 - 1))
-            start = time.perf_counter()
-            try:
-                synthetic = algorithm.generate_graph(graph, epsilon, rng=seed)
-            except Exception:  # pragma: no cover - defensive: one failure should not kill the run
-                logger.exception(
-                    "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
-                    algorithm_name, dataset_name, epsilon, repetition,
-                )
-                continue
-            generation_time += time.perf_counter() - start
-            for query in queries:
-                metric = get_metric(query.metric_name)
-                synthetic_value = query.evaluate(synthetic)
-                score = metric(true_values[query.name], synthetic_value)
-                error = 1.0 - score if metric.higher_is_better else score
-                errors[query.name].append(float(error))
-
-        cells: List[CellResult] = []
-        for query in queries:
-            values = errors[query.name]
-            if not values:
-                continue
-            cells.append(
-                CellResult(
-                    algorithm=algorithm_name,
-                    dataset=dataset_name,
-                    epsilon=float(epsilon),
-                    query=query.name,
-                    query_code=query.code,
-                    error=float(np.mean(values)),
-                    error_std=float(np.std(values)),
-                    repetitions=len(values),
-                    generation_seconds=generation_time / max(len(values), 1),
-                )
-            )
-        return cells
-
-
-def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None) -> BenchmarkResults:
+def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None,
+                  workers: Optional[int] = None) -> BenchmarkResults:
     """Convenience function: build a runner for ``spec`` and run it."""
-    return BenchmarkRunner(spec, progress=progress).run()
+    return BenchmarkRunner(spec, progress=progress, workers=workers).run()
 
 
-__all__ = ["CellResult", "BenchmarkResults", "BenchmarkRunner", "run_benchmark"]
+__all__ = [
+    "CellResult",
+    "BenchmarkResults",
+    "BenchmarkRunner",
+    "run_benchmark",
+    "repetition_seed_sequence",
+]

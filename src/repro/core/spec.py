@@ -53,7 +53,11 @@ class BenchmarkSpec:
         Scale factor applied to the dataset stand-ins; 1.0 reproduces the
         paper's sizes, smaller values keep CI runs fast.
     seed:
-        Master seed from which every repetition derives its own RNG.
+        Master seed from which every repetition derives its own RNG (keyed by
+        cell coordinates, so execution order and worker count do not matter).
+    workers:
+        Number of worker processes the runner uses for grid cells; 1 runs
+        everything in-process.  Results are identical for any value.
     """
 
     algorithms: Sequence[str] = PGB_ALGORITHM_NAMES
@@ -64,6 +68,7 @@ class BenchmarkSpec:
     scale: float = 1.0
     seed: int = 2024
     strict: bool = True
+    workers: int = 1
 
     def __post_init__(self) -> None:
         self.algorithms = tuple(self.algorithms)
@@ -113,6 +118,8 @@ class BenchmarkSpec:
             raise SpecValidationError("repetitions must be >= 1")
         if self.scale <= 0:
             raise SpecValidationError("scale must be > 0")
+        if self.workers < 1:
+            raise SpecValidationError("workers must be >= 1")
 
         instances = self.make_algorithms()
         models = {algorithm.privacy_model for algorithm in instances}

@@ -175,6 +175,22 @@ class ExponentialMechanism:
         probs = self.probabilities(scores)
         return int(generator.choice(len(probs), p=probs))
 
+    def select_indices(self, score_matrix, rng: RngLike = None) -> np.ndarray:
+        """Vectorized selection: one draw per row of a (rows × candidates) matrix.
+
+        Uses the Gumbel-max trick — ``argmax(ε·q/(2Δ) + Gumbel)`` samples from
+        exactly the softmax distribution of :meth:`select_index` — so selecting
+        for thousands of rows (e.g. PrivGraph's per-node community
+        re-assignment) is a single array operation.
+        """
+        generator = ensure_rng(rng)
+        scores = np.asarray(score_matrix, dtype=float)
+        if scores.ndim != 2 or scores.shape[1] == 0:
+            raise ValueError(f"score matrix must be 2-D and non-empty, got shape {scores.shape}")
+        weights = self.epsilon * scores / (2.0 * self.sensitivity)
+        gumbel = generator.gumbel(size=weights.shape)
+        return np.argmax(weights + gumbel, axis=1)
+
     def select(self, candidates: Sequence, quality: Callable[[object], float], rng: RngLike = None):
         """Score ``candidates`` with ``quality`` and sample one privately."""
         candidates = list(candidates)

@@ -47,8 +47,11 @@ def stochastic_block_model_graph(block_sizes: Sequence[int],
 
     offsets = np.concatenate([[0], np.cumsum(sizes)])
     n = int(offsets[-1])
-    graph = Graph(n)
 
+    # Block draws are already vectorized; the per-edge Python insertion loop
+    # is replaced by accumulating each block's edges and building the graph
+    # once (blocks are disjoint, so no cross-block duplicates arise).
+    edge_blocks = []
     for i in range(k):
         for j in range(i, k):
             p = probabilities[i, j]
@@ -63,14 +66,14 @@ def stochastic_block_model_graph(block_sizes: Sequence[int],
                 mask = generator.random((size, size)) < p
                 upper = np.triu(mask, k=1)
                 rows, cols = np.nonzero(upper)
-                for r, c in zip(rows.tolist(), cols.tolist()):
-                    graph.add_edge(int(nodes_i[r]), int(nodes_i[c]), allow_existing=True)
+                edge_blocks.append(np.column_stack([nodes_i[rows], nodes_i[cols]]))
             else:
                 mask = generator.random((len(nodes_i), len(nodes_j))) < p
                 rows, cols = np.nonzero(mask)
-                for r, c in zip(rows.tolist(), cols.tolist()):
-                    graph.add_edge(int(nodes_i[r]), int(nodes_j[c]), allow_existing=True)
-    return graph
+                edge_blocks.append(np.column_stack([nodes_i[rows], nodes_j[cols]]))
+    edges = (np.concatenate(edge_blocks) if edge_blocks
+             else np.empty((0, 2), dtype=np.int64))
+    return Graph.from_edge_array(edges, n)
 
 
 def planted_partition_graph(num_blocks: int, block_size: int, p_in: float, p_out: float,

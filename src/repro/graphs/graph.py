@@ -4,8 +4,19 @@
 contiguous node-id universe ``0 .. n-1``.  The paper's algorithms need three
 different views of a graph — adjacency sets (community detection, BFS),
 adjacency matrices (TmF, PrivSKG) and degree sequences (DP-dK, DGG) — so the
-class keeps the adjacency-set representation as the source of truth and
-converts lazily to numpy / scipy / networkx when a substrate requires it.
+class keeps *two* interchangeable representations:
+
+* a **canonical edge array**: an ``(m, 2)`` int64 ndarray with ``u < v`` per
+  row, sorted lexicographically.  This is the array layer every vectorized
+  code path (bulk construction, CSR conversion, degree computation, subgraph
+  extraction) works on, and it is what generators produce so they never pay
+  per-edge Python cost;
+* **adjacency sets**, materialised lazily, for the incremental mutation API
+  (``add_edge`` / ``remove_edge``) and set-based traversals.
+
+Whichever representation exists is authoritative; derived views (edge array,
+degrees, CSR adjacency) are memoized and invalidated by a dirty flag whenever
+the graph mutates, so repeated conversions of the same graph are free.
 
 Nodes with no incident edges are first-class: the paper's |V| query (Q1)
 counts them, and several algorithms (e.g. TmF) produce isolated nodes.
@@ -20,6 +31,40 @@ import numpy as np
 import scipy.sparse as sp
 
 Edge = Tuple[int, int]
+
+_EMPTY_EDGE_ARRAY = np.empty((0, 2), dtype=np.int64)
+_EMPTY_EDGE_ARRAY.flags.writeable = False
+
+
+def _encode_edges(u: np.ndarray, v: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Encode canonical pairs (u < v) as scalar codes ``u * n + v``."""
+    return u * np.int64(num_nodes) + v
+
+
+def _decode_edges(codes: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Invert :func:`_encode_edges` into an ``(m, 2)`` array."""
+    out = np.empty((codes.size, 2), dtype=np.int64)
+    np.floor_divide(codes, num_nodes, out=out[:, 0])
+    np.mod(codes, num_nodes, out=out[:, 1])
+    return out
+
+
+def _canonical_codes(edges: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Unique sorted codes of an arbitrary ``(m, 2)`` int array.
+
+    Self-loops are dropped, (u, v)/(v, u) duplicates collapse onto the
+    canonical ``u < v`` orientation, and out-of-range ids raise the same
+    ``ValueError`` the scalar API raises.
+    """
+    if edges.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    if lo.size and (int(lo.min()) < 0 or int(hi.max()) >= num_nodes):
+        bad = int(lo.min()) if int(lo.min()) < 0 else int(hi.max())
+        raise ValueError(f"node {bad} outside universe [0, {num_nodes})")
+    mask = lo != hi  # drop self-loops, mirroring the scalar add_edges_from
+    return np.unique(_encode_edges(lo[mask], hi[mask], num_nodes))
 
 
 class Graph:
@@ -37,29 +82,48 @@ class Graph:
         are normally consumed.
     """
 
-    __slots__ = ("_num_nodes", "_adjacency", "_num_edges")
+    __slots__ = ("_num_nodes", "_adjacency", "_num_edges", "_edge_array", "_degrees", "_csr")
 
     def __init__(self, num_nodes: int, edges: Iterable[Edge] | None = None) -> None:
         if num_nodes < 0:
             raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
         self._num_nodes = int(num_nodes)
-        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_nodes)]
+        self._adjacency: List[Set[int]] | None = None
         self._num_edges = 0
+        self._edge_array: np.ndarray | None = _EMPTY_EDGE_ARRAY
+        self._degrees: np.ndarray | None = None
+        self._csr: sp.csr_matrix | None = None
         if edges is not None:
             self.add_edges_from(edges)
 
     # -- construction -----------------------------------------------------
     @classmethod
+    def from_edge_array(cls, edges: np.ndarray, num_nodes: int | None = None) -> "Graph":
+        """Bulk constructor from an ``(m, 2)`` integer array.
+
+        Self-loops are dropped and duplicates (including reversed pairs) are
+        deduplicated via encoded-pair ``np.unique`` — no per-edge Python cost.
+        ``num_nodes`` is inferred from the largest id when omitted.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edge array must have shape (m, 2), got {edges.shape}")
+        if num_nodes is None:
+            num_nodes = int(edges.max()) + 1 if edges.shape[0] else 0
+        graph = cls(num_nodes)
+        codes = _canonical_codes(edges, graph._num_nodes)
+        graph._set_edge_array(_decode_edges(codes, graph._num_nodes))
+        return graph
+
+    @classmethod
     def from_networkx(cls, nx_graph: nx.Graph) -> "Graph":
         """Build a :class:`Graph` from a networkx graph, relabelling nodes to 0..n-1."""
         nodes = list(nx_graph.nodes())
         index = {node: position for position, node in enumerate(nodes)}
-        graph = cls(len(nodes))
-        for u, v in nx_graph.edges():
-            if u == v:
-                continue
-            graph.add_edge(index[u], index[v], allow_existing=True)
-        return graph
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return cls.from_edge_array(np.array(edges, dtype=np.int64).reshape(-1, 2), len(nodes))
 
     @classmethod
     def from_edge_list(cls, edges: Sequence[Edge], num_nodes: int | None = None) -> "Graph":
@@ -67,29 +131,38 @@ class Graph:
         edges = list(edges)
         if num_nodes is None:
             num_nodes = 1 + max((max(u, v) for u, v in edges), default=-1)
-        graph = cls(num_nodes)
-        graph.add_edges_from(edges)
-        return graph
+        return cls.from_edge_array(np.array(edges, dtype=np.int64).reshape(-1, 2), num_nodes)
 
     @classmethod
     def from_adjacency_matrix(cls, matrix: np.ndarray | sp.spmatrix) -> "Graph":
         """Build a graph from a (dense or sparse) symmetric 0/1 adjacency matrix."""
         if sp.issparse(matrix):
             coo = sp.triu(matrix, k=1).tocoo()
-            num_nodes = matrix.shape[0]
-            edges = zip(coo.row.tolist(), coo.col.tolist())
-            return cls(num_nodes, ((int(u), int(v)) for u, v in edges))
+            return cls.from_edge_array(
+                np.column_stack([coo.row.astype(np.int64), coo.col.astype(np.int64)]),
+                matrix.shape[0],
+            )
         matrix = np.asarray(matrix)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError("adjacency matrix must be square")
         rows, cols = np.nonzero(np.triu(matrix, k=1))
-        return cls(matrix.shape[0], zip(rows.tolist(), cols.tolist()))
+        return cls.from_edge_array(np.column_stack([rows, cols]), matrix.shape[0])
 
     def copy(self) -> "Graph":
-        """Return a deep copy of this graph."""
+        """Return a deep copy of this graph.
+
+        The canonical edge array is immutable, so it is shared with the copy;
+        the first mutation on either side invalidates only that side's caches.
+        """
         clone = Graph(self._num_nodes)
-        clone._adjacency = [set(neighbors) for neighbors in self._adjacency]
+        if self._adjacency is not None:
+            clone._adjacency = [set(neighbors) for neighbors in self._adjacency]
+            clone._edge_array = self._edge_array
+        else:
+            clone._edge_array = self._edge_array
         clone._num_edges = self._num_edges
+        clone._degrees = self._degrees
+        clone._csr = self._csr
         return clone
 
     # -- basic accessors ---------------------------------------------------
@@ -108,11 +181,37 @@ class Graph:
         return range(self._num_nodes)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over edges as ``(u, v)`` with ``u < v``."""
-        for u, neighbors in enumerate(self._adjacency):
-            for v in neighbors:
-                if u < v:
-                    yield (u, v)
+        """Iterate over edges as ``(u, v)`` with ``u < v``, in canonical order."""
+        for u, v in self.edge_array().tolist():
+            yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """Canonical ``(m, 2)`` int64 edge array with ``u < v``, lexicographically sorted.
+
+        The returned array is memoized and marked read-only — copy before
+        mutating.  This is the entry point of the vectorized layer: degrees,
+        CSR conversion, subgraphs and the algorithms' hot loops all derive
+        from it without per-edge Python iteration.
+        """
+        if self._edge_array is None:
+            us: List[int] = []
+            vs: List[int] = []
+            assert self._adjacency is not None
+            for u, neighbors in enumerate(self._adjacency):
+                for v in neighbors:
+                    if u < v:
+                        us.append(u)
+                        vs.append(v)
+            arr = np.column_stack([
+                np.asarray(us, dtype=np.int64),
+                np.asarray(vs, dtype=np.int64),
+            ]) if us else _EMPTY_EDGE_ARRAY.copy()
+            if arr.shape[0]:
+                order = np.lexsort((arr[:, 1], arr[:, 0]))
+                arr = arr[order]
+            arr.flags.writeable = False
+            self._edge_array = arr
+        return self._edge_array
 
     def edge_set(self) -> Set[Edge]:
         """Return the edge set as a set of ``(u, v)`` with ``u < v``."""
@@ -122,26 +221,31 @@ class Graph:
         """Return True when edge ``(u, v)`` exists."""
         self._check_node(u)
         self._check_node(v)
-        return v in self._adjacency[u]
+        return v in self._ensure_adjacency()[u]
 
     def degree(self, node: int) -> int:
         """Degree of ``node``."""
         self._check_node(node)
-        return len(self._adjacency[node])
+        if self._adjacency is not None:
+            # O(1) from the authoritative sets — callers that interleave
+            # mutation with degree reads (DP-dK's rewiring) must not trigger
+            # an edge-array rebuild per read.
+            return len(self._adjacency[node])
+        return int(self._degree_cache()[node])
 
     def degrees(self) -> np.ndarray:
         """Degrees of all nodes as an int array indexed by node id."""
-        return np.array([len(neighbors) for neighbors in self._adjacency], dtype=np.int64)
+        return self._degree_cache().copy()
 
     def neighbors(self, node: int) -> Iterator[int]:
         """Iterate over the neighbours of ``node``."""
         self._check_node(node)
-        return iter(self._adjacency[node])
+        return iter(self._ensure_adjacency()[node])
 
     def neighbor_set(self, node: int) -> Set[int]:
         """Return a copy of the neighbour set of ``node``."""
         self._check_node(node)
-        return set(self._adjacency[node])
+        return set(self._ensure_adjacency()[node])
 
     # -- mutation ----------------------------------------------------------
     def add_edge(self, u: int, v: int, allow_existing: bool = False) -> None:
@@ -154,17 +258,27 @@ class Graph:
         self._check_node(v)
         if u == v:
             raise ValueError(f"self-loops are not allowed (node {u})")
-        if v in self._adjacency[u]:
+        adjacency = self._ensure_adjacency()
+        if v in adjacency[u]:
             if allow_existing:
                 return
             raise ValueError(f"edge ({u}, {v}) already exists")
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
         self._num_edges += 1
+        self._invalidate()
 
     def add_edges_from(self, edges: Iterable[Edge]) -> int:
-        """Add edges, skipping self-loops and duplicates; return how many were added."""
+        """Add edges, skipping self-loops and duplicates; return how many were added.
+
+        ndarray input takes the vectorized path: the new pairs are
+        canonicalised, deduplicated against the existing edge set with an
+        encoded-pair ``np.unique``, and merged without per-edge Python work.
+        """
+        if isinstance(edges, np.ndarray):
+            return self._add_edge_array(edges)
         added = 0
+        adjacency = self._ensure_adjacency()
         before = self._num_edges
         for u, v in edges:
             u, v = int(u), int(v)
@@ -172,71 +286,81 @@ class Graph:
                 continue
             self._check_node(u)
             self._check_node(v)
-            if v in self._adjacency[u]:
+            if v in adjacency[u]:
                 continue
-            self._adjacency[u].add(v)
-            self._adjacency[v].add(u)
+            adjacency[u].add(v)
+            adjacency[v].add(u)
             self._num_edges += 1
         added = self._num_edges - before
+        if added:
+            self._invalidate()
         return added
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove edge ``(u, v)``; raises if it does not exist."""
         self._check_node(u)
         self._check_node(v)
-        if v not in self._adjacency[u]:
+        adjacency = self._ensure_adjacency()
+        if v not in adjacency[u]:
             raise ValueError(f"edge ({u}, {v}) does not exist")
-        self._adjacency[u].discard(v)
-        self._adjacency[v].discard(u)
+        adjacency[u].discard(v)
+        adjacency[v].discard(u)
         self._num_edges -= 1
+        self._invalidate()
 
     # -- conversions --------------------------------------------------------
     def to_networkx(self) -> nx.Graph:
         """Convert to a networkx graph (all nodes included, even isolated ones)."""
         nx_graph = nx.Graph()
         nx_graph.add_nodes_from(range(self._num_nodes))
-        nx_graph.add_edges_from(self.edges())
+        nx_graph.add_edges_from(self.edge_array().tolist())
         return nx_graph
 
     def to_adjacency_matrix(self, dtype=np.int8) -> np.ndarray:
         """Dense symmetric adjacency matrix; only safe for small/medium graphs."""
         matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=dtype)
-        for u, v in self.edges():
-            matrix[u, v] = 1
-            matrix[v, u] = 1
+        arr = self.edge_array()
+        matrix[arr[:, 0], arr[:, 1]] = 1
+        matrix[arr[:, 1], arr[:, 0]] = 1
         return matrix
 
     def to_sparse_adjacency(self) -> sp.csr_matrix:
-        """Sparse CSR adjacency matrix."""
-        rows: List[int] = []
-        cols: List[int] = []
-        for u, v in self.edges():
-            rows.extend((u, v))
-            cols.extend((v, u))
-        data = np.ones(len(rows), dtype=np.int8)
-        return sp.csr_matrix((data, (rows, cols)), shape=(self._num_nodes, self._num_nodes))
+        """Sparse CSR adjacency matrix (memoized; treat as read-only)."""
+        if self._csr is None:
+            arr = self.edge_array()
+            rows = np.concatenate([arr[:, 0], arr[:, 1]])
+            cols = np.concatenate([arr[:, 1], arr[:, 0]])
+            data = np.ones(rows.size, dtype=np.int8)
+            self._csr = sp.csr_matrix(
+                (data, (rows, cols)), shape=(self._num_nodes, self._num_nodes)
+            )
+        return self._csr
 
     def adjacency_lists(self) -> List[Set[int]]:
         """Return (copies of) the adjacency sets, indexed by node id."""
-        return [set(neighbors) for neighbors in self._adjacency]
+        return [set(neighbors) for neighbors in self._ensure_adjacency()]
 
     def subgraph(self, nodes: Sequence[int]) -> "Graph":
         """Induced subgraph on ``nodes``, relabelled to ``0..len(nodes)-1``."""
         nodes = list(nodes)
-        index: Dict[int, int] = {node: position for position, node in enumerate(nodes)}
-        sub = Graph(len(nodes))
-        node_set = set(nodes)
-        for u in nodes:
-            for v in self._adjacency[u]:
-                if v in node_set and u < v:
-                    sub.add_edge(index[u], index[v], allow_existing=True)
-        return sub
+        mapping = np.full(self._num_nodes, -1, dtype=np.int64)
+        node_arr = np.asarray(nodes, dtype=np.int64)
+        if node_arr.size and (int(node_arr.min()) < 0 or int(node_arr.max()) >= self._num_nodes):
+            raise ValueError(f"subgraph nodes outside universe [0, {self._num_nodes})")
+        mapping[node_arr] = np.arange(node_arr.size, dtype=np.int64)
+        arr = self.edge_array()
+        mu = mapping[arr[:, 0]]
+        mv = mapping[arr[:, 1]]
+        keep = (mu >= 0) & (mv >= 0)
+        return Graph.from_edge_array(np.column_stack([mu[keep], mv[keep]]), len(nodes))
 
     # -- dunder helpers ------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._num_nodes == other._num_nodes and self.edge_set() == other.edge_set()
+        return self._num_nodes == other._num_nodes and np.array_equal(
+            self.edge_array(), other.edge_array()
+        )
 
     def __hash__(self) -> int:  # graphs are mutable; identity hash keeps them usable in ids
         return id(self)
@@ -244,9 +368,74 @@ class Graph:
     def __repr__(self) -> str:
         return f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
 
+    def __reduce__(self):
+        # Pickle as (n, edge array): orders of magnitude smaller and faster to
+        # rebuild than adjacency sets — this is what the parallel benchmark
+        # runner ships to worker processes.
+        return (Graph.from_edge_array, (np.asarray(self.edge_array()), self._num_nodes))
+
+    # -- internals -----------------------------------------------------------
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self._num_nodes:
             raise ValueError(f"node {node} outside universe [0, {self._num_nodes})")
+
+    def _set_edge_array(self, arr: np.ndarray) -> None:
+        """Install a canonical (deduped, sorted) edge array as the edge store."""
+        arr.flags.writeable = False
+        self._edge_array = arr
+        self._adjacency = None
+        self._num_edges = int(arr.shape[0])
+        self._degrees = None
+        self._csr = None
+
+    def _ensure_adjacency(self) -> List[Set[int]]:
+        """Materialise adjacency sets from the edge array on first set-based access."""
+        if self._adjacency is None:
+            adjacency: List[Set[int]] = [set() for _ in range(self._num_nodes)]
+            assert self._edge_array is not None
+            for u, v in self._edge_array.tolist():
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def _degree_cache(self) -> np.ndarray:
+        if self._degrees is None:
+            if self._edge_array is None:
+                # Adjacency is authoritative and the array cache is dirty:
+                # count set sizes (O(n)) instead of forcing the O(m log m)
+                # canonical-array rebuild just for degrees.
+                assert self._adjacency is not None
+                degrees = np.fromiter(
+                    (len(neighbors) for neighbors in self._adjacency),
+                    dtype=np.int64, count=self._num_nodes,
+                )
+            else:
+                degrees = np.bincount(self._edge_array.ravel(), minlength=self._num_nodes)
+            degrees.flags.writeable = False
+            self._degrees = degrees
+        return self._degrees
+
+    def _invalidate(self) -> None:
+        """Drop memoized views after a mutation (adjacency sets stay authoritative)."""
+        self._edge_array = None
+        self._degrees = None
+        self._csr = None
+
+    def _add_edge_array(self, edges: np.ndarray) -> int:
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            return 0
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edge array must have shape (m, 2), got {edges.shape}")
+        new_codes = _canonical_codes(edges, self._num_nodes)
+        arr = self.edge_array()
+        old_codes = _encode_edges(arr[:, 0], arr[:, 1], self._num_nodes)
+        merged = np.union1d(old_codes, new_codes)
+        added = int(merged.size - old_codes.size)
+        if added:
+            self._set_edge_array(_decode_edges(merged, self._num_nodes))
+        return added
 
 
 __all__ = ["Graph", "Edge"]

@@ -2,9 +2,12 @@
 
 These are the building blocks behind the benchmark's 15 queries and behind the
 dataset table (Table VI reports |V|, |E|, ACC and type for every dataset).
-They operate on :class:`repro.graphs.graph.Graph` directly — not through
-networkx — so they stay fast on the adjacency-set representation and are easy
-to test against networkx for correctness.
+They operate on the :class:`repro.graphs.graph.Graph` array layer — the
+memoized edge array / CSR adjacency — so every property is a handful of
+vectorized numpy / scipy.sparse.csgraph operations instead of per-edge Python
+loops.  The original adjacency-set implementations are preserved verbatim in
+:mod:`repro.graphs.reference` and the equivalence suite checks both paths
+agree on random graphs.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 import numpy as np
+from scipy.sparse import csgraph
 
 from repro.graphs.graph import Graph
 
@@ -67,67 +71,45 @@ def degree_distribution(graph: Graph) -> np.ndarray:
     return histogram / total
 
 
+def _triangle_row_counts(graph: Graph) -> np.ndarray:
+    """2 · (triangles through each node), via sparse A² ∘ A row sums."""
+    if graph.num_nodes == 0 or graph.num_edges == 0:
+        return np.zeros(graph.num_nodes, dtype=np.int64)
+    adjacency = graph.to_sparse_adjacency().astype(np.int64)
+    paths = (adjacency @ adjacency).multiply(adjacency)
+    return np.asarray(paths.sum(axis=1)).ravel().astype(np.int64)
+
+
 def triangle_count(graph: Graph) -> int:
     """Total number of triangles in the graph.
 
-    Uses the standard neighbour-intersection method with the degree-ordering
-    optimisation: each triangle is counted exactly once at its lowest-ordered
-    vertex pair.
+    ``(A² ∘ A).sum()`` counts every triangle six times (each ordered vertex
+    pair of the triangle contributes one closed length-2 path).
     """
-    adjacency = graph.adjacency_lists()
-    order = np.argsort(graph.degrees(), kind="stable")
-    rank = np.empty(graph.num_nodes, dtype=np.int64)
-    rank[order] = np.arange(graph.num_nodes)
-    # Orient each edge from lower to higher rank; count paths of length 2
-    # that close into a triangle.
-    forward: List[set] = [set() for _ in range(graph.num_nodes)]
-    for u in range(graph.num_nodes):
-        for v in adjacency[u]:
-            if rank[u] < rank[v]:
-                forward[u].add(v)
-    triangles = 0
-    for u in range(graph.num_nodes):
-        for v in forward[u]:
-            triangles += len(forward[u] & forward[v])
-    return triangles
+    return int(_triangle_row_counts(graph).sum() // 6)
 
 
 def triangles_per_node(graph: Graph) -> np.ndarray:
     """Number of triangles through each node (needed for local clustering)."""
-    adjacency = graph.adjacency_lists()
-    counts = np.zeros(graph.num_nodes, dtype=np.int64)
-    for u in range(graph.num_nodes):
-        neighbors = list(adjacency[u])
-        for i, v in enumerate(neighbors):
-            if v < u:
-                continue
-            common = adjacency[u] & adjacency[v]
-            for w in common:
-                if w > v:
-                    counts[u] += 1
-                    counts[v] += 1
-                    counts[w] += 1
-    return counts
+    return _triangle_row_counts(graph) // 2
+
+
+def local_clustering_from(degrees: np.ndarray, triangles: np.ndarray) -> np.ndarray:
+    """C_i = t_i / (d_i choose 2) from precomputed degrees and triangle counts.
+
+    Shared by :func:`local_clustering_coefficients` and the memoized query
+    context, so the formula lives in exactly one place.
+    """
+    coefficients = np.zeros(degrees.size, dtype=float)
+    mask = degrees >= 2
+    pairs = degrees[mask] * (degrees[mask] - 1) / 2.0
+    coefficients[mask] = triangles[mask] / pairs
+    return coefficients
 
 
 def local_clustering_coefficients(graph: Graph) -> np.ndarray:
     """Per-node clustering coefficient C_i = e_i / (d_i choose 2); 0 when d_i < 2."""
-    adjacency = graph.adjacency_lists()
-    degrees = graph.degrees()
-    coefficients = np.zeros(graph.num_nodes, dtype=float)
-    for node in range(graph.num_nodes):
-        d = degrees[node]
-        if d < 2:
-            continue
-        neighbors = list(adjacency[node])
-        links = 0
-        for i, u in enumerate(neighbors):
-            neighbor_set = adjacency[u]
-            for v in neighbors[i + 1 :]:
-                if v in neighbor_set:
-                    links += 1
-        coefficients[node] = 2.0 * links / (d * (d - 1))
-    return coefficients
+    return local_clustering_from(graph.degrees(), triangles_per_node(graph))
 
 
 def average_clustering_coefficient(graph: Graph) -> float:
@@ -137,13 +119,17 @@ def average_clustering_coefficient(graph: Graph) -> float:
     return float(local_clustering_coefficients(graph).mean())
 
 
-def global_clustering_coefficient(graph: Graph) -> float:
-    """Transitivity: 3 · triangles / number of connected triples."""
-    degrees = graph.degrees()
+def global_clustering_from(degrees: np.ndarray, triangle_total: int) -> float:
+    """Transitivity from precomputed degrees and total triangle count."""
     triples = int(np.sum(degrees * (degrees - 1) // 2))
     if triples == 0:
         return 0.0
-    return 3.0 * triangle_count(graph) / triples
+    return 3.0 * triangle_total / triples
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 · triangles / number of connected triples."""
+    return global_clustering_from(graph.degrees(), triangle_count(graph))
 
 
 def degree_assortativity(graph: Graph) -> float:
@@ -155,15 +141,11 @@ def degree_assortativity(graph: Graph) -> float:
     if graph.num_edges == 0:
         return 0.0
     degrees = graph.degrees()
-    x: List[int] = []
-    y: List[int] = []
-    for u, v in graph.edges():
-        x.append(degrees[u])
-        y.append(degrees[v])
-        x.append(degrees[v])
-        y.append(degrees[u])
-    x_arr = np.asarray(x, dtype=float)
-    y_arr = np.asarray(y, dtype=float)
+    arr = graph.edge_array()
+    du = degrees[arr[:, 0]].astype(float)
+    dv = degrees[arr[:, 1]].astype(float)
+    x_arr = np.concatenate([du, dv])
+    y_arr = np.concatenate([dv, du])
     x_std = x_arr.std()
     y_std = y_arr.std()
     if x_std == 0 or y_std == 0:
@@ -172,25 +154,20 @@ def degree_assortativity(graph: Graph) -> float:
 
 
 def connected_components(graph: Graph) -> List[List[int]]:
-    """Connected components as lists of node ids (iterative BFS)."""
-    seen = np.zeros(graph.num_nodes, dtype=bool)
-    components: List[List[int]] = []
-    adjacency = graph.adjacency_lists()
-    for start in range(graph.num_nodes):
-        if seen[start]:
-            continue
-        component = [start]
-        seen[start] = True
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for neighbor in adjacency[node]:
-                if not seen[neighbor]:
-                    seen[neighbor] = True
-                    component.append(neighbor)
-                    frontier.append(neighbor)
-        components.append(component)
-    return components
+    """Connected components as lists of node ids.
+
+    Components are ordered by their smallest node id and nodes are listed in
+    ascending order within each component (the scalar reference returns BFS
+    discovery order; callers that care about membership sort anyway).
+    """
+    if graph.num_nodes == 0:
+        return []
+    _, labels = csgraph.connected_components(graph.to_sparse_adjacency(), directed=False)
+    order = np.argsort(labels, kind="stable")
+    counts = np.bincount(labels)
+    groups = np.split(order, np.cumsum(counts)[:-1])
+    groups.sort(key=lambda group: int(group[0]))
+    return [group.tolist() for group in groups]
 
 
 def largest_connected_component(graph: Graph) -> List[int]:
@@ -203,21 +180,22 @@ def largest_connected_component(graph: Graph) -> List[int]:
 
 def bfs_distances(graph: Graph, source: int) -> np.ndarray:
     """Unweighted shortest-path distances from ``source``; -1 for unreachable nodes."""
-    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
-    distances[source] = 0
-    frontier = [source]
-    adjacency = graph.adjacency_lists()
-    level = 0
-    while frontier:
-        level += 1
-        next_frontier: List[int] = []
-        for node in frontier:
-            for neighbor in adjacency[node]:
-                if distances[neighbor] < 0:
-                    distances[neighbor] = level
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
-    return distances
+    return bfs_distances_multi(graph, [source])[0]
+
+
+def bfs_distances_multi(graph: Graph, sources) -> np.ndarray:
+    """Distances from every node in ``sources`` as a ``(len(sources), n)`` int array.
+
+    One C-level BFS sweep (``csgraph.dijkstra`` with unit weights) replaces the
+    per-source Python BFS of the scalar path; -1 marks unreachable nodes.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    distances = csgraph.dijkstra(
+        graph.to_sparse_adjacency(), directed=False, unweighted=True, indices=sources
+    )
+    distances = np.atleast_2d(distances)
+    out = np.where(np.isinf(distances), -1, distances).astype(np.int64)
+    return out
 
 
 def summarize(graph: Graph) -> Dict[str, float]:
@@ -241,12 +219,15 @@ __all__ = [
     "degree_distribution",
     "triangle_count",
     "triangles_per_node",
+    "local_clustering_from",
     "local_clustering_coefficients",
     "average_clustering_coefficient",
+    "global_clustering_from",
     "global_clustering_coefficient",
     "degree_assortativity",
     "connected_components",
     "largest_connected_component",
     "bfs_distances",
+    "bfs_distances_multi",
     "summarize",
 ]

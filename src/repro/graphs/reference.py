@@ -1,0 +1,302 @@
+"""Scalar reference implementations of the graph property and conversion layer.
+
+These are the pre-vectorization (per-edge Python loop) code paths, preserved
+verbatim so that
+
+* the equivalence test suite can check the vectorized layer in
+  :mod:`repro.graphs.properties` and :class:`repro.graphs.graph.Graph`
+  against a known-good baseline on random graphs, and
+* ``benchmarks/bench_speed.py`` can measure the before/after trajectory of
+  the array-native pipeline against the same inputs.
+
+Nothing in the production pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+# -- scalar conversions -------------------------------------------------------
+
+
+def scalar_degrees(graph: Graph) -> np.ndarray:
+    """Degrees via a Python pass over the adjacency sets."""
+    adjacency = graph.adjacency_lists()
+    return np.array([len(neighbors) for neighbors in adjacency], dtype=np.int64)
+
+
+def scalar_to_sparse_adjacency(graph: Graph) -> sp.csr_matrix:
+    """CSR adjacency built by extending Python lists one edge at a time."""
+    rows: List[int] = []
+    cols: List[int] = []
+    for u, v in graph.edges():
+        rows.extend((u, v))
+        cols.extend((v, u))
+    data = np.ones(len(rows), dtype=np.int8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(graph.num_nodes, graph.num_nodes))
+
+
+def scalar_to_adjacency_matrix(graph: Graph, dtype=np.int8) -> np.ndarray:
+    """Dense adjacency filled cell by cell."""
+    matrix = np.zeros((graph.num_nodes, graph.num_nodes), dtype=dtype)
+    for u, v in graph.edges():
+        matrix[u, v] = 1
+        matrix[v, u] = 1
+    return matrix
+
+
+def scalar_subgraph(graph: Graph, nodes) -> Graph:
+    """Induced subgraph via per-edge membership tests."""
+    nodes = list(nodes)
+    index: Dict[int, int] = {node: position for position, node in enumerate(nodes)}
+    sub = Graph(len(nodes))
+    node_set = set(nodes)
+    adjacency = graph.adjacency_lists()
+    for u in nodes:
+        for v in adjacency[u]:
+            if v in node_set and u < v:
+                sub.add_edge(index[u], index[v], allow_existing=True)
+    return sub
+
+
+def scalar_build_graph(edges, num_nodes: int) -> Graph:
+    """Build a graph through the incremental (set-based) mutation API."""
+    graph = Graph(num_nodes)
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+# -- scalar properties --------------------------------------------------------
+
+
+def scalar_triangle_count(graph: Graph) -> int:
+    """Neighbour-intersection triangle counting with the degree-ordering trick."""
+    adjacency = graph.adjacency_lists()
+    order = np.argsort(scalar_degrees(graph), kind="stable")
+    rank = np.empty(graph.num_nodes, dtype=np.int64)
+    rank[order] = np.arange(graph.num_nodes)
+    forward: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+    for u in range(graph.num_nodes):
+        for v in adjacency[u]:
+            if rank[u] < rank[v]:
+                forward[u].add(v)
+    triangles = 0
+    for u in range(graph.num_nodes):
+        for v in forward[u]:
+            triangles += len(forward[u] & forward[v])
+    return triangles
+
+
+def scalar_triangles_per_node(graph: Graph) -> np.ndarray:
+    """Per-node triangle counts via ordered common-neighbour enumeration."""
+    adjacency = graph.adjacency_lists()
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    for u in range(graph.num_nodes):
+        neighbors = list(adjacency[u])
+        for v in neighbors:
+            if v < u:
+                continue
+            common = adjacency[u] & adjacency[v]
+            for w in common:
+                if w > v:
+                    counts[u] += 1
+                    counts[v] += 1
+                    counts[w] += 1
+    return counts
+
+
+def scalar_local_clustering_coefficients(graph: Graph) -> np.ndarray:
+    """Per-node clustering via pairwise neighbour membership tests."""
+    adjacency = graph.adjacency_lists()
+    degrees = scalar_degrees(graph)
+    coefficients = np.zeros(graph.num_nodes, dtype=float)
+    for node in range(graph.num_nodes):
+        d = degrees[node]
+        if d < 2:
+            continue
+        neighbors = list(adjacency[node])
+        links = 0
+        for i, u in enumerate(neighbors):
+            neighbor_set = adjacency[u]
+            for v in neighbors[i + 1:]:
+                if v in neighbor_set:
+                    links += 1
+        coefficients[node] = 2.0 * links / (d * (d - 1))
+    return coefficients
+
+
+def scalar_average_clustering_coefficient(graph: Graph) -> float:
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(scalar_local_clustering_coefficients(graph).mean())
+
+
+def scalar_global_clustering_coefficient(graph: Graph) -> float:
+    degrees = scalar_degrees(graph)
+    triples = int(np.sum(degrees * (degrees - 1) // 2))
+    if triples == 0:
+        return 0.0
+    return 3.0 * scalar_triangle_count(graph) / triples
+
+
+def scalar_degree_assortativity(graph: Graph) -> float:
+    if graph.num_edges == 0:
+        return 0.0
+    degrees = scalar_degrees(graph)
+    x: List[int] = []
+    y: List[int] = []
+    for u, v in graph.edges():
+        x.append(degrees[u])
+        y.append(degrees[v])
+        x.append(degrees[v])
+        y.append(degrees[u])
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    x_std = x_arr.std()
+    y_std = y_arr.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def scalar_connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components via an iterative Python traversal."""
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    components: List[List[int]] = []
+    adjacency = graph.adjacency_lists()
+    for start in range(graph.num_nodes):
+        if seen[start]:
+            continue
+        component = [start]
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    component.append(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def scalar_largest_connected_component(graph: Graph) -> List[int]:
+    components = scalar_connected_components(graph)
+    if not components:
+        return []
+    return max(components, key=len)
+
+
+def scalar_bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Single-source BFS distances via Python frontier lists."""
+    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = [source]
+    adjacency = graph.adjacency_lists()
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if distances[neighbor] < 0:
+                    distances[neighbor] = level
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+# -- scalar 15-query evaluation ----------------------------------------------
+
+
+def _scalar_path_distances(graph: Graph, max_sources: int) -> np.ndarray:
+    component = scalar_largest_connected_component(graph)
+    if len(component) < 2:
+        return np.array([], dtype=np.int64)
+    sub = scalar_subgraph(graph, sorted(component))
+    if sub.num_nodes <= max_sources:
+        sources = np.arange(sub.num_nodes)
+    else:
+        sources = np.linspace(0, sub.num_nodes - 1, max_sources).astype(np.int64)
+    collected = []
+    for source in sources:
+        distances = scalar_bfs_distances(sub, int(source))
+        collected.append(distances[distances > 0])
+    if not collected:
+        return np.array([], dtype=np.int64)
+    return np.concatenate(collected)
+
+
+def scalar_query_values(graph: Graph, max_sources: int = 64, louvain_seed: int = 7) -> Dict[str, object]:
+    """Evaluate the 15 benchmark queries the way the seed code path did.
+
+    Every query derives its own views of the graph from scratch — three
+    separate BFS sweeps for Q7–Q9, two separate Louvain runs for Q12/Q13 —
+    which is exactly the redundancy the memoized
+    :class:`repro.queries.context.EvaluationContext` removes.
+    """
+    from repro.community.louvain import louvain_communities
+    from repro.community.partition import modularity
+    from repro.queries.centrality import eigenvector_centrality
+
+    degrees = scalar_degrees(graph)
+    values: Dict[str, object] = {}
+    values["num_nodes"] = float(int(np.count_nonzero(degrees)))
+    values["num_edges"] = float(graph.num_edges)
+    values["triangle_count"] = float(scalar_triangle_count(graph))
+    values["average_degree"] = (
+        2.0 * graph.num_edges / graph.num_nodes if graph.num_nodes else 0.0
+    )
+    values["degree_variance"] = float(np.var(degrees)) if graph.num_nodes else 0.0
+    histogram = np.bincount(degrees).astype(float) if degrees.size else np.zeros(1)
+    values["degree_distribution"] = histogram / histogram.sum() if histogram.sum() else histogram
+
+    for name in ("diameter", "average_shortest_path", "distance_distribution"):
+        distances = _scalar_path_distances(graph, max_sources)
+        if name == "diameter":
+            values[name] = float(distances.max()) if distances.size else 0.0
+        elif name == "average_shortest_path":
+            values[name] = float(distances.mean()) if distances.size else 0.0
+        else:
+            if distances.size:
+                hist = np.bincount(distances).astype(float)
+                values[name] = hist / hist.sum()
+            else:
+                values[name] = np.array([1.0])
+
+    values["global_clustering"] = scalar_global_clustering_coefficient(graph)
+    values["average_clustering"] = scalar_average_clustering_coefficient(graph)
+    values["community_detection"] = louvain_communities(graph, rng=louvain_seed)
+    values["modularity"] = modularity(graph, louvain_communities(graph, rng=louvain_seed))
+    values["assortativity"] = scalar_degree_assortativity(graph)
+    values["eigenvector_centrality"] = eigenvector_centrality(graph)
+    return values
+
+
+__all__ = [
+    "scalar_degrees",
+    "scalar_to_sparse_adjacency",
+    "scalar_to_adjacency_matrix",
+    "scalar_subgraph",
+    "scalar_build_graph",
+    "scalar_triangle_count",
+    "scalar_triangles_per_node",
+    "scalar_local_clustering_coefficients",
+    "scalar_average_clustering_coefficient",
+    "scalar_global_clustering_coefficient",
+    "scalar_degree_assortativity",
+    "scalar_connected_components",
+    "scalar_largest_connected_component",
+    "scalar_bfs_distances",
+    "scalar_query_values",
+]

@@ -52,6 +52,17 @@ class GraphQuery(abc.ABC):
     def evaluate(self, graph: Graph) -> Any:
         """Compute the query value on ``graph``."""
 
+    def evaluate_in(self, context) -> Any:
+        """Compute the query value through a memoized evaluation context.
+
+        ``context`` is a :class:`repro.queries.context.EvaluationContext`.
+        Queries that share expensive derivations (BFS sweeps, Louvain runs,
+        triangle counts) override this to read them from the context; the
+        value must equal :meth:`evaluate` on the context's graph.  The default
+        simply delegates.
+        """
+        return self.evaluate(context.graph)
+
     def error(self, true_graph: Graph, synthetic_graph: Graph) -> float:
         """Error of the synthetic graph with respect to the true graph.
 

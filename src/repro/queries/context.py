@@ -1,0 +1,98 @@
+"""Per-graph memoized evaluation context.
+
+The benchmark evaluates all 15 queries on every synthetic graph.  Several of
+them re-derive the same expensive views: Q7–Q9 each ran their own BFS sweep
+over the largest connected component, Q12 and Q13 each ran their own Louvain
+pass, and Q3/Q10/Q11 each re-counted triangles.  An :class:`EvaluationContext`
+wraps one graph and memoizes those shared derivations, so a full 15-query
+evaluation computes each of them exactly once.
+
+The context deliberately does *not* change any query's semantics: every
+memoized value is exactly what the query would have computed on its own
+(including the fixed Louvain seed and the deterministic BFS source sampling),
+so ``query.evaluate_in(context) == query.evaluate(graph)`` always holds — the
+equivalence suite checks this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bfs_distances_multi, triangles_per_node
+
+
+class EvaluationContext:
+    """Memoizes expensive per-graph derivations shared by the benchmark queries."""
+
+    __slots__ = ("graph", "_memo")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._memo: Dict[Hashable, Any] = {}
+
+    def cached(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the memoized value for ``key``, computing it once via ``factory``."""
+        if key not in self._memo:
+            self._memo[key] = factory()
+        return self._memo[key]
+
+    # -- shared derivations -------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        return self.cached("degrees", self.graph.degrees)
+
+    def triangles_per_node(self) -> np.ndarray:
+        return self.cached("triangles_per_node", lambda: triangles_per_node(self.graph))
+
+    def triangle_count(self) -> int:
+        # Derived from the per-node counts (each triangle is counted at its
+        # three corners), so Q3/Q10/Q11 share one sparse A²∘A product.
+        return self.cached(
+            "triangle_count", lambda: int(self.triangles_per_node().sum()) // 3
+        )
+
+    def louvain(self, seed: int, resolution: float = 1.0):
+        """The Louvain partition for a fixed seed (shared by Q12 and Q13)."""
+        from repro.community.louvain import louvain_communities
+
+        return self.cached(
+            ("louvain", seed, resolution),
+            lambda: louvain_communities(self.graph, resolution=resolution, rng=seed),
+        )
+
+    def lcc_subgraph(self) -> Graph:
+        """Induced subgraph of the largest connected component (sorted node ids)."""
+        from repro.queries.path import _component_subgraph
+
+        return self.cached("lcc_subgraph", lambda: _component_subgraph(self.graph))
+
+    def pairwise_distances(self, max_sources: int) -> np.ndarray:
+        """Positive pairwise distances from the sampled BFS sources inside the LCC.
+
+        This is the shared payload of the three path queries (Q7–Q9): one
+        multi-source C-level BFS sweep instead of three Python sweeps.  The
+        component extraction and source sampling are the path module's own
+        helpers, so the two code paths cannot drift apart.
+        """
+        from repro.queries.path import _sample_sources
+
+        def compute() -> np.ndarray:
+            component = self.lcc_subgraph()
+            if component.num_nodes < 2:
+                return np.array([], dtype=np.int64)
+            sources = _sample_sources(component.num_nodes, max_sources)
+            distances = bfs_distances_multi(component, sources)
+            return distances[distances > 0]
+
+        return self.cached(("pairwise_distances", max_sources), compute)
+
+
+def evaluate_queries(graph: Graph, queries) -> Dict[str, Any]:
+    """Evaluate ``queries`` on ``graph`` through one shared context."""
+    context = EvaluationContext(graph)
+    return {query.name: query.evaluate_in(context) for query in queries}
+
+
+__all__ = ["EvaluationContext", "evaluate_queries"]

@@ -55,5 +55,8 @@ class TriangleCountQuery(GraphQuery):
     def evaluate(self, graph: Graph) -> float:
         return float(triangle_count(graph))
 
+    def evaluate_in(self, context) -> float:
+        return float(context.triangle_count())
+
 
 __all__ = ["NodeCountQuery", "EdgeCountQuery", "TriangleCountQuery"]

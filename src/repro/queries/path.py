@@ -8,6 +8,10 @@ than ``exact_threshold`` nodes the queries sample BFS sources, which is the
 standard way the surveyed implementations keep the evaluation tractable; the
 sampling is deterministic (evenly spaced sources) so repeated evaluations of
 the same graph agree.
+
+When evaluated through an :class:`~repro.queries.context.EvaluationContext`
+the three queries share one multi-source BFS sweep instead of re-deriving the
+component and distances three times.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.graphs.properties import bfs_distances, largest_connected_component
+from repro.graphs.properties import bfs_distances_multi, largest_connected_component
 from repro.queries.base import GraphQuery, QueryCategory
 
 
@@ -48,13 +52,17 @@ class _PathQueryBase(GraphQuery):
         if component.num_nodes < 2:
             return np.array([], dtype=np.int64)
         sources = _sample_sources(component.num_nodes, self.max_sources)
-        collected = []
-        for source in sources:
-            distances = bfs_distances(component, int(source))
-            collected.append(distances[distances > 0])
-        if not collected:
-            return np.array([], dtype=np.int64)
-        return np.concatenate(collected)
+        distances = bfs_distances_multi(component, sources)
+        return distances[distances > 0]
+
+    def _from_distances(self, distances: np.ndarray):
+        raise NotImplementedError
+
+    def evaluate(self, graph: Graph):
+        return self._from_distances(self._distances(graph))
+
+    def evaluate_in(self, context):
+        return self._from_distances(context.pairwise_distances(self.max_sources))
 
 
 class DiameterQuery(_PathQueryBase):
@@ -65,8 +73,7 @@ class DiameterQuery(_PathQueryBase):
     metric_name = "re"
     description = "Diameter of the largest connected component."
 
-    def evaluate(self, graph: Graph) -> float:
-        distances = self._distances(graph)
+    def _from_distances(self, distances: np.ndarray) -> float:
         if distances.size == 0:
             return 0.0
         return float(distances.max())
@@ -80,8 +87,7 @@ class AverageShortestPathQuery(_PathQueryBase):
     metric_name = "re"
     description = "Average shortest-path length of the largest connected component."
 
-    def evaluate(self, graph: Graph) -> float:
-        distances = self._distances(graph)
+    def _from_distances(self, distances: np.ndarray) -> float:
         if distances.size == 0:
             return 0.0
         return float(distances.mean())
@@ -100,8 +106,7 @@ class DistanceDistributionQuery(_PathQueryBase):
     metric_name = "kl"
     description = "Distribution of shortest-path lengths."
 
-    def evaluate(self, graph: Graph) -> np.ndarray:
-        distances = self._distances(graph)
+    def _from_distances(self, distances: np.ndarray) -> np.ndarray:
         if distances.size == 0:
             return np.array([1.0])
         histogram = np.bincount(distances).astype(float)

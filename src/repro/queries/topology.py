@@ -10,6 +10,8 @@ from repro.graphs.properties import (
     average_clustering_coefficient,
     degree_assortativity,
     global_clustering_coefficient,
+    global_clustering_from,
+    local_clustering_from,
 )
 from repro.metrics.registry import get_metric
 from repro.queries.base import GraphQuery, QueryCategory
@@ -27,6 +29,9 @@ class GlobalClusteringQuery(GraphQuery):
     def evaluate(self, graph: Graph) -> float:
         return global_clustering_coefficient(graph)
 
+    def evaluate_in(self, context) -> float:
+        return global_clustering_from(context.degrees(), context.triangle_count())
+
 
 class AverageClusteringQuery(GraphQuery):
     """Q11: average clustering coefficient."""
@@ -39,6 +44,12 @@ class AverageClusteringQuery(GraphQuery):
 
     def evaluate(self, graph: Graph) -> float:
         return average_clustering_coefficient(graph)
+
+    def evaluate_in(self, context) -> float:
+        if context.graph.num_nodes == 0:
+            return 0.0
+        coefficients = local_clustering_from(context.degrees(), context.triangles_per_node())
+        return float(coefficients.mean())
 
 
 class CommunityDetectionQuery(GraphQuery):
@@ -63,6 +74,9 @@ class CommunityDetectionQuery(GraphQuery):
     def evaluate(self, graph: Graph) -> Partition:
         return louvain_communities(graph, rng=self.seed)
 
+    def evaluate_in(self, context) -> Partition:
+        return context.louvain(self.seed)
+
 
 class ModularityQuery(GraphQuery):
     """Q13: modularity of the Louvain partition."""
@@ -79,6 +93,9 @@ class ModularityQuery(GraphQuery):
     def evaluate(self, graph: Graph) -> float:
         partition = louvain_communities(graph, rng=self.seed)
         return modularity(graph, partition)
+
+    def evaluate_in(self, context) -> float:
+        return modularity(context.graph, context.louvain(self.seed))
 
 
 class AssortativityQuery(GraphQuery):

@@ -8,6 +8,8 @@ global random state, which would make experiments irreproducible.
 
 from __future__ import annotations
 
+import hashlib
+
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -47,6 +49,56 @@ def spawn_rngs(rng: RngLike, count: int) -> Sequence[np.random.Generator]:
     return [np.random.default_rng(int(seed)) for seed in seeds]
 
 
+def keyed_seed_sequence(master_seed: int, *labels: object) -> np.random.SeedSequence:
+    """A :class:`numpy.random.SeedSequence` keyed by ``(master_seed, labels)``.
+
+    The labels are hashed (SHA-256, platform-independent) into the sequence's
+    ``spawn_key`` — the same mechanism :meth:`SeedSequence.spawn` uses, except
+    the key is derived from coordinates instead of a running counter.  Two
+    calls with the same master seed and labels always produce the same stream,
+    and streams for different labels are independent, so work scheduled in any
+    order (or on any number of parallel workers) draws identical noise.
+    """
+    material = "\x1f".join(str(label) for label in labels).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    words = tuple(int.from_bytes(digest[i:i + 4], "little") for i in range(0, 20, 4))
+    return np.random.SeedSequence(entropy=int(master_seed), spawn_key=words)
+
+
+class BufferedUniforms:
+    """Uniform variates drawn in blocks, stream-identical to scalar draws.
+
+    ``numpy.random.Generator`` fills arrays from the same underlying stream as
+    repeated scalar ``rng.random()`` calls, so pre-drawing a block and handing
+    values out one at a time yields *exactly* the same variates while paying
+    the Generator call overhead once per block instead of once per variate.
+    Tight accept/reject loops (Chung–Lu's skip sampling) use this to keep
+    bit-identical outputs while dropping most of the RNG cost.
+
+    Note the buffer consumes the generator ahead of what has been handed out;
+    callers that share the generator with later stages will see a shifted
+    (still deterministic) stream relative to purely scalar code.
+    """
+
+    __slots__ = ("_rng", "_block", "_max_block", "_buffer", "_position")
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024, max_block: int = 65536) -> None:
+        self._rng = rng
+        self._block = int(block)
+        self._max_block = int(max_block)
+        self._buffer: list = []
+        self._position = 0
+
+    def __call__(self) -> float:
+        if self._position >= len(self._buffer):
+            self._buffer = self._rng.random(self._block).tolist()
+            self._position = 0
+            self._block = min(self._block * 2, self._max_block)
+        value = self._buffer[self._position]
+        self._position += 1
+        return value
+
+
 def derive_seed(rng: RngLike, *labels: object) -> int:
     """Derive a reproducible integer seed from ``rng`` and a set of labels.
 
@@ -60,4 +112,11 @@ def derive_seed(rng: RngLike, *labels: object) -> int:
     return (base ^ mix) & 0x7FFFFFFF
 
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_seed"]
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "keyed_seed_sequence",
+    "BufferedUniforms",
+]

@@ -1,0 +1,150 @@
+"""The parallel benchmark runner: keyed seeding, worker determinism, indexes.
+
+The contract under test is the one the ISSUE's tentpole demands: per-cell
+seeds derived from ``SeedSequence`` keyed by (algorithm, dataset, ε,
+repetition) make the grid results *bit-identical* for any worker count, and
+the :class:`BenchmarkResults` lookups are served from presence indexes built
+once instead of rescanning the cell list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import (
+    BenchmarkResults,
+    CellResult,
+    repetition_seed_sequence,
+    run_benchmark,
+)
+from repro.core.spec import BenchmarkSpec, SpecValidationError
+
+
+def _small_spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("minnesota", "ba"),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree", "triangle_count", "degree_distribution"),
+        repetitions=2,
+        scale=0.03,
+        seed=1234,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    """Everything except wall-clock timing, which legitimately varies."""
+    return [
+        (c.algorithm, c.dataset, c.epsilon, c.query, c.query_code,
+         c.error, c.error_std, c.repetitions)
+        for c in cells
+    ]
+
+
+class TestKeyedSeeding:
+    def test_same_coordinates_same_stream(self):
+        a = np.random.default_rng(repetition_seed_sequence(7, "tmf", "ba", 0.5, 3))
+        b = np.random.default_rng(repetition_seed_sequence(7, "tmf", "ba", 0.5, 3))
+        assert np.array_equal(a.random(8), b.random(8))
+
+    @pytest.mark.parametrize("change", [
+        dict(master_seed=8), dict(algorithm="dgg"), dict(dataset="hepph"),
+        dict(epsilon=1.0), dict(repetition=4),
+    ])
+    def test_any_coordinate_changes_the_stream(self, change):
+        base = dict(master_seed=7, algorithm="tmf", dataset="ba", epsilon=0.5, repetition=3)
+        varied = {**base, **change}
+        a = np.random.default_rng(repetition_seed_sequence(**base))
+        b = np.random.default_rng(repetition_seed_sequence(**varied))
+        assert not np.array_equal(a.random(8), b.random(8))
+
+
+class TestParallelDeterminism:
+    def test_serial_reruns_are_identical(self):
+        first = run_benchmark(_small_spec())
+        second = run_benchmark(_small_spec())
+        assert _comparable(first.cells) == _comparable(second.cells)
+
+    def test_workers_do_not_change_results(self):
+        serial = run_benchmark(_small_spec(workers=1))
+        parallel = run_benchmark(_small_spec(workers=3))
+        assert _comparable(serial.cells) == _comparable(parallel.cells)
+
+    def test_workers_override_argument(self):
+        serial = run_benchmark(_small_spec())
+        parallel = run_benchmark(_small_spec(), workers=2)
+        assert _comparable(serial.cells) == _comparable(parallel.cells)
+
+    def test_progress_called_per_cell_in_parallel_mode(self):
+        calls = []
+        spec = _small_spec(workers=2)
+        run_benchmark(spec, progress=lambda *args: calls.append(args))
+        assert len(calls) == len(spec.algorithms) * len(spec.datasets) * len(spec.epsilons)
+
+    def test_workers_validation(self):
+        with pytest.raises(SpecValidationError):
+            _small_spec(workers=0)
+
+
+class TestResultIndexes:
+    @pytest.fixture()
+    def results(self):
+        spec = _small_spec()
+        res = BenchmarkResults(spec=spec)
+        for algorithm in spec.algorithms:
+            for dataset in spec.datasets:
+                for epsilon in spec.epsilons:
+                    for query in spec.queries:
+                        res.cells.append(CellResult(
+                            algorithm=algorithm, dataset=dataset, epsilon=epsilon,
+                            query=query, query_code="Qx", error=0.1, error_std=0.0,
+                            repetitions=1, generation_seconds=0.0,
+                        ))
+        return res
+
+    def test_filter_matches_brute_force(self, results):
+        def brute(algorithm=None, dataset=None, epsilon=None, query=None):
+            out = []
+            for cell in results.cells:
+                if algorithm is not None and cell.algorithm != algorithm:
+                    continue
+                if dataset is not None and cell.dataset != dataset:
+                    continue
+                if epsilon is not None and abs(cell.epsilon - epsilon) > 1e-12:
+                    continue
+                if query is not None and cell.query != query:
+                    continue
+                out.append(cell)
+            return out
+
+        assert results.filter() == brute()
+        assert results.filter(algorithm="tmf") == brute(algorithm="tmf")
+        assert results.filter(dataset="ba", epsilon=0.5) == brute(dataset="ba", epsilon=0.5)
+        assert results.filter(algorithm="dgg", query="num_edges", epsilon=2.0) == brute(
+            algorithm="dgg", query="num_edges", epsilon=2.0
+        )
+        assert results.filter(algorithm="missing") == []
+
+    def test_presence_methods(self, results):
+        assert results.algorithms() == list(results.spec.algorithms)
+        assert results.datasets() == list(results.spec.datasets)
+        assert results.epsilons() == list(results.spec.epsilons)
+        assert results.queries() == list(results.spec.queries)
+
+    def test_index_rebuilds_after_append(self, results):
+        assert results.filter(algorithm="tmf")  # builds the index
+        results.cells.append(CellResult(
+            algorithm="newalg", dataset="ba", epsilon=0.5, query="num_edges",
+            query_code="Q2", error=0.2, error_std=0.0, repetitions=1,
+            generation_seconds=0.0,
+        ))
+        assert len(results.filter(algorithm="newalg")) == 1
+
+    def test_empty_results(self):
+        res = BenchmarkResults(spec=_small_spec())
+        assert res.filter(algorithm="tmf") == []
+        assert res.algorithms() == []
+        assert res.epsilons() == []

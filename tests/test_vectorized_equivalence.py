@@ -1,0 +1,246 @@
+"""Equivalence of the vectorized code paths against the scalar references.
+
+The array layer (Graph bulk ops), the vectorized property functions, TmF's
+mask-based construction and Chung–Lu's buffered sampling must all reproduce
+the retained scalar paths exactly: identical graphs for identical seeds,
+identical property values on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.tmf import TmF
+from repro.generators.chung_lu import chung_lu_graph
+from repro.graphs import reference
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    bfs_distances,
+    connected_components,
+    degree_assortativity,
+    global_clustering_coefficient,
+    largest_connected_component,
+    local_clustering_coefficients,
+    triangle_count,
+    triangles_per_node,
+)
+from repro.queries.context import EvaluationContext
+from repro.queries.registry import make_default_queries
+
+# -- strategies ---------------------------------------------------------------
+
+node_counts = st.integers(min_value=2, max_value=14)
+
+
+@st.composite
+def edge_arrays(draw):
+    """Raw (possibly duplicated, self-looped, reversed) edge arrays."""
+    n = draw(node_counts)
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, np.array(entries, dtype=np.int64).reshape(-1, 2)
+
+
+@st.composite
+def random_graphs(draw):
+    n, edges = draw(edge_arrays())
+    return Graph.from_edge_array(edges, n)
+
+
+# -- Graph bulk operations ----------------------------------------------------
+
+
+class TestGraphBulkOps:
+    @given(edge_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edge_array_matches_scalar_construction(self, data):
+        n, edges = data
+        bulk = Graph.from_edge_array(edges, n)
+        scalar = reference.scalar_build_graph(edges.tolist(), n)
+        assert bulk == scalar
+        assert bulk.num_edges == scalar.num_edges
+
+    @given(edge_arrays(), edge_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_add_edges_from_array_matches_scalar(self, first, second):
+        n1, edges1 = first
+        _, edges2 = second
+        edges2 = edges2 % max(n1, 1)  # remap into the first universe
+        vectorized = Graph.from_edge_array(edges1, n1)
+        scalar = Graph.from_edge_array(edges1, n1)
+        added_vec = vectorized.add_edges_from(edges2)
+        added_scalar = scalar.add_edges_from([tuple(row) for row in edges2.tolist()])
+        assert added_vec == added_scalar
+        assert vectorized == scalar
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_match_scalar(self, graph):
+        assert np.array_equal(graph.degrees(), reference.scalar_degrees(graph))
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_matrices_match_scalar(self, graph):
+        assert np.array_equal(
+            graph.to_adjacency_matrix(), reference.scalar_to_adjacency_matrix(graph)
+        )
+        dense_vec = graph.to_sparse_adjacency().toarray()
+        dense_ref = reference.scalar_to_sparse_adjacency(graph).toarray()
+        assert np.array_equal(dense_vec, dense_ref)
+
+    @given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_matches_scalar(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(0, graph.num_nodes + 1))
+        nodes = rng.choice(graph.num_nodes, size=size, replace=False).tolist()
+        assert graph.subgraph(nodes) == reference.scalar_subgraph(graph, nodes)
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pickle_roundtrip(self, graph):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        assert clone.num_nodes == graph.num_nodes
+
+    def test_mutation_invalidates_cached_views(self):
+        graph = Graph.from_edge_array(np.array([[0, 1], [1, 2]]), 4)
+        assert graph.num_edges == 2
+        degrees_before = graph.degrees()
+        graph.add_edge(2, 3)
+        assert graph.degree(3) == 1
+        assert np.array_equal(degrees_before, [1, 2, 1, 0])  # snapshot unaffected
+        assert np.array_equal(graph.degrees(), [1, 2, 2, 1])
+        assert graph.to_sparse_adjacency()[2, 3] == 1
+        graph.remove_edge(0, 1)
+        assert (0, 1) not in graph.edge_set()
+
+
+# -- properties ---------------------------------------------------------------
+
+
+class TestPropertyEquivalence:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_triangles(self, graph):
+        assert triangle_count(graph) == reference.scalar_triangle_count(graph)
+        assert np.array_equal(
+            triangles_per_node(graph), reference.scalar_triangles_per_node(graph)
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_clustering(self, graph):
+        assert np.allclose(
+            local_clustering_coefficients(graph),
+            reference.scalar_local_clustering_coefficients(graph),
+        )
+        assert global_clustering_coefficient(graph) == pytest.approx(
+            reference.scalar_global_clustering_coefficient(graph)
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_assortativity(self, graph):
+        assert degree_assortativity(graph) == pytest.approx(
+            reference.scalar_degree_assortativity(graph), abs=1e-9
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_connected_components(self, graph):
+        vectorized = {frozenset(component) for component in connected_components(graph)}
+        scalar = {frozenset(component) for component in reference.scalar_connected_components(graph)}
+        assert vectorized == scalar
+        assert set(largest_connected_component(graph)) == set(
+            reference.scalar_largest_connected_component(graph)
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_distances(self, graph):
+        for source in range(graph.num_nodes):
+            assert np.array_equal(
+                bfs_distances(graph, source), reference.scalar_bfs_distances(graph, source)
+            )
+
+
+# -- algorithms ---------------------------------------------------------------
+
+
+class TestAlgorithmEquivalence:
+    @given(
+        random_graphs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tmf_vectorized_matches_scalar(self, graph, seed, epsilon):
+        vectorized = TmF().generate_graph(graph, epsilon, rng=seed)
+        scalar = TmF(vectorized=False).generate_graph(graph, epsilon, rng=seed)
+        assert vectorized == scalar
+
+    def test_tmf_vectorized_matches_scalar_large(self):
+        rng = np.random.default_rng(3)
+        graph = Graph.from_edge_array(rng.integers(0, 400, size=(1500, 2)), 400)
+        for seed in (0, 1, 2):
+            vectorized = TmF().generate_graph(graph, 1.0, rng=seed)
+            scalar = TmF(vectorized=False).generate_graph(graph, 1.0, rng=seed)
+            assert vectorized == scalar
+
+    def test_tmf_records_fill_diagnostics(self):
+        graph = Graph.from_edge_list([(0, 1), (1, 2), (2, 3)], num_nodes=8)
+        result = TmF().generate(graph, epsilon=1.0, rng=5)
+        assert "expected_false_cells" in result.diagnostics
+        assert "fill_shortfall" in result.diagnostics
+        assert result.diagnostics["fill_shortfall"] >= 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=8.0), min_size=2, max_size=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chung_lu_vectorized_matches_scalar(self, weights, seed):
+        vectorized = chung_lu_graph(weights, rng=seed)
+        scalar = chung_lu_graph(weights, rng=seed, vectorized=False)
+        assert vectorized == scalar
+
+    def test_chung_lu_vectorized_matches_scalar_large(self):
+        weights = 6.0 * (np.arange(1, 800) / 800.0) ** (-0.25)
+        for seed in (0, 7):
+            assert chung_lu_graph(weights, rng=seed) == chung_lu_graph(
+                weights, rng=seed, vectorized=False
+            )
+
+
+# -- query context ------------------------------------------------------------
+
+
+class TestContextEquivalence:
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_evaluate_in_matches_evaluate(self, graph):
+        context = EvaluationContext(graph)
+        for query in make_default_queries():
+            plain = query.evaluate(graph)
+            contextual = query.evaluate_in(context)
+            if isinstance(plain, np.ndarray):
+                assert np.allclose(plain, contextual)
+            elif hasattr(plain, "labels"):
+                assert np.array_equal(plain.labels, contextual.labels)
+            else:
+                assert plain == pytest.approx(contextual)
