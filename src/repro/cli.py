@@ -5,6 +5,9 @@ Mirrors the public benchmark platform's workflows from the terminal::
     python -m repro list                      # algorithms, datasets, queries
     python -m repro run --datasets ba --algorithms tmf dgg --epsilons 0.5 2 \
                         --queries num_edges modularity --scale 0.03
+    python -m repro run --checkpoint run.jsonl --resume   # continue a killed run
+    python -m repro run --shard 0/2 --output-json shard0.json   # half the grid
+    python -m repro merge shard0.json shard1.json --output-json full.json
     python -m repro profile --datasets ba facebook --scale 0.03
     python -m repro recommend --nodes 5000 --acc 0.4 --epsilon 1.0
     python -m repro generate --dataset facebook --algorithm privgraph --epsilon 1 \
@@ -18,7 +21,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm, list_algorithms
 from repro.core.profiling import profile_algorithms, profiles_as_tables
@@ -34,6 +38,22 @@ from repro.core.spec import PGB_EPSILONS, BenchmarkSpec
 from repro.graphs.datasets import PGB_DATASET_NAMES, get_dataset, list_datasets, load_dataset
 from repro.graphs.io import write_edge_list
 from repro.queries.registry import PGB_QUERY_NAMES, list_queries
+
+
+def _parse_shard(value: str) -> Tuple[int, int]:
+    """Parse ``--shard i/k`` into ``(index, count)`` with validation."""
+    try:
+        index_text, count_text = value.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like I/K (e.g. 0/2), got {value!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= I < K, got {value!r}"
+        )
+    return index, count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="save the full results (spec + cells) as JSON")
     run_parser.add_argument("--output-csv", default=None,
                             help="export one CSV row per benchmark cell")
+    run_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="append each completed grid cell to this JSONL "
+                                 "journal so a killed run can be resumed")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="skip cells already recorded in the --checkpoint "
+                                 "journal (refused when the spec changed)")
+    run_parser.add_argument("--shard", type=_parse_shard, default=None, metavar="I/K",
+                            help="run only the grid cells with index ≡ I (mod K); "
+                                 "combine shard outputs with `repro merge`")
+
+    merge_parser = subparsers.add_parser(
+        "merge", help="merge shard / partial result JSONs into one results file")
+    merge_parser.add_argument("inputs", nargs="+",
+                              help="result JSON files written by `repro run --output-json`")
+    merge_parser.add_argument("--output-json", required=True,
+                              help="write the merged results (spec + cells) here")
+    merge_parser.add_argument("--output-csv", default=None,
+                              help="also export the merged cells as CSV")
 
     profile_parser = subparsers.add_parser("profile", help="measure time and memory per algorithm")
     profile_parser.add_argument("--algorithms", nargs="+", default=list(PGB_ALGORITHM_NAMES))
@@ -119,8 +157,38 @@ def _command_run(args: argparse.Namespace) -> int:
         strict=not args.no_strict,
         workers=args.workers,
     )
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+
+    journal = None
+    if args.checkpoint:
+        from repro.core.persistence import CheckpointJournal, JournalMismatchError
+
+        checkpoint_path = Path(args.checkpoint)
+        if checkpoint_path.exists() and not args.resume:
+            print(
+                f"error: checkpoint {checkpoint_path} already exists; pass "
+                "--resume to continue it or delete it to start over",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            journal = CheckpointJournal.open(checkpoint_path, spec, resume=args.resume)
+        except JournalMismatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if journal.completed:
+            print(f"resuming from {checkpoint_path}: "
+                  f"{len(journal.completed)} grid cells already journaled")
+
+    total_tasks = len(spec.grid_tasks())
+    if args.shard is not None:
+        index, count = args.shard
+        shard_tasks = sum(1 for position in range(total_tasks) if position % count == index)
+        print(f"shard {index}/{count}: running {shard_tasks} of {total_tasks} grid cells")
     print(f"running {spec.num_experiments} single experiments...")
-    results = run_benchmark(spec)
+    results = run_benchmark(spec, journal=journal, shard=args.shard)
     print("\n=== best counts per (dataset, epsilon) — Definition 5 ===")
     print(render_best_count_table(results))
     print("\n=== best counts per query — Definition 6 ===")
@@ -137,6 +205,33 @@ def _command_run(args: argparse.Namespace) -> int:
 
         export_results_csv(results, args.output_csv)
         print(f"saved CSV results to {args.output_csv}")
+    return 0
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    from repro.core.persistence import (
+        export_results_csv,
+        load_results_json,
+        merge_results,
+        save_results_json,
+    )
+
+    try:
+        merged = merge_results([load_results_json(path) for path in args.inputs])
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    save_results_json(merged, args.output_json)
+    total = len(merged.spec.grid_tasks()) * len(merged.spec.queries)
+    print(f"merged {len(args.inputs)} result files: {len(merged.cells)} of "
+          f"{total} grid cells; saved JSON results to {args.output_json}")
+    if args.output_csv:
+        export_results_csv(merged, args.output_csv)
+        print(f"saved CSV results to {args.output_csv}")
+    print("\n=== best counts per (dataset, epsilon) — Definition 5 ===")
+    print(render_best_count_table(merged))
+    print("\n=== summary ===")
+    print(render_summary(merged))
     return 0
 
 
@@ -186,6 +281,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "merge":
+        return _command_merge(args)
     if args.command == "profile":
         return _command_profile(args)
     if args.command == "recommend":

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Dict, List
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.community.partition import Partition
 from repro.utils.rng import RngLike, ensure_rng
@@ -28,6 +30,41 @@ _WeightedAdjacency = List[Dict[int, float]]
 
 
 def _graph_to_weighted(graph: Graph) -> _WeightedAdjacency:
+    """Weighted adjacency dicts built from the canonical edge array.
+
+    The symmetric neighbour lists are assembled with one stable sort +
+    cumulative-count bucketing over the edge array instead of a per-edge
+    Python loop; the graph is simple, so every weight is 1.0.  The scalar
+    reference (:func:`_graph_to_weighted_scalar`) is kept for the
+    equivalence tests.
+    """
+    n = graph.num_nodes
+    edges = graph.edge_array()
+    m = edges.shape[0]
+    if m == 0:
+        return [dict() for _ in range(n)]
+    # Interleave (u0,v0,u1,v1,…) so that, per node, the stable sort reproduces
+    # the scalar per-edge insertion order — Louvain's tie-breaking follows
+    # dict order, so this keeps the partitions bit-identical to the old loop.
+    sources = np.empty(2 * m, dtype=np.int64)
+    targets = np.empty(2 * m, dtype=np.int64)
+    sources[0::2] = edges[:, 0]
+    sources[1::2] = edges[:, 1]
+    targets[0::2] = edges[:, 1]
+    targets[1::2] = edges[:, 0]
+    order = np.argsort(sources, kind="stable")
+    targets = targets[order]
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(sources, minlength=n), out=offsets[1:])
+    neighbor_ids = targets.tolist()
+    return [
+        dict.fromkeys(neighbor_ids[offsets[node]:offsets[node + 1]], 1.0)
+        for node in range(n)
+    ]
+
+
+def _graph_to_weighted_scalar(graph: Graph) -> _WeightedAdjacency:
+    """Per-edge reference implementation of :func:`_graph_to_weighted` (tests only)."""
     adjacency: _WeightedAdjacency = [dict() for _ in range(graph.num_nodes)]
     for u, v in graph.edges():
         adjacency[u][v] = adjacency[u].get(v, 0.0) + 1.0

@@ -15,7 +15,12 @@
 """
 
 from repro.core.spec import BenchmarkSpec, SpecValidationError
-from repro.core.runner import BenchmarkRunner, CellResult, BenchmarkResults
+from repro.core.runner import (
+    BenchmarkRunner,
+    CellExecutionError,
+    CellResult,
+    BenchmarkResults,
+)
 from repro.core.aggregate import (
     best_count_by_dataset,
     best_count_by_query,
@@ -25,8 +30,11 @@ from repro.core.profiling import ResourceProfile, profile_algorithms
 from repro.core.report import render_best_count_table, render_error_table, render_resource_table
 from repro.core.guidelines import recommend_algorithm
 from repro.core.persistence import (
+    CheckpointJournal,
+    JournalMismatchError,
     export_results_csv,
     load_results_json,
+    merge_results,
     save_results_json,
 )
 from repro.core.theory import (
@@ -39,8 +47,12 @@ __all__ = [
     "BenchmarkSpec",
     "SpecValidationError",
     "BenchmarkRunner",
+    "CellExecutionError",
     "CellResult",
     "BenchmarkResults",
+    "CheckpointJournal",
+    "JournalMismatchError",
+    "merge_results",
     "best_count_by_dataset",
     "best_count_by_query",
     "mean_error_table",

@@ -23,15 +23,21 @@ import numpy as np
 from repro.core.runner import BenchmarkResults, CellResult
 
 
+def successful_cells(cells: Sequence[CellResult]) -> List[CellResult]:
+    """Drop explicit failed-cell records (their errors are NaN placeholders)."""
+    return [cell for cell in cells if not cell.failed]
+
+
 def _group_by(cells: Sequence[CellResult], keys) -> Dict[Tuple, List[CellResult]]:
     grouped: Dict[Tuple, List[CellResult]] = defaultdict(list)
-    for cell in cells:
+    for cell in successful_cells(cells):
         grouped[tuple(getattr(cell, key) for key in keys)].append(cell)
     return grouped
 
 
 def winners_of_group(cells: Sequence[CellResult], tolerance: float = 1e-12) -> List[str]:
     """Algorithms achieving the minimum error within a group of cells."""
+    cells = successful_cells(cells)
     if not cells:
         return []
     best = min(cell.error for cell in cells)
@@ -72,7 +78,7 @@ def mean_error_table(results: BenchmarkResults, query: str) -> Dict[Tuple[str, s
     algorithm, x-axis ε, one panel per dataset).
     """
     table: Dict[Tuple[str, str, float], float] = {}
-    for cell in results.cells:
+    for cell in successful_cells(results.cells):
         if cell.query != query:
             continue
         table[(cell.algorithm, cell.dataset, cell.epsilon)] = cell.error
@@ -84,7 +90,7 @@ def error_curve(results: BenchmarkResults, query: str, dataset: str,
     """(ε, error) pairs for one algorithm / dataset / query, sorted by ε."""
     points = [
         (cell.epsilon, cell.error)
-        for cell in results.cells
+        for cell in successful_cells(results.cells)
         if cell.query == query and cell.dataset == dataset and cell.algorithm == algorithm
     ]
     return sorted(points)
@@ -105,12 +111,13 @@ def overall_win_totals(results: BenchmarkResults) -> Dict[str, int]:
 def mean_error_by_algorithm(results: BenchmarkResults) -> Dict[str, float]:
     """Mean (over all cells) error per algorithm — a coarse overall ranking aid."""
     sums: Dict[str, List[float]] = defaultdict(list)
-    for cell in results.cells:
+    for cell in successful_cells(results.cells):
         sums[cell.algorithm].append(cell.error)
     return {algorithm: float(np.mean(values)) for algorithm, values in sums.items()}
 
 
 __all__ = [
+    "successful_cells",
     "winners_of_group",
     "best_count_by_dataset",
     "best_count_by_query",

@@ -1,31 +1,44 @@
-"""Saving and loading benchmark results.
+"""Saving and loading benchmark results, and the checkpoint journal.
 
 The paper ships a public results platform so that "future works can be
 included and compared easily"; the minimum machinery for that is a stable
-on-disk format for benchmark runs.  Two formats are provided:
+on-disk format for benchmark runs.  Three formats are provided:
 
 * **JSON** — the full record (spec + every cell), loadable back into a
   :class:`~repro.core.runner.BenchmarkResults` so aggregation and reporting
   can be re-run without repeating the experiments;
-* **CSV** — one row per cell, convenient for spreadsheets and plotting tools.
+* **CSV** — one row per cell, convenient for spreadsheets and plotting tools;
+* **Checkpoint journal** — an append-only JSONL file recording every grid
+  cell the moment it completes, so a killed grid run resumes where it
+  stopped instead of starting over (see :class:`CheckpointJournal`).
 
-Both writers are plain-text and dependency-free.
+Shard outputs produced with ``--shard i/k`` recombine into one results
+object with :func:`merge_results`.  All writers are plain-text and
+dependency-free.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
+import os
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.runner import BenchmarkResults, CellResult, TaskKey
 from repro.core.spec import BenchmarkSpec
 
 PathLike = Union[str, Path]
 
 #: Format version written into every JSON file; bumped on breaking changes.
-FORMAT_VERSION = 1
+#: Version 2 added the ``failed``/``failure`` cell fields (version-1 files
+#: load fine: the fields default to "not failed").
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Version of the checkpoint-journal layout (header line + one task per line).
+JOURNAL_FORMAT_VERSION = 1
 
 _CSV_COLUMNS = (
     "algorithm",
@@ -37,64 +50,83 @@ _CSV_COLUMNS = (
     "error_std",
     "repetitions",
     "generation_seconds",
+    "failed",
+    "failure",
 )
+
+
+class JournalMismatchError(ValueError):
+    """The journal was written by a spec with a different fingerprint."""
+
+
+def spec_to_dict(spec: BenchmarkSpec) -> dict:
+    """Convert a spec into a JSON-serialisable dictionary."""
+    return {
+        "algorithms": list(spec.algorithms),
+        "datasets": list(spec.datasets),
+        "epsilons": list(spec.epsilons),
+        "queries": list(spec.queries),
+        "repetitions": spec.repetitions,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "strict": spec.strict,
+        "workers": spec.workers,
+    }
+
+
+def spec_from_dict(payload: dict) -> BenchmarkSpec:
+    """Rebuild a :class:`BenchmarkSpec` from :func:`spec_to_dict` output."""
+    return BenchmarkSpec(
+        algorithms=tuple(payload["algorithms"]),
+        datasets=tuple(payload["datasets"]),
+        epsilons=tuple(payload["epsilons"]),
+        queries=tuple(payload["queries"]),
+        repetitions=int(payload["repetitions"]),
+        scale=float(payload["scale"]),
+        seed=int(payload["seed"]),
+        strict=bool(payload.get("strict", True)),
+        workers=int(payload.get("workers", 1)),
+    )
+
+
+def cell_to_dict(cell: CellResult) -> dict:
+    """Convert one cell into a JSON-serialisable dictionary."""
+    return {column: getattr(cell, column) for column in _CSV_COLUMNS}
+
+
+def cell_from_dict(payload: dict) -> CellResult:
+    """Rebuild a :class:`CellResult` from :func:`cell_to_dict` output."""
+    return CellResult(
+        algorithm=payload["algorithm"],
+        dataset=payload["dataset"],
+        epsilon=float(payload["epsilon"]),
+        query=payload["query"],
+        query_code=payload["query_code"],
+        error=float(payload["error"]),
+        error_std=float(payload["error_std"]),
+        repetitions=int(payload["repetitions"]),
+        generation_seconds=float(payload["generation_seconds"]),
+        failed=bool(payload.get("failed", False)),
+        failure=str(payload.get("failure", "")),
+    )
 
 
 def results_to_dict(results: BenchmarkResults) -> dict:
     """Convert a results object into a JSON-serialisable dictionary."""
-    spec = results.spec
     return {
         "format_version": FORMAT_VERSION,
-        "spec": {
-            "algorithms": list(spec.algorithms),
-            "datasets": list(spec.datasets),
-            "epsilons": list(spec.epsilons),
-            "queries": list(spec.queries),
-            "repetitions": spec.repetitions,
-            "scale": spec.scale,
-            "seed": spec.seed,
-            "strict": spec.strict,
-            "workers": spec.workers,
-        },
-        "cells": [
-            {column: getattr(cell, column) for column in _CSV_COLUMNS}
-            for cell in results.cells
-        ],
+        "spec": spec_to_dict(results.spec),
+        "cells": [cell_to_dict(cell) for cell in results.cells],
     }
 
 
 def results_from_dict(payload: dict) -> BenchmarkResults:
     """Rebuild a :class:`BenchmarkResults` from :func:`results_to_dict` output."""
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported results format version: {version!r}")
-    spec_payload = payload["spec"]
-    spec = BenchmarkSpec(
-        algorithms=tuple(spec_payload["algorithms"]),
-        datasets=tuple(spec_payload["datasets"]),
-        epsilons=tuple(spec_payload["epsilons"]),
-        queries=tuple(spec_payload["queries"]),
-        repetitions=int(spec_payload["repetitions"]),
-        scale=float(spec_payload["scale"]),
-        seed=int(spec_payload["seed"]),
-        strict=bool(spec_payload.get("strict", True)),
-        workers=int(spec_payload.get("workers", 1)),
-    )
-    cells: List[CellResult] = []
-    for cell_payload in payload["cells"]:
-        cells.append(
-            CellResult(
-                algorithm=cell_payload["algorithm"],
-                dataset=cell_payload["dataset"],
-                epsilon=float(cell_payload["epsilon"]),
-                query=cell_payload["query"],
-                query_code=cell_payload["query_code"],
-                error=float(cell_payload["error"]),
-                error_std=float(cell_payload["error_std"]),
-                repetitions=int(cell_payload["repetitions"]),
-                generation_seconds=float(cell_payload["generation_seconds"]),
-            )
-        )
+    spec = spec_from_dict(payload["spec"])
+    cells = [cell_from_dict(cell_payload) for cell_payload in payload["cells"]]
     return BenchmarkResults(spec=spec, cells=cells)
 
 
@@ -123,11 +155,185 @@ def export_results_csv(results: BenchmarkResults, path: PathLike) -> None:
             writer.writerow([getattr(cell, column) for column in _CSV_COLUMNS])
 
 
+# -- checkpoint journal ------------------------------------------------------
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed grid cells.
+
+    Layout: the first line is a header record carrying the journal format
+    version and the spec fingerprint; every following line records one
+    completed ``(algorithm, dataset, ε)`` task together with its
+    :class:`CellResult` records (including explicit failed-cell records, so a
+    permanently broken cell is not re-run on every resume).  Each append is
+    flushed and fsynced, so a killed run loses at most the cells still in
+    flight; a partial trailing line (the kill landed mid-write) is ignored on
+    resume.
+
+    The journal is deliberately order-agnostic: the parallel runner appends
+    cells in completion order, and :meth:`~repro.core.runner.BenchmarkRunner.run`
+    re-assembles the canonical grid layout, which the keyed seeding makes
+    bit-identical to an uninterrupted serial run.
+    """
+
+    def __init__(self, path: PathLike, spec: BenchmarkSpec,
+                 completed: Dict[TaskKey, List[CellResult]] | None = None) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.completed: Dict[TaskKey, List[CellResult]] = dict(completed or {})
+
+    @classmethod
+    def create(cls, path: PathLike, spec: BenchmarkSpec) -> "CheckpointJournal":
+        """Start a fresh journal at ``path`` (overwrites), writing the header."""
+        journal = cls(path, spec)
+        header = {
+            "record": "header",
+            "journal_format_version": JOURNAL_FORMAT_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "spec": spec_to_dict(spec),
+        }
+        with journal.path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return journal
+
+    @classmethod
+    def resume(cls, path: PathLike, spec: BenchmarkSpec) -> "CheckpointJournal":
+        """Load a journal for resuming; refuses a spec-fingerprint mismatch."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise ValueError(f"checkpoint journal {path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"checkpoint journal {path} has an unreadable header") from exc
+        if header.get("record") != "header":
+            raise ValueError(f"checkpoint journal {path} does not start with a header record")
+        version = header.get("journal_format_version")
+        if version != JOURNAL_FORMAT_VERSION:
+            raise ValueError(f"unsupported journal format version: {version!r}")
+        fingerprint = spec.fingerprint()
+        if header.get("fingerprint") != fingerprint:
+            raise JournalMismatchError(
+                f"checkpoint journal {path} was written for a different spec "
+                f"(journal fingerprint {header.get('fingerprint')!r}, "
+                f"current spec {fingerprint!r}); refusing to resume"
+            )
+        completed: Dict[TaskKey, List[CellResult]] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # A kill mid-append leaves a partial final line; everything
+                # before it is intact, so resume from there.
+                break
+            if payload.get("record") != "task":
+                continue
+            algorithm, dataset, epsilon = payload["task"]
+            task: TaskKey = (algorithm, dataset, float(epsilon))
+            completed[task] = [cell_from_dict(cell) for cell in payload["cells"]]
+        return cls(path, spec, completed)
+
+    @classmethod
+    def open(cls, path: PathLike, spec: BenchmarkSpec,
+             resume: bool = False) -> "CheckpointJournal":
+        """Create a journal, or resume one when ``resume`` is set and it exists."""
+        path = Path(path)
+        if resume and path.exists():
+            return cls.resume(path, spec)
+        return cls.create(path, spec)
+
+    def append(self, task: TaskKey, cells: Sequence[CellResult]) -> None:
+        """Record one completed grid task (flushed + fsynced immediately)."""
+        record = {
+            "record": "task",
+            "task": [task[0], task[1], float(task[2])],
+            "cells": [cell_to_dict(cell) for cell in cells],
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.completed[(task[0], task[1], float(task[2]))] = list(cells)
+
+
+# -- shard merging -----------------------------------------------------------
+
+def _cells_agree(first: CellResult, second: CellResult) -> bool:
+    """Deterministic fields equal (NaN == NaN; wall-clock timing ignored)."""
+    def close(a: float, b: float) -> bool:
+        return (math.isnan(a) and math.isnan(b)) or a == b
+
+    return (
+        first.query_code == second.query_code
+        and close(first.error, second.error)
+        and close(first.error_std, second.error_std)
+        and first.repetitions == second.repetitions
+        and first.failed == second.failed
+    )
+
+
+def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
+    """Combine shard (or otherwise partial) runs of one spec into one result.
+
+    All inputs must carry specs with the same fingerprint.  Overlapping cells
+    are allowed when their deterministic fields agree (the keyed seeding
+    guarantees they do for honest runs) and rejected otherwise.  The merged
+    cell list is laid out in canonical grid order, so merging the shards of a
+    complete grid is bit-identical to an uninterrupted single-machine run.
+    """
+    if not results_list:
+        raise ValueError("nothing to merge: no results given")
+    base = results_list[0]
+    fingerprint = base.spec.fingerprint()
+    for other in results_list[1:]:
+        if other.spec.fingerprint() != fingerprint:
+            raise ValueError(
+                "cannot merge results produced by different specs "
+                f"({other.spec.fingerprint()!r} != {fingerprint!r})"
+            )
+    task_order = {task: position for position, task in enumerate(base.spec.grid_tasks())}
+    query_order = {query: position for position, query in enumerate(base.spec.queries)}
+    chosen: Dict[Tuple[str, str, float, str], CellResult] = {}
+    for results in results_list:
+        for cell in results.cells:
+            key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
+            if key in chosen:
+                if not _cells_agree(chosen[key], cell):
+                    raise ValueError(
+                        f"conflicting duplicate cell {key}: the inputs do not "
+                        "come from the same deterministic run"
+                    )
+                continue
+            chosen[key] = cell
+
+    def sort_key(cell: CellResult) -> Tuple[int, int]:
+        task = (cell.algorithm, cell.dataset, cell.epsilon)
+        return (
+            task_order.get(task, len(task_order)),
+            query_order.get(cell.query, len(query_order)),
+        )
+
+    return BenchmarkResults(spec=base.spec, cells=sorted(chosen.values(), key=sort_key))
+
+
 __all__ = [
     "FORMAT_VERSION",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalMismatchError",
+    "CheckpointJournal",
+    "spec_to_dict",
+    "spec_from_dict",
+    "cell_to_dict",
+    "cell_from_dict",
     "results_to_dict",
     "results_from_dict",
     "save_results_json",
     "load_results_json",
     "export_results_csv",
+    "merge_results",
 ]

@@ -116,8 +116,14 @@ def render_summary(results: BenchmarkResults) -> str:
         f"algorithms: {len(results.algorithms())}  datasets: {len(results.datasets())}  "
         f"epsilons: {len(results.epsilons())}  queries: {len(results.queries())}",
         f"single experiments: {results.spec.num_experiments}",
-        _table(header, rows),
     ]
+    failed = [cell for cell in results.cells if cell.failed]
+    if failed:
+        lines.append(
+            f"failed cells: {len(failed)} (excluded from the tables above; "
+            "see the journal/JSON records for messages)"
+        )
+    lines.append(_table(header, rows))
     return "\n".join(lines)
 
 

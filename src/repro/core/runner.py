@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,12 +36,30 @@ from repro.queries.base import GraphQuery
 from repro.queries.context import EvaluationContext
 from repro.utils.rng import keyed_seed_sequence
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (persistence imports us)
+    from repro.core.persistence import CheckpointJournal
+
 logger = logging.getLogger(__name__)
+
+#: A grid task: one ``(algorithm, dataset, ε)`` cell of the benchmark grid.
+TaskKey = Tuple[str, str, float]
+
+
+class CellExecutionError(RuntimeError):
+    """Raised in strict mode when a repetition of a grid cell fails."""
 
 
 @dataclass(frozen=True)
 class CellResult:
-    """Average error of one algorithm on one (dataset, ε, query) cell."""
+    """Average error of one algorithm on one (dataset, ε, query) cell.
+
+    ``failed`` marks a cell none of whose repetitions produced a synthetic
+    graph (non-strict runs only): ``error``/``error_std`` are NaN,
+    ``repetitions`` is 0 and ``failure`` carries the per-repetition error
+    messages.  Failed cells are kept in results and checkpoint journals so a
+    broken cell neither vanishes silently nor gets re-run on every resume;
+    aggregation skips them.
+    """
 
     algorithm: str
     dataset: str
@@ -52,6 +70,8 @@ class CellResult:
     error_std: float
     repetitions: int
     generation_seconds: float
+    failed: bool = False
+    failure: str = ""
 
 
 @dataclass
@@ -161,14 +181,20 @@ def repetition_seed_sequence(master_seed: int, algorithm: str, dataset: str,
 
 def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
                   query_names: Sequence[str], true_values: Dict[str, object],
-                  repetitions: int, master_seed: int) -> List[CellResult]:
-    """Run one grid cell; used verbatim by both the serial and parallel paths."""
+                  repetitions: int, master_seed: int, strict: bool = True) -> List[CellResult]:
+    """Run one grid cell; used verbatim by both the serial and parallel paths.
+
+    A repetition whose generation raises either aborts the whole run (strict
+    mode) or is logged and skipped; a cell with no surviving repetition is
+    returned as explicit failed records rather than dropped.
+    """
     from repro.algorithms.registry import get_algorithm
     from repro.metrics.registry import get_metric
     from repro.queries.registry import get_query
 
     queries = [get_query(name) for name in query_names]
     errors: Dict[str, List[float]] = {query.name: [] for query in queries}
+    failures: List[str] = []
     generation_time = 0.0
     for repetition in range(repetitions):
         algorithm = get_algorithm(algorithm_name)
@@ -178,11 +204,17 @@ def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon:
         start = time.perf_counter()
         try:
             synthetic = algorithm.generate_graph(graph, epsilon, rng=np.random.default_rng(seed))
-        except Exception:  # pragma: no cover - defensive: one failure should not kill the run
+        except Exception as exc:
+            if strict:
+                raise CellExecutionError(
+                    f"generation failed: algorithm={algorithm_name} "
+                    f"dataset={dataset_name} epsilon={epsilon} repetition={repetition}"
+                ) from exc
             logger.exception(
                 "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
                 algorithm_name, dataset_name, epsilon, repetition,
             )
+            failures.append(f"repetition {repetition}: {type(exc).__name__}: {exc}")
             continue
         generation_time += time.perf_counter() - start
         context = EvaluationContext(synthetic)
@@ -197,6 +229,21 @@ def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon:
     for query in queries:
         values = errors[query.name]
         if not values:
+            cells.append(
+                CellResult(
+                    algorithm=algorithm_name,
+                    dataset=dataset_name,
+                    epsilon=float(epsilon),
+                    query=query.name,
+                    query_code=query.code,
+                    error=float("nan"),
+                    error_std=float("nan"),
+                    repetitions=0,
+                    generation_seconds=0.0,
+                    failed=True,
+                    failure="; ".join(failures) or "no successful repetition",
+                )
+            )
             continue
         cells.append(
             CellResult(
@@ -206,7 +253,9 @@ def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon:
                 query=query.name,
                 query_code=query.code,
                 error=float(np.mean(values)),
-                error_std=float(np.std(values)),
+                # Sample std (ddof=1): the repetitions are independent runs,
+                # so the population formula would understate the spread.
+                error_std=float(np.std(values, ddof=1)) if len(values) > 1 else 0.0,
                 repetitions=len(values),
                 generation_seconds=generation_time / max(len(values), 1),
             )
@@ -222,32 +271,77 @@ class BenchmarkRunner:
     spec:
         The benchmark specification to execute.
     progress:
-        Optional callback ``(algorithm, dataset, epsilon)`` invoked before each
-        generation, useful for long runs.
+        Optional callback ``(algorithm, dataset, epsilon)`` invoked as each
+        grid cell *completes* (after its results are flushed to the journal,
+        when one is attached), useful for long runs.  Cells served from a
+        resume journal do not fire the callback — progress reflects actual
+        execution.
     workers:
         Number of worker processes; overrides ``spec.workers`` when given.
         With 1 worker everything runs in-process.  Results are bit-identical
         for every worker count thanks to the keyed per-repetition seeding.
+    journal:
+        Optional :class:`~repro.core.persistence.CheckpointJournal`.  Every
+        completed cell is appended to it as soon as its future resolves, and
+        cells already present (a resumed run) are served from it without
+        re-execution.
+    shard:
+        Optional ``(index, count)`` pair: only grid tasks whose position in
+        :meth:`BenchmarkSpec.grid_tasks` is ``index`` modulo ``count`` are
+        run.  Shard outputs merge back into the full grid via
+        :func:`repro.core.persistence.merge_results`.
     """
 
     def __init__(self, spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 journal: Optional["CheckpointJournal"] = None,
+                 shard: Optional[Tuple[int, int]] = None) -> None:
         self.spec = spec
         self.progress = progress
         self.workers = workers
+        self.journal = journal
+        self.shard = shard
+
+    def _tasks(self) -> List[TaskKey]:
+        """The grid tasks this runner owns, in canonical order."""
+        tasks = self.spec.grid_tasks()
+        if self.shard is None:
+            return tasks
+        index, count = self.shard
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(f"invalid shard {index}/{count}: need 0 <= index < count")
+        return [task for position, task in enumerate(tasks) if position % count == index]
 
     def run(self) -> BenchmarkResults:
-        """Execute the full grid and return the collected results."""
+        """Execute the grid (or this runner's shard of it) and return the results."""
         workers = self.workers if self.workers is not None else self.spec.workers
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         results = BenchmarkResults(spec=self.spec)
-        graphs = self.spec.load_graphs()
+        tasks = self._tasks()
+        cached: Dict[TaskKey, List[CellResult]] = (
+            dict(self.journal.completed) if self.journal is not None else {}
+        )
+        pending = [task for task in tasks if task not in cached]
+
+        per_task: Dict[TaskKey, List[CellResult]] = {}
+        if pending:
+            per_task.update(self._execute_pending(pending, workers))
+        # Assemble in canonical grid order (cached and fresh interleaved), so
+        # a resumed, sharded or parallel run lays out cells exactly like an
+        # uninterrupted serial run.
+        for task in tasks:
+            results.cells.extend(per_task[task] if task in per_task else cached[task])
+        return results
+
+    def _execute_pending(self, pending: List[TaskKey],
+                         workers: int) -> Dict[TaskKey, List[CellResult]]:
+        """Run the not-yet-journaled tasks and flush/report each on completion."""
+        # Load only the datasets that still have cells to execute, and compute
+        # their true query values once each (they do not depend on M or ε).
+        graphs = self.spec.load_graphs({dataset for _, dataset, _ in pending})
         queries = self.spec.make_queries()
         query_names = [query.name for query in queries]
-
-        # Pre-compute the true query values once per dataset (through one
-        # shared context each): they do not depend on the algorithm or ε.
         true_values: Dict[str, Dict[str, object]] = {}
         for dataset_name, graph in graphs.items():
             context = EvaluationContext(graph)
@@ -255,56 +349,60 @@ class BenchmarkRunner:
                 query.name: query.evaluate_in(context) for query in queries
             }
 
-        tasks: List[Tuple[str, str, float]] = [
-            (algorithm_name, dataset_name, epsilon)
-            for dataset_name in graphs
-            for algorithm_name in self.spec.algorithms
-            for epsilon in self.spec.epsilons
-        ]
+        per_task: Dict[TaskKey, List[CellResult]] = {}
+
+        def finish(task: TaskKey, cells: List[CellResult]) -> None:
+            per_task[task] = cells
+            if self.journal is not None:
+                self.journal.append(task, cells)
+            if self.progress is not None:
+                self.progress(*task)
 
         if workers == 1:
-            for algorithm_name, dataset_name, epsilon in tasks:
-                if self.progress is not None:
-                    self.progress(algorithm_name, dataset_name, epsilon)
-                results.cells.extend(
-                    _execute_cell(
-                        algorithm_name, dataset_name, graphs[dataset_name], epsilon,
-                        query_names, true_values[dataset_name],
-                        self.spec.repetitions, self.spec.seed,
-                    )
-                )
-            return results
+            for task in pending:
+                algorithm_name, dataset_name, epsilon = task
+                finish(task, _execute_cell(
+                    algorithm_name, dataset_name, graphs[dataset_name], epsilon,
+                    query_names, true_values[dataset_name],
+                    self.spec.repetitions, self.spec.seed, self.spec.strict,
+                ))
+            return per_task
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = []
-            for algorithm_name, dataset_name, epsilon in tasks:
-                if self.progress is not None:
-                    self.progress(algorithm_name, dataset_name, epsilon)
-                futures.append(
-                    pool.submit(
-                        _execute_cell,
-                        algorithm_name, dataset_name, graphs[dataset_name], epsilon,
-                        query_names, true_values[dataset_name],
-                        self.spec.repetitions, self.spec.seed,
-                    )
+            future_to_task = {}
+            for task in pending:
+                algorithm_name, dataset_name, epsilon = task
+                future = pool.submit(
+                    _execute_cell,
+                    algorithm_name, dataset_name, graphs[dataset_name], epsilon,
+                    query_names, true_values[dataset_name],
+                    self.spec.repetitions, self.spec.seed, self.spec.strict,
                 )
-            # Collect in submission order so the cell list layout matches the
-            # serial path regardless of completion order.
-            for future in futures:
-                results.cells.extend(future.result())
-        return results
+                future_to_task[future] = task
+            # Collect as cells finish so each one is journaled (and reported)
+            # the moment it completes — a killed run loses at most the cells
+            # still in flight.  run() re-orders into canonical layout.
+            for future in as_completed(future_to_task):
+                finish(future_to_task[future], future.result())
+        return per_task
 
 
 def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None,
-                  workers: Optional[int] = None) -> BenchmarkResults:
+                  workers: Optional[int] = None,
+                  journal: Optional["CheckpointJournal"] = None,
+                  shard: Optional[Tuple[int, int]] = None) -> BenchmarkResults:
     """Convenience function: build a runner for ``spec`` and run it."""
-    return BenchmarkRunner(spec, progress=progress, workers=workers).run()
+    return BenchmarkRunner(
+        spec, progress=progress, workers=workers, journal=journal, shard=shard
+    ).run()
 
 
 __all__ = [
     "CellResult",
+    "CellExecutionError",
     "BenchmarkResults",
     "BenchmarkRunner",
+    "TaskKey",
     "run_benchmark",
     "repetition_seed_sequence",
 ]

@@ -16,6 +16,8 @@ each dataset, and the query set must be non-empty (U).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -86,11 +88,60 @@ class BenchmarkSpec:
         """Instantiate the configured queries."""
         return [get_query(name) for name in self.queries]
 
-    def load_graphs(self) -> Dict[str, "Graph"]:
-        """Load every configured dataset at the configured scale."""
+    def load_graphs(self, datasets: Sequence[str] | None = None) -> Dict[str, "Graph"]:
+        """Load the configured datasets (or the given subset) at the configured scale.
+
+        ``datasets`` lets a resumed or sharded run load only the datasets it
+        still has cells to execute; spec order is preserved.
+        """
         from repro.graphs.datasets import load_dataset
 
-        return {name: load_dataset(name, scale=self.scale, seed=self.seed) for name in self.datasets}
+        if datasets is None:
+            names: Sequence[str] = self.datasets
+        else:
+            wanted = set(datasets)
+            names = [name for name in self.datasets if name in wanted]
+        return {name: load_dataset(name, scale=self.scale, seed=self.seed) for name in names}
+
+    def grid_tasks(self) -> List[Tuple[str, str, float]]:
+        """The grid cells as ``(algorithm, dataset, ε)`` in canonical order.
+
+        This single ordering (dataset-major, then algorithm, then ε) is shared
+        by the runner, the checkpoint journal, ``--shard`` splitting and
+        ``repro merge``, so any combination of shards and resumed runs
+        reassembles into exactly the cell layout of an uninterrupted run.
+        """
+        return [
+            (algorithm, dataset, epsilon)
+            for dataset in self.datasets
+            for algorithm in self.algorithms
+            for epsilon in self.epsilons
+        ]
+
+    def fingerprint(self) -> str:
+        """Hex digest of the result-determining part of the specification.
+
+        Two specs with the same fingerprint produce bit-identical cells, so a
+        checkpoint journal or shard output may only be resumed/merged against
+        a spec with a matching fingerprint.  ``workers`` is deliberately
+        excluded: the keyed seeding makes results independent of the worker
+        count, so a journal written with ``--workers 4`` can be resumed with
+        any other value.
+        """
+        material = json.dumps(
+            {
+                "algorithms": list(self.algorithms),
+                "datasets": list(self.datasets),
+                "epsilons": [float(epsilon) for epsilon in self.epsilons],
+                "queries": list(self.queries),
+                "repetitions": int(self.repetitions),
+                "scale": float(self.scale),
+                "seed": int(self.seed),
+                "strict": bool(self.strict),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     @property
     def num_experiments(self) -> int:

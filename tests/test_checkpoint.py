@@ -1,0 +1,474 @@
+"""Resumable, sharded benchmark runs: the checkpoint journal subsystem.
+
+The contract under test: because every repetition draws from a keyed
+``SeedSequence``, a grid run that is killed and resumed from its journal — or
+split across shards and merged — produces :class:`BenchmarkResults` that are
+*bit-identical* to an uninterrupted single-machine run, at any worker count.
+Failed cells are recorded explicitly (never silently dropped) so a resume
+does not endlessly re-run a permanently broken cell.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import GraphGenerator
+from repro.algorithms.registry import register_algorithm
+from repro.core.persistence import (
+    CheckpointJournal,
+    JournalMismatchError,
+    cell_from_dict,
+    cell_to_dict,
+    load_results_json,
+    merge_results,
+    save_results_json,
+)
+from repro.core.aggregate import mean_error_by_algorithm, overall_win_totals
+from repro.core.runner import (
+    CellExecutionError,
+    CellResult,
+    repetition_seed_sequence,
+    run_benchmark,
+)
+from repro.core.spec import BenchmarkSpec
+from repro.queries.context import EvaluationContext
+
+
+def _small_spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    """Everything except wall-clock timing, which legitimately varies."""
+    return [
+        (c.algorithm, c.dataset, c.epsilon, c.query, c.query_code,
+         c.error, c.error_std, c.repetitions, c.failed, c.failure)
+        for c in cells
+    ]
+
+
+class _BoomAlgorithm(GraphGenerator):
+    name = "boom"
+
+    def _generate(self, graph, budget, rng):
+        raise RuntimeError("boom")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _register_boom():
+    register_algorithm("boom", _BoomAlgorithm, overwrite=True)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert _small_spec().fingerprint() == _small_spec().fingerprint()
+
+    def test_workers_do_not_change_it(self):
+        assert _small_spec(workers=1).fingerprint() == _small_spec(workers=4).fingerprint()
+
+    @pytest.mark.parametrize("change", [
+        dict(seed=8), dict(epsilons=(0.5,)), dict(repetitions=2),
+        dict(scale=0.03), dict(algorithms=("tmf",)), dict(queries=("num_edges",)),
+    ])
+    def test_result_determining_fields_change_it(self, change):
+        assert _small_spec().fingerprint() != _small_spec(**change).fingerprint()
+
+    def test_grid_tasks_order_matches_runner_layout(self):
+        spec = _small_spec(datasets=("minnesota", "ba"))
+        tasks = spec.grid_tasks()
+        assert len(tasks) == len(spec.algorithms) * len(spec.datasets) * len(spec.epsilons)
+        results = run_benchmark(spec)
+        seen = []
+        for cell in results.cells:
+            task = (cell.algorithm, cell.dataset, cell.epsilon)
+            if not seen or seen[-1] != task:
+                seen.append(task)
+        assert seen == tasks
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal.create(path, spec)
+        results = run_benchmark(spec, journal=journal)
+        assert set(journal.completed) == set(spec.grid_tasks())
+
+        resumed = CheckpointJournal.resume(path, spec)
+        flattened = [cell for task in spec.grid_tasks() for cell in resumed.completed[task]]
+        assert _comparable(flattened) == _comparable(results.cells)
+
+    def test_failed_cell_round_trip(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal.create(path, spec)
+        failed = CellResult(
+            algorithm="tmf", dataset="ba", epsilon=0.5, query="num_edges",
+            query_code="Q2", error=float("nan"), error_std=float("nan"),
+            repetitions=0, generation_seconds=0.0, failed=True,
+            failure="repetition 0: RuntimeError: boom",
+        )
+        journal.append(("tmf", "ba", 0.5), [failed])
+        loaded = CheckpointJournal.resume(path, spec).completed[("tmf", "ba", 0.5)][0]
+        assert loaded.failed is True
+        assert loaded.repetitions == 0
+        assert np.isnan(loaded.error) and np.isnan(loaded.error_std)
+        assert "boom" in loaded.failure
+
+    def test_cell_dict_round_trip_defaults(self):
+        cell = CellResult(
+            algorithm="tmf", dataset="ba", epsilon=0.5, query="num_edges",
+            query_code="Q2", error=0.25, error_std=0.01, repetitions=3,
+            generation_seconds=0.1,
+        )
+        payload = cell_to_dict(cell)
+        assert payload["failed"] is False
+        # Version-1 payloads lack the failure fields; defaults must apply.
+        payload.pop("failed")
+        payload.pop("failure")
+        assert cell_from_dict(payload) == cell
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal.create(path, _small_spec())
+        with pytest.raises(JournalMismatchError, match="different spec"):
+            CheckpointJournal.resume(path, _small_spec(seed=8))
+
+    def test_partial_trailing_line_ignored(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal.create(path, spec)
+        run_benchmark(spec, journal=journal)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"record": "task", "task": ["tmf", "ba"')  # killed mid-write
+        resumed = CheckpointJournal.resume(path, spec)
+        assert set(resumed.completed) == set(spec.grid_tasks())
+
+    def test_empty_or_headerless_journal_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            CheckpointJournal.resume(empty, _small_spec())
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text('{"record": "task"}\n')
+        with pytest.raises(ValueError, match="header"):
+            CheckpointJournal.resume(headerless, _small_spec())
+
+    def test_open_refuses_nothing_but_resumes(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        created = CheckpointJournal.open(path, spec, resume=False)
+        created.append(("tmf", "ba", 0.5), [])
+        reopened = CheckpointJournal.open(path, spec, resume=True)
+        assert ("tmf", "ba", 0.5) in reopened.completed
+        fresh = CheckpointJournal.open(path, spec, resume=False)  # overwrite
+        assert fresh.completed == {}
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_truncated_journal_resumes_bit_identical(self, tmp_path, workers):
+        spec = _small_spec()
+        baseline = run_benchmark(spec)
+
+        path = tmp_path / "run.jsonl"
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+        # Simulate a kill after two completed grid cells.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n", encoding="utf-8")
+
+        journal = CheckpointJournal.resume(path, spec)
+        assert len(journal.completed) == 2
+        resumed = run_benchmark(spec, journal=journal, workers=workers)
+        assert _comparable(resumed.cells) == _comparable(baseline.cells)
+        # The journal has been topped back up to the full grid.
+        assert set(journal.completed) == set(spec.grid_tasks())
+
+    def test_fully_journaled_run_executes_nothing(self, tmp_path, monkeypatch):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        baseline = run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+
+        import repro.core.runner as runner_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("resume must not re-execute journaled cells")
+
+        monkeypatch.setattr(runner_module, "_execute_cell", explode)
+        resumed = run_benchmark(spec, journal=CheckpointJournal.resume(path, spec))
+        assert _comparable(resumed.cells) == _comparable(baseline.cells)
+
+
+class TestSharding:
+    def test_shards_partition_the_grid(self):
+        spec = _small_spec(datasets=("minnesota", "ba"))
+        full = run_benchmark(spec)
+        shard0 = run_benchmark(spec, shard=(0, 2))
+        shard1 = run_benchmark(spec, shard=(1, 2))
+        assert len(shard0.cells) + len(shard1.cells) == len(full.cells)
+        keys0 = {(c.algorithm, c.dataset, c.epsilon, c.query) for c in shard0.cells}
+        keys1 = {(c.algorithm, c.dataset, c.epsilon, c.query) for c in shard1.cells}
+        assert not keys0 & keys1
+
+    def test_merge_equals_unsharded_run(self, tmp_path):
+        spec = _small_spec(datasets=("minnesota", "ba"))
+        full = run_benchmark(spec)
+        paths = []
+        for index in range(2):
+            shard = run_benchmark(spec, shard=(index, 2))
+            path = tmp_path / f"shard{index}.json"
+            save_results_json(shard, path)
+            paths.append(path)
+        merged = merge_results([load_results_json(path) for path in paths])
+        assert _comparable(merged.cells) == _comparable(full.cells)
+
+    def test_merge_tolerates_overlap(self):
+        spec = _small_spec()
+        full = run_benchmark(spec)
+        again = run_benchmark(spec)
+        merged = merge_results([full, again])
+        assert _comparable(merged.cells) == _comparable(full.cells)
+
+    def test_merge_rejects_spec_mismatch(self):
+        with pytest.raises(ValueError, match="different specs"):
+            merge_results([
+                run_benchmark(_small_spec(epsilons=(0.5,))),
+                run_benchmark(_small_spec(epsilons=(2.0,))),
+            ])
+
+    def test_merge_rejects_conflicting_cells(self):
+        spec = _small_spec(epsilons=(0.5,))
+        first = run_benchmark(spec)
+        forged = run_benchmark(spec)
+        cell = forged.cells[0]
+        forged.cells[0] = CellResult(
+            algorithm=cell.algorithm, dataset=cell.dataset, epsilon=cell.epsilon,
+            query=cell.query, query_code=cell.query_code, error=cell.error + 1.0,
+            error_std=cell.error_std, repetitions=cell.repetitions,
+            generation_seconds=cell.generation_seconds,
+        )
+        with pytest.raises(ValueError, match="conflicting duplicate"):
+            merge_results([first, forged])
+
+    def test_invalid_shard_rejected(self):
+        with pytest.raises(ValueError, match="invalid shard"):
+            run_benchmark(_small_spec(), shard=(2, 2))
+        with pytest.raises(ValueError, match="invalid shard"):
+            run_benchmark(_small_spec(), shard=(0, 0))
+
+
+class TestFailureHandling:
+    def test_strict_mode_raises(self):
+        spec = _small_spec(algorithms=("boom",))
+        with pytest.raises(CellExecutionError, match="algorithm=boom"):
+            run_benchmark(spec)
+
+    def test_non_strict_records_failed_cells(self):
+        spec = _small_spec(algorithms=("boom", "dgg"), strict=False)
+        results = run_benchmark(spec)
+        failed = [cell for cell in results.cells if cell.failed]
+        # One explicit record per (ε, query) for the broken algorithm.
+        assert len(failed) == len(spec.epsilons) * len(spec.queries)
+        assert all(cell.algorithm == "boom" for cell in failed)
+        assert all(cell.repetitions == 0 and np.isnan(cell.error) for cell in failed)
+        assert all("RuntimeError: boom" in cell.failure for cell in failed)
+
+    def test_aggregation_skips_failed_cells(self):
+        spec = _small_spec(algorithms=("boom", "dgg"), strict=False)
+        results = run_benchmark(spec)
+        wins = overall_win_totals(results)
+        assert wins["boom"] == 0
+        assert wins["dgg"] == len(spec.epsilons) * len(spec.queries)
+        assert "boom" not in mean_error_by_algorithm(results)
+
+    def test_resume_does_not_rerun_broken_cells(self, tmp_path, monkeypatch):
+        spec = _small_spec(algorithms=("boom",), strict=False)
+        path = tmp_path / "run.jsonl"
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+
+        import repro.core.runner as runner_module
+
+        calls = []
+        original = runner_module._execute_cell
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "_execute_cell", counting)
+        resumed = run_benchmark(spec, journal=CheckpointJournal.resume(path, spec))
+        assert calls == []
+        assert all(cell.failed for cell in resumed.cells)
+
+
+class TestErrorStd:
+    def test_single_repetition_has_zero_std(self):
+        results = run_benchmark(_small_spec())
+        assert all(cell.error_std == 0.0 for cell in results.cells)
+
+    def test_sample_std_over_repetitions(self):
+        from repro.algorithms.registry import get_algorithm
+        from repro.metrics.registry import get_metric
+        from repro.queries.registry import get_query
+
+        spec = _small_spec(
+            algorithms=("dgg",), epsilons=(1.0,), queries=("num_edges",), repetitions=3
+        )
+        results = run_benchmark(spec)
+        assert len(results.cells) == 1
+        cell = results.cells[0]
+
+        graph = spec.load_graphs()["ba"]
+        query = get_query("num_edges")
+        metric = get_metric(query.metric_name)
+        true_value = query.evaluate_in(EvaluationContext(graph))
+        errors = []
+        for repetition in range(3):
+            seed = repetition_seed_sequence(spec.seed, "dgg", "ba", 1.0, repetition)
+            synthetic = get_algorithm("dgg").generate_graph(
+                graph, 1.0, rng=np.random.default_rng(seed)
+            )
+            score = metric(true_value, query.evaluate_in(EvaluationContext(synthetic)))
+            errors.append(1.0 - score if metric.higher_is_better else score)
+        assert cell.error == pytest.approx(float(np.mean(errors)))
+        assert cell.error_std == pytest.approx(float(np.std(errors, ddof=1)))
+
+
+class TestProgressOnCompletion:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_progress_fires_after_cell_is_journaled(self, tmp_path, workers):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal.create(path, spec)
+        seen = []
+
+        def progress(algorithm, dataset, epsilon):
+            journaled = set()
+            for line in path.read_text(encoding="utf-8").splitlines()[1:]:
+                payload = json.loads(line)
+                journaled.add((payload["task"][0], payload["task"][1], payload["task"][2]))
+            # The cell's results hit the journal before the callback fires.
+            assert (algorithm, dataset, epsilon) in journaled
+            seen.append((algorithm, dataset, epsilon))
+
+        run_benchmark(spec, progress=progress, journal=journal, workers=workers)
+        assert sorted(seen) == sorted(spec.grid_tasks())
+
+    def test_progress_skipped_for_cached_cells(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "run.jsonl"
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+        calls = []
+        run_benchmark(
+            spec,
+            progress=lambda *task: calls.append(task),
+            journal=CheckpointJournal.resume(path, spec),
+        )
+        assert calls == []
+
+
+class TestCli:
+    RUN_ARGS = [
+        "run",
+        "--algorithms", "tmf", "dgg",
+        "--datasets", "ba",
+        "--epsilons", "0.5", "2.0",
+        "--queries", "num_edges", "average_degree",
+        "--repetitions", "1",
+        "--scale", "0.02",
+        "--seed", "7",
+    ]
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        full_json = tmp_path / "full.json"
+        ck = tmp_path / "run.jsonl"
+        assert main(self.RUN_ARGS + ["--output-json", str(full_json),
+                                     "--checkpoint", str(ck)]) == 0
+        # Simulate a kill after one completed cell, then resume.
+        lines = ck.read_text(encoding="utf-8").splitlines()
+        ck.write_text("\n".join(lines[:2]) + "\n", encoding="utf-8")
+        resumed_json = tmp_path / "resumed.json"
+        assert main(self.RUN_ARGS + ["--output-json", str(resumed_json),
+                                     "--checkpoint", str(ck), "--resume"]) == 0
+        assert "resuming from" in capsys.readouterr().out
+        full = load_results_json(full_json)
+        resumed = load_results_json(resumed_json)
+        assert _comparable(resumed.cells) == _comparable(full.cells)
+
+    def test_existing_checkpoint_without_resume_refused(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ck = tmp_path / "run.jsonl"
+        ck.write_text("{}\n", encoding="utf-8")
+        assert main(self.RUN_ARGS + ["--checkpoint", str(ck)]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        from repro.cli import main
+
+        assert main(self.RUN_ARGS + ["--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_with_changed_spec_refused(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ck = tmp_path / "run.jsonl"
+        assert main(self.RUN_ARGS + ["--checkpoint", str(ck)]) == 0
+        changed = [arg if arg != "7" else "8" for arg in self.RUN_ARGS]
+        assert main(changed + ["--checkpoint", str(ck), "--resume"]) == 2
+        assert "different spec" in capsys.readouterr().err
+
+    def test_shard_and_merge_equal_unsharded(self, tmp_path, capsys):
+        from repro.cli import main
+
+        full_json = tmp_path / "full.json"
+        assert main(self.RUN_ARGS + ["--output-json", str(full_json)]) == 0
+        shard_paths = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.json"
+            assert main(self.RUN_ARGS + ["--shard", f"{index}/2",
+                                         "--output-json", str(path)]) == 0
+            shard_paths.append(str(path))
+        merged_json = tmp_path / "merged.json"
+        merged_csv = tmp_path / "merged.csv"
+        assert main(["merge", *shard_paths, "--output-json", str(merged_json),
+                     "--output-csv", str(merged_csv)]) == 0
+        assert "merged 2 result files" in capsys.readouterr().out
+        assert merged_csv.exists()
+        full = load_results_json(full_json)
+        merged = load_results_json(merged_json)
+        assert _comparable(merged.cells) == _comparable(full.cells)
+
+    def test_merge_rejects_mismatched_inputs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_results_json(run_benchmark(_small_spec(epsilons=(0.5,))), first)
+        save_results_json(run_benchmark(_small_spec(epsilons=(2.0,))), second)
+        out = tmp_path / "merged.json"
+        assert main(["merge", str(first), str(second), "--output-json", str(out)]) == 2
+        assert "different specs" in capsys.readouterr().err
+
+    def test_bad_shard_value_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--shard", "2/2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--shard", "nonsense"])

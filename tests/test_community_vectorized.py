@@ -1,0 +1,87 @@
+"""Equivalence of the vectorized community hot paths with their scalar originals.
+
+`modularity` (np.bincount tallies) and Louvain's `_graph_to_weighted`
+(edge-array bucketing) must agree with the retained per-edge reference
+implementations on arbitrary graphs — including the dict *insertion order*
+of the weighted adjacency, which Louvain's tie-breaking depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community.louvain import (
+    _graph_to_weighted,
+    _graph_to_weighted_scalar,
+    louvain_communities,
+)
+from repro.community.partition import Partition, _modularity_scalar, modularity
+from repro.generators.random_graphs import erdos_renyi_gnm_graph
+from repro.generators.sbm import planted_partition_graph
+from repro.graphs.graph import Graph
+
+
+def _random_graph(seed: int, n: int = 60) -> Graph:
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(0, n * 2))
+    return erdos_renyi_gnm_graph(n, m, rng=rng)
+
+
+class TestModularityEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_on_random_partitions(self, seed):
+        graph = _random_graph(seed)
+        rng = np.random.default_rng(seed + 1000)
+        k = int(rng.integers(1, 8))
+        partition = Partition(rng.integers(0, k, size=graph.num_nodes))
+        assert modularity(graph, partition) == pytest.approx(
+            _modularity_scalar(graph, partition), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("resolution", [0.5, 1.0, 2.5])
+    def test_matches_scalar_across_resolutions(self, resolution):
+        graph = planted_partition_graph(4, 12, p_in=0.6, p_out=0.05, rng=3)
+        partition = Partition([node // 12 for node in range(graph.num_nodes)])
+        assert modularity(graph, partition, resolution=resolution) == pytest.approx(
+            _modularity_scalar(graph, partition, resolution=resolution), abs=1e-12
+        )
+
+    def test_edge_cases(self):
+        empty = Graph(5)
+        assert modularity(empty, Partition([0, 0, 1, 1, 2])) == 0.0
+        singleton = Graph(1)
+        assert modularity(singleton, Partition([0])) == 0.0
+
+
+class TestGraphToWeightedEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_weights(self, seed):
+        graph = _random_graph(seed)
+        assert _graph_to_weighted(graph) == _graph_to_weighted_scalar(graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_insertion_order(self, seed):
+        # Louvain breaks modularity ties by dict order; the vectorized build
+        # must replay the scalar per-edge insertion order exactly.
+        graph = _random_graph(seed)
+        vectorized = _graph_to_weighted(graph)
+        scalar = _graph_to_weighted_scalar(graph)
+        assert [list(d) for d in vectorized] == [list(d) for d in scalar]
+
+    def test_empty_and_isolated_nodes(self):
+        assert _graph_to_weighted(Graph(4)) == [dict() for _ in range(4)]
+        graph = Graph(4)
+        graph.add_edge(1, 3)
+        assert _graph_to_weighted(graph) == [{}, {3: 1.0}, {}, {1: 1.0}]
+
+
+class TestLouvainUnchanged:
+    def test_partition_identical_to_scalar_adjacency_path(self, monkeypatch):
+        import repro.community.louvain as louvain_module
+
+        graph = planted_partition_graph(3, 20, p_in=0.5, p_out=0.02, rng=11)
+        fast = louvain_communities(graph, rng=42)
+        monkeypatch.setattr(louvain_module, "_graph_to_weighted", _graph_to_weighted_scalar)
+        slow = louvain_communities(graph, rng=42)
+        assert fast == slow
