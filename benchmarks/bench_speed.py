@@ -1,7 +1,7 @@
 """Speed trajectory of the array-native pipeline: before vs after.
 
-Measures the three layers the vectorization PR touched, on a Chung–Lu graph
-(10k nodes by default, power-law-ish expected degrees):
+Measures six layers on a Chung–Lu graph (10k nodes by default,
+power-law-ish expected degrees):
 
 * ``graph_core``     — degree / CSR / dense-adjacency / subgraph conversions
                        through the memoized array layer vs the scalar
@@ -11,30 +11,51 @@ Measures the three layers the vectorization PR touched, on a Chung–Lu graph
 * ``query_evaluation`` — the full 15-query evaluation through one memoized
                        :class:`EvaluationContext` vs the seed behaviour
                        (every query re-deriving its own views, scalar
-                       property loops).
+                       property loops);
+* ``louvain``        — the flat-array CSR Louvain engine vs the retained
+                       dict engine (median of 3 runs each; modularity of
+                       both partitions is recorded so the speedup is tied to
+                       quality parity);
+* ``privgraph_generation`` — PrivGraph end to end with the CSR Louvain
+                       representation stage vs the dict engine;
+* ``der_generation`` — DER with the grouped one-pass leaf reconstruction vs
+                       the retained per-leaf rejection loop.
+
+Every layer also records ``after_peak_mb``: the tracemalloc peak of the
+optimized path (measured in a separate run so instrumentation does not skew
+the timings).  ``--scale`` additionally runs the CSR Louvain engine on a
+100k-node Chung–Lu graph — the scale ceiling entry — and records it under
+``"scale"``.
 
 Results are written to ``BENCH_speed.json`` so future PRs can track the
 trajectory; re-run with ``--quick`` for the CI smoke (a smaller graph, same
-protocol).  The combined TmF + 15-query speedup is the acceptance number.
+protocol).  ``--min-combined-speedup`` gates the TmF + 15-query speedup and
+``--min-louvain-speedup`` gates the Louvain layer, so regressions fail CI.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # full (10k nodes)
+    PYTHONPATH=src python benchmarks/bench_speed.py --scale    # + 100k entry
     PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/bench_speed.py --min-combined-speedup 5
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
 
+from repro.algorithms.der import DER
+from repro.algorithms.privgraph import PrivGraph
 from repro.algorithms.tmf import TmF
+from repro.community.louvain import louvain_communities
+from repro.community.partition import modularity
 from repro.generators.chung_lu import chung_lu_graph
 from repro.graphs import reference
 from repro.graphs.graph import Graph
@@ -43,12 +64,45 @@ from repro.queries.registry import make_default_queries
 
 EPSILON = 1.0
 SEED = 2024
+SCALE_NODES = 100_000
 
 
 def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
+
+
+def _timed_median(fn, repeats: int = 3):
+    """Median wall time of ``repeats`` runs plus the last run's result."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        seconds, result = _timed(fn)
+        times.append(seconds)
+    return statistics.median(times), result
+
+
+def _peak_mb(fn) -> float:
+    """tracemalloc peak of one run of ``fn``, in MiB (separate from timing)."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
+def _layer(before_seconds: float, after_seconds: float, after_peak_mb: float,
+           **extra) -> dict:
+    return {
+        "before_seconds": before_seconds,
+        "after_seconds": after_seconds,
+        "speedup": before_seconds / after_seconds if after_seconds > 0 else float("inf"),
+        "after_peak_mb": after_peak_mb,
+        **extra,
+    }
 
 
 def build_input_graph(nodes: int) -> Graph:
@@ -81,8 +135,7 @@ def bench_graph_core(graph: Graph) -> dict:
 
     before_s, _ = _timed(before)
     after_s, _ = _timed(after)
-    return {"before_seconds": before_s, "after_seconds": after_s,
-            "speedup": before_s / after_s if after_s > 0 else float("inf")}
+    return _layer(before_s, after_s, _peak_mb(after))
 
 
 def bench_tmf(graph: Graph) -> tuple[dict, Graph]:
@@ -93,11 +146,8 @@ def bench_tmf(graph: Graph) -> tuple[dict, Graph]:
         lambda: TmF().generate_graph(graph, EPSILON, rng=SEED)
     )
     assert vector_graph == scalar_graph, "vectorized TmF diverged from the scalar path"
-    return (
-        {"before_seconds": before_s, "after_seconds": after_s,
-         "speedup": before_s / after_s if after_s > 0 else float("inf")},
-        vector_graph,
-    )
+    peak = _peak_mb(lambda: TmF().generate_graph(graph, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak), vector_graph
 
 
 def bench_queries(synthetic: Graph) -> dict:
@@ -115,8 +165,75 @@ def bench_queries(synthetic: Graph) -> dict:
     # Sanity: the two paths must agree on every deterministic scalar query.
     for name in ("num_edges", "triangle_count", "diameter", "global_clustering"):
         assert abs(float(before_values[name]) - float(after_values[name])) < 1e-9, name
-    return {"before_seconds": before_s, "after_seconds": after_s,
-            "speedup": before_s / after_s if after_s > 0 else float("inf")}
+    return _layer(before_s, after_s, _peak_mb(after))
+
+
+def bench_louvain(graph: Graph) -> dict:
+    """CSR engine vs the retained dict engine, plus quality parity numbers."""
+    before_s, dict_partition = _timed_median(
+        lambda: louvain_communities(graph, rng=SEED, method="dict")
+    )
+    after_s, csr_partition = _timed_median(
+        lambda: louvain_communities(graph, rng=SEED, method="csr")
+    )
+    modularity_before = modularity(graph, dict_partition)
+    modularity_after = modularity(graph, csr_partition)
+    # Quality parity is part of the layer's contract: the speedup only counts
+    # if the CSR engine lands within tolerance of the reference modularity.
+    assert modularity_after >= modularity_before - 0.02, (
+        f"CSR Louvain quality regressed: {modularity_after:.4f} vs "
+        f"{modularity_before:.4f}"
+    )
+    return _layer(
+        before_s, after_s,
+        _peak_mb(lambda: louvain_communities(graph, rng=SEED, method="csr")),
+        modularity_before=modularity_before,
+        modularity_after=modularity_after,
+        communities_before=dict_partition.num_communities,
+        communities_after=csr_partition.num_communities,
+    )
+
+
+def bench_privgraph(graph: Graph) -> dict:
+    """PrivGraph end to end: dict-Louvain representation vs CSR-Louvain."""
+    before_s, _ = _timed_median(
+        lambda: PrivGraph(louvain_method="dict").generate_graph(graph, EPSILON, rng=SEED)
+    )
+    after_s, _ = _timed_median(
+        lambda: PrivGraph().generate_graph(graph, EPSILON, rng=SEED)
+    )
+    peak = _peak_mb(lambda: PrivGraph().generate_graph(graph, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak)
+
+
+def bench_der(graph: Graph) -> dict:
+    """DER: grouped one-pass leaf fill vs the retained per-leaf loop."""
+    before_s, _ = _timed_median(
+        lambda: DER(vectorized=False).generate_graph(graph, EPSILON, rng=SEED)
+    )
+    after_s, _ = _timed_median(lambda: DER().generate_graph(graph, EPSILON, rng=SEED))
+    peak = _peak_mb(lambda: DER().generate_graph(graph, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak)
+
+
+def bench_scale(nodes: int = SCALE_NODES) -> dict:
+    """The scale-ceiling entry: CSR Louvain on a ``nodes``-node Chung–Lu graph."""
+    graph = build_input_graph(nodes)
+    diagnostics: dict = {}
+    seconds, partition = _timed(
+        lambda: louvain_communities(graph, rng=SEED, diagnostics=diagnostics)
+    )
+    peak = _peak_mb(lambda: louvain_communities(graph, rng=SEED))
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "louvain_seconds": seconds,
+        "louvain_peak_mb": peak,
+        "modularity": modularity(graph, partition),
+        "communities": partition.num_communities,
+        "levels": diagnostics.get("levels"),
+        "sweeps": diagnostics.get("sweeps"),
+    }
 
 
 def main(argv=None) -> int:
@@ -124,9 +241,14 @@ def main(argv=None) -> int:
     parser.add_argument("--nodes", type=int, default=10_000)
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: 2000 nodes, same protocol")
+    parser.add_argument("--scale", action="store_true",
+                        help="additionally record a 100k-node Louvain scale entry")
+    parser.add_argument("--scale-nodes", type=int, default=SCALE_NODES)
     parser.add_argument("--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_speed.json"))
     parser.add_argument("--min-combined-speedup", type=float, default=None,
                         help="exit non-zero when TmF + query speedup falls below this")
+    parser.add_argument("--min-louvain-speedup", type=float, default=None,
+                        help="exit non-zero when the Louvain layer speedup falls below this")
     args = parser.parse_args(argv)
 
     nodes = 2000 if args.quick else args.nodes
@@ -138,6 +260,9 @@ def main(argv=None) -> int:
     tmf_layer, synthetic = bench_tmf(graph)
     layers["tmf_generation"] = tmf_layer
     layers["query_evaluation"] = bench_queries(synthetic)
+    layers["louvain"] = bench_louvain(graph)
+    layers["privgraph_generation"] = bench_privgraph(graph)
+    layers["der_generation"] = bench_der(graph)
 
     combined_before = (layers["tmf_generation"]["before_seconds"]
                        + layers["query_evaluation"]["before_seconds"])
@@ -151,7 +276,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "bench_speed",
-        "protocol_version": 1,
+        "protocol_version": 2,
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "quick": bool(args.quick),
@@ -160,19 +285,36 @@ def main(argv=None) -> int:
         "layers": layers,
         "combined_tmf_plus_queries": combined,
     }
+    if args.scale:
+        print(f"running the {args.scale_nodes}-node scale scenario …")
+        payload["scale"] = bench_scale(args.scale_nodes)
+
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
-    print(f"{'layer':<22} {'before':>9} {'after':>9} {'speedup':>9}")
-    for name, layer in {**layers, "combined": combined}.items():
+    print(f"{'layer':<22} {'before':>9} {'after':>9} {'speedup':>9} {'peak MB':>9}")
+    for name, layer in layers.items():
         print(f"{name:<22} {layer['before_seconds']:>8.3f}s {layer['after_seconds']:>8.3f}s "
-              f"{layer['speedup']:>8.1f}x")
+              f"{layer['speedup']:>8.1f}x {layer['after_peak_mb']:>8.1f}")
+    print(f"{'combined':<22} {combined['before_seconds']:>8.3f}s "
+          f"{combined['after_seconds']:>8.3f}s {combined['speedup']:>8.1f}x {'':>9}")
+    if "scale" in payload:
+        scale = payload["scale"]
+        print(f"scale: louvain on {scale['nodes']} nodes / {scale['edges']} edges: "
+              f"{scale['louvain_seconds']:.2f}s, peak {scale['louvain_peak_mb']:.1f} MB, "
+              f"Q={scale['modularity']:.4f}, {scale['communities']} communities")
     print(f"wrote {args.output}")
 
+    status = 0
     if args.min_combined_speedup is not None and combined["speedup"] < args.min_combined_speedup:
         print(f"FAIL: combined speedup {combined['speedup']:.1f}x "
               f"< required {args.min_combined_speedup:.1f}x", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if (args.min_louvain_speedup is not None
+            and layers["louvain"]["speedup"] < args.min_louvain_speedup):
+        print(f"FAIL: louvain speedup {layers['louvain']['speedup']:.1f}x "
+              f"< required {args.min_louvain_speedup:.1f}x", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

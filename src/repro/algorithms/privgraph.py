@@ -44,7 +44,8 @@ class PrivGraph(GraphGenerator):
     sensitivity_type = "global"
     requires_delta = False
 
-    def __init__(self, community_fraction: float = 0.2, degree_fraction: float = 0.5) -> None:
+    def __init__(self, community_fraction: float = 0.2, degree_fraction: float = 0.5,
+                 louvain_method: str = "csr") -> None:
         super().__init__(delta=0.0)
         if not 0.0 < community_fraction < 1.0:
             raise ValueError("community_fraction must lie strictly between 0 and 1")
@@ -54,6 +55,9 @@ class PrivGraph(GraphGenerator):
             raise ValueError("community_fraction + degree_fraction must leave budget for edges")
         self.community_fraction = community_fraction
         self.degree_fraction = degree_fraction
+        #: Which Louvain engine runs the (non-private) representation stage:
+        #: the flat-array CSR engine (default) or the retained dict reference.
+        self.louvain_method = louvain_method
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         eps_community, eps_degrees, eps_edges = budget.split(
@@ -70,7 +74,11 @@ class PrivGraph(GraphGenerator):
         # private release of the partition happens in stage 1; the Louvain
         # result only defines the candidate communities, exactly as in the
         # original algorithm.
-        seed_partition = louvain_communities(graph, rng=rng)
+        louvain_diagnostics: Dict[str, object] = {}
+        seed_partition = louvain_communities(
+            graph, rng=rng, method=self.louvain_method,
+            diagnostics=louvain_diagnostics,
+        )
         num_communities = max(seed_partition.num_communities, 1)
 
         # --- Stage 1: private re-assignment with the exponential mechanism.
@@ -154,6 +162,12 @@ class PrivGraph(GraphGenerator):
         self._record_diagnostics(
             num_communities=k,
             inter_community_pairs=len(noisy_inter),
+            louvain_levels=int(louvain_diagnostics.get("levels", 0)),
+            # Surfaces Louvain's convergence diagnostic: 1.0 when the move
+            # phase hit its budget cap and was truncated.
+            louvain_move_phase_capped=float(
+                bool(louvain_diagnostics.get("move_phase_capped", False))
+            ),
         )
         return synthetic
 

@@ -108,7 +108,52 @@ class PrivSKG(GraphGenerator):
 
     def _fit_to_moments(self, edges: float, wedges: float, triangles: float,
                         k: int) -> KroneckerInitiator:
-        """Grid-search a 2×2 initiator whose expected moments match the noisy targets."""
+        """Grid-search a 2×2 initiator whose expected moments match the noisy targets.
+
+        The whole (a, b, c) grid is evaluated as one broadcast over three
+        meshgrid arrays instead of ``grid_points³`` Python iterations, each
+        of which used to construct a :class:`KroneckerInitiator`.  Every
+        floating-point operation replays the scalar formulas step for step
+        (including the matmul order behind ``expected_triangles``'s
+        trace-of-cube), and ``np.argmin`` returns the first minimum of the
+        same a-major/b/c-minor iteration order the triple loop used — so the
+        selected initiator is bit-identical to the scalar search, ties
+        included.  The scalar path is retained as
+        :meth:`_fit_to_moments_scalar` for the equivalence tests.
+        """
+        grid = np.linspace(0.05, 0.999, self.grid_points)
+        a, b, c = np.meshgrid(grid, grid, grid, indexing="ij")
+
+        total = a + 2.0 * b + c
+        expected_edges = total ** k / 2.0
+        row_sq = (a + b) ** 2 + (b + c) ** 2
+        expected_wedges = (row_sq ** k - total ** k) / 2.0
+        # trace(M³) for M = [[a, b], [b, c]], with the exact operation order
+        # of np.trace(m @ m @ m) so the doubles match the scalar path.
+        m00 = a * a + b * b
+        m01 = a * b + b * c
+        m11 = b * b + c * c
+        trace_cube = (m00 * a + m01 * b) + (m01 * b + m11 * c)
+        expected_triangles = trace_cube ** k / 6.0
+
+        def loss_term(expected: np.ndarray, target: float) -> np.ndarray:
+            if target > 0:
+                return (expected / target - 1.0) ** 2
+            return (expected / max(edges, 1.0)) ** 2
+
+        loss = (loss_term(expected_edges, edges)
+                + loss_term(expected_wedges, wedges)
+                + loss_term(expected_triangles, triangles))
+        loss[c > a] = np.inf  # the scalar loop skips the c > a half-grid
+        flat_index = int(np.argmin(loss))
+        best = np.unravel_index(flat_index, loss.shape)
+        return KroneckerInitiator(
+            float(grid[best[0]]), float(grid[best[1]]), float(grid[best[2]])
+        )
+
+    def _fit_to_moments_scalar(self, edges: float, wedges: float, triangles: float,
+                               k: int) -> KroneckerInitiator:
+        """Triple-loop reference implementation of :meth:`_fit_to_moments` (tests only)."""
         grid = np.linspace(0.05, 0.999, self.grid_points)
         best_loss = math.inf
         best = KroneckerInitiator(0.9, 0.5, 0.2)

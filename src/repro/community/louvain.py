@@ -11,23 +11,594 @@ the classic two-phase scheme:
    weighted self-loop for intra-community edges) and repeat on the smaller
    graph.
 
-The graph is converted once into weighted adjacency dictionaries so the
-aggregated levels can reuse the same move routine.
+Two engines share that scheme:
+
+* **CSR engine** (default, ``method="csr"``) — the level graph lives in flat
+  ``indptr``/``indices``/``weights`` arrays.  The local-move phase runs in
+  *batched sweeps*: every frontier node's per-community link weights are
+  tallied with one sort + ``np.add.reduceat`` over the gathered adjacency
+  slices, the best target per node is a segmented argmax, and all improving
+  moves are applied at once.  Synchronous moves can conflict, so two guards
+  keep the quality at classic-Louvain level: the singleton-swap rule (a
+  singleton may only move into another singleton with a *smaller* label,
+  which breaks the pairwise oscillation pattern) and a modularity check after
+  every sweep that reverts and ends the level if the batch did not improve.
+  Aggregation buckets super-edges with one sort over community-pair codes —
+  the sorted unique codes *are* the next level's CSR.  No per-node dicts
+  anywhere.
+* **dict engine** (``method="dict"``) — the original per-node weighted-dict
+  implementation with queue pruning, kept as the seed-compatible reference
+  for the equivalence suite.
+
+The engines optimise the same objective but break modularity ties
+differently (the dict engine follows dict insertion order; the CSR engine
+prefers the smallest community label), and they consume ``rng`` differently
+(both only use it to shuffle the visiting order), so partitions can
+legitimately differ — the equivalence tests assert modularity parity within
+tolerance, not label-identical output.  Both engines are deterministic for a
+fixed seed.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict, deque
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.community.partition import Partition
+from repro.utils.arrays import first_of_run
 from repro.utils.rng import RngLike, ensure_rng
 
 _WeightedAdjacency = List[Dict[int, float]]
 
+#: Sweep / visit budget multiplier shared by both engines (the dict engine
+#: caps local moves at ``64 * n`` visits, the CSR engine at 64 sweeps of at
+#: most ``n`` nodes each).
+_MOVE_BUDGET = 64
+
+
+class LouvainConvergenceWarning(RuntimeWarning):
+    """The local-move phase hit its visit/sweep cap before converging."""
+
+
+# ---------------------------------------------------------------------------
+# CSR engine (default)
+# ---------------------------------------------------------------------------
+
+def _graph_to_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Symmetric CSR (``indptr``, ``indices``, ``weights``) of a simple graph.
+
+    ``weights`` is ``None`` — the convention for "all ones" throughout the
+    engine, letting the level-0 hot loops count entries instead of gathering
+    and summing a constant array.  Aggregated levels produce real weight
+    arrays in :func:`_aggregate_csr`.
+    """
+    n = graph.num_nodes
+    edges = graph.edge_array()
+    m = edges.shape[0]
+    if m == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64), None
+    sources = np.concatenate([edges[:, 0], edges[:, 1]])
+    targets = np.concatenate([edges[:, 1], edges[:, 0]])
+    order = np.argsort(sources, kind="stable")
+    indices = targets[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(sources, minlength=n), out=indptr[1:])
+    return indptr, indices, None
+
+
+def _gather_rows(indptr: np.ndarray, indices: np.ndarray,
+                 weights: Optional[np.ndarray], rows: np.ndarray,
+                 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Concatenated adjacency slices of ``rows``: (row-of-entry, neighbour, weight)."""
+    counts = indptr[rows + 1] - indptr[rows]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, (None if weights is None else np.empty(0, dtype=np.float64))
+    # Entry positions: for each row, the contiguous CSR slice [start, start+deg).
+    segment_starts = np.cumsum(counts) - counts
+    positions = np.repeat(indptr[rows] - segment_starts, counts)
+    positions += np.arange(total, dtype=np.int64)
+    row_of_entry = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+    return row_of_entry, indices[positions], (None if weights is None
+                                              else weights[positions])
+
+
+#: Upper bound on the number of nodes whose moves are decided simultaneously.
+#: Within a chunk the state is frozen (fully synchronous); between chunks the
+#: community arrays are updated, which breaks the "pile-up" pathology where
+#: hundreds of nodes simultaneously crowd into the same community they each
+#: individually scored as best.  Smaller chunks → closer to the sequential
+#: reference quality, more numpy-call overhead.
+_CHUNK_SIZE = 1024
+
+#: After the opening sweeps (which move the most nodes and carry the
+#: conflict risk), the exact modularity guard only runs every this many
+#: sweeps; a snapshot of the last guarded state is kept for the revert.
+_GUARD_INTERVAL = 8
+
+#: A sweep runs in "fresh" mode (per-chunk link tallies) while more than
+#: this share of the frontier moved in the previous sweep; below it the
+#: batched stale-skip path takes over (deferred nodes are re-queued, so
+#: correctness is unaffected).
+_CHURN_THRESHOLD = 0.2
+
+#: Once a level's churn drops below the threshold, this many more (cheap,
+#: batched) tail sweeps run before the level is aggregated away — classic
+#: Louvain would grind the tail to full convergence on the big level graph;
+#: aggregating early hands the remaining refinement to the next level at a
+#: fraction of the cost (the same idea as python-louvain's ``threshold``).
+_TAIL_SWEEPS = 3
+
+#: A level ends once a guarded stretch of sweeps improves modularity by less
+#: than this (same early-stopping role as python-louvain's ``threshold``):
+#: the aggregated next level re-optimises at a fraction of the cost, so
+#: grinding out marginal gains on the large level graph is wasted work.
+_MIN_STRETCH_GAIN = 3e-3
+
+
+#: Shared first-of-run boundary mask (see :func:`repro.utils.arrays.first_of_run`).
+_first_of_segment = first_of_run
+
+
+def _sort_codes(codes: np.ndarray, limit: int) -> np.ndarray:
+    """Argsort of composite group codes (default introsort — deterministic).
+
+    Stability is not needed: the codes are only used to *group* equal values,
+    and the group order after sorting is the same either way.  Codes bounded
+    by ``limit`` that fit in int32 sort ~30% faster (half the memory traffic).
+    """
+    if limit < 2**31:
+        return np.argsort(codes.astype(np.int32))
+    return np.argsort(codes)
+
+
+def _one_level_csr(indptr: np.ndarray, indices: np.ndarray,
+                   weights: Optional[np.ndarray], self_loops: np.ndarray,
+                   resolution: float, rng,
+                   stats: Optional[dict] = None) -> np.ndarray:
+    """Batched local-move phase on a CSR level graph; returns community labels.
+
+    Communities are tracked in three flat arrays (label, total strength and
+    size per community id) — no per-node dicts.  The pruning frontier is an
+    int array: after a sweep, only neighbours of moved nodes that ended up
+    outside the mover's new community are revisited (Ozaki et al. 2016, the
+    same rule the dict engine's queue applies one node at a time).  Each
+    sweep shuffles the frontier and processes it in chunks of at most
+    ``_CHUNK_SIZE`` nodes with the community state refreshed between chunks;
+    high-churn sweeps re-tally link weights per chunk ("fresh" mode), while
+    low-churn sweeps tally once and defer any node whose tally a move
+    invalidated ("batched" mode).
+    """
+    n = indptr.size - 1
+    community = np.arange(n, dtype=np.int64)
+    degree = np.diff(indptr)
+    if weights is None:
+        strength = degree.astype(np.float64) + 2.0 * self_loops
+    else:
+        strength = np.bincount(
+            np.repeat(np.arange(n, dtype=np.int64), degree), weights=weights, minlength=n
+        ) + 2.0 * self_loops
+    community_strength = strength.copy()
+    community_size = np.ones(n, dtype=np.int64)
+    two_m = float(strength.sum())
+    if two_m <= 0:
+        return community
+    scale = resolution / two_m
+    # Synchronised int32 label copy: composite sort codes built from it are
+    # half the width, which speeds up the hot argsort substantially.
+    community32 = community.astype(np.int32) if n < 2**31 else None
+
+    entry_src = np.repeat(np.arange(n, dtype=np.int64), degree)
+    double_self_loops = 2.0 * float(self_loops.sum())
+
+    def level_modularity() -> float:
+        # Σ_in counts directed entries (each undirected edge twice) plus the
+        # doubled self-loops; Σ_tot is the maintained strength array.
+        if indices.size:
+            intra_mask = community[entry_src] == community[indices]
+            intra = (float(np.count_nonzero(intra_mask)) if weights is None
+                     else float(weights[intra_mask].sum()))
+        else:
+            intra = 0.0
+        intra += double_self_loops
+        return intra / two_m - resolution * float(np.sum((community_strength / two_m) ** 2))
+
+    def chunk_moves(chunk: np.ndarray, row_start: np.ndarray, group_row: np.ndarray,
+                    group_comm: np.ndarray, link_weight: np.ndarray,
+                    stale: Optional[np.ndarray] = None,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Best improving move per chunk node under the *current* state.
+
+        ``group_row``/``group_comm``/``link_weight`` are this chunk's
+        (node, neighbouring community) → link-weight groups with chunk-local
+        row ids.  ``stale`` (per chunk row) marks nodes whose tally involves
+        a neighbour that moved after the tally was computed; their moves are
+        skipped and the caller re-queues them for the next sweep, where they
+        are re-tallied fresh.
+        """
+        current_row = community[chunk]
+        strength_row = strength[chunk]
+        singleton_row = community_size[current_row] == 1
+
+        node_strength = strength_row[group_row]
+        current_of_group = current_row[group_row]
+        is_current = group_comm == current_of_group
+        # gain = link - resolution * strength(candidate \ node) * strength(node) / 2m,
+        # accumulated in place over one scratch array.
+        gain = community_strength[group_comm]
+        np.subtract(gain, node_strength, out=gain, where=is_current)
+        gain *= node_strength
+        gain *= -scale
+        gain += link_weight
+
+        # Baseline = gain of staying put (link weight to the own community
+        # defaults to 0 when the node has no intra-community edge).
+        baseline = community_strength[current_row]
+        baseline -= strength_row
+        baseline *= strength_row
+        baseline *= -scale
+        baseline[group_row[is_current]] = gain[is_current]
+
+        candidate_gain = np.where(is_current, -np.inf, gain)
+        sizes_of_group = community_size[group_comm]
+        # Two kinds of forbidden candidates share one mask write: ghost
+        # communities that emptied out earlier in this sweep (their members
+        # moved after the link grouping was computed — zero strength would
+        # look like a free win), and the singleton-swap rule: a singleton
+        # node may only enter another singleton community with a smaller
+        # label, which breaks the synchronous oscillation where two
+        # singletons trade places forever (the classic star/bipartite
+        # pathology of batched Louvain).
+        forbidden = sizes_of_group == 0
+        forbidden |= (
+            (sizes_of_group == 1) & singleton_row[group_row]
+            & (group_comm > current_of_group)
+        )
+        candidate_gain[forbidden] = -np.inf
+
+        # Segmented argmax per chunk node; groups are row-major and every
+        # chunk node has at least one group (degree > 0), so the row
+        # segments line up with the chunk order.
+        best_gain = np.maximum.reduceat(candidate_gain, row_start)
+        groups_per_row = np.diff(np.append(row_start, group_row.size))
+        is_best = candidate_gain == np.repeat(best_gain, groups_per_row)
+        best_positions = np.nonzero(is_best)[0]
+        # First best group per row — groups are sorted by community label
+        # within a row, so ties resolve to the smallest label.
+        rows_of_best = group_row[best_positions]
+        target = group_comm[best_positions[_first_of_segment(rows_of_best)]]
+
+        move = (best_gain > baseline + 1e-12) & (target != current_row)
+        if stale is not None:
+            move &= ~stale
+        return chunk[move], target[move]
+
+    def gather_sweep(frontier: np.ndarray):
+        """Per-sweep adjacency gather shared by every chunk of the sweep.
+
+        Returns the per-row entry boundaries plus the flat neighbour /
+        pre-multiplied row-offset / weight arrays.  The (sorted) link
+        grouping itself happens per entry range in :func:`group_entries`,
+        because community labels change between chunks.
+        """
+        counts = indptr[frontier + 1] - indptr[frontier]
+        entry_cum = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+        positions = np.repeat(indptr[frontier] - entry_cum[:-1], counts)
+        positions += np.arange(int(entry_cum[-1]), dtype=np.int64)
+        neighbor_all = indices[positions]
+        if community32 is not None and frontier.size * n < 2**31:
+            row_offset_all = np.repeat(
+                np.arange(frontier.size, dtype=np.int32) * np.int32(n), counts
+            )
+            labels = community32
+        else:
+            row_offset_all = np.repeat(
+                np.arange(frontier.size, dtype=np.int64) * np.int64(n), counts
+            )
+            labels = community
+        weight_all = None if weights is None else weights[positions]
+        return entry_cum, neighbor_all, row_offset_all, labels, weight_all
+
+    def group_entries(gathered, entry_lo: int, entry_hi: int, first_row: int):
+        """Link grouping of one gathered entry range, with chunk-local rows.
+
+        One composite ``row * n + community[neighbour]`` sort (int32 codes
+        from the synchronised label copy when they fit — half the sort
+        bandwidth); the labels are read at call time, so per-chunk calls see
+        every earlier chunk's moves.
+        """
+        _, neighbor_all, row_offset_all, labels, weight_all = gathered
+        code = row_offset_all[entry_lo:entry_hi] + labels[neighbor_all[entry_lo:entry_hi]]
+        order = np.argsort(code)
+        sorted_code = code[order]
+        group_start = np.nonzero(_first_of_segment(sorted_code))[0]
+        if weight_all is None:
+            # All weights are 1: the per-group link weight is the group size.
+            link_weight = np.diff(np.append(group_start, sorted_code.size)).astype(np.float64)
+        else:
+            link_weight = np.add.reduceat(weight_all[entry_lo:entry_hi][order], group_start)
+        # Decode in the codes' own dtype (products stay in range by the
+        # int32-eligibility check in gather_sweep).
+        global_row = sorted_code[group_start] // n
+        group_comm = sorted_code[group_start] - global_row * n
+        group_row = global_row - first_row
+        row_start = np.nonzero(_first_of_segment(group_row))[0]
+        return row_start, group_row, group_comm, link_weight
+
+    def restore(snapshot: np.ndarray) -> None:
+        community[:] = snapshot
+        if community32 is not None:
+            community32[:] = snapshot
+        community_strength[:] = np.bincount(community, weights=strength, minlength=n)
+        community_size[:] = np.bincount(community, minlength=n)
+
+    frontier = np.nonzero(degree > 0)[0]
+    best_quality = level_modularity()
+    guarded_community = community.copy()
+    unguarded_moves = False
+    sweeps = 0
+    capped = False
+    high_churn = True  # the opening sweeps move most of the graph
+    tail_countdown: Optional[int] = None
+    chunk_divisor = 4
+    while frontier.size:
+        if sweeps >= _MOVE_BUDGET:
+            capped = True
+            break
+        sweeps += 1
+
+        if rng is not None and frontier.size > 1:
+            frontier = rng.permutation(frontier)
+        if high_churn:
+            # Small chunks: mass-move sweeps need frequent state refreshes to
+            # avoid within-chunk pile-ups (≥4 chunks even on small graphs).
+            # ``chunk_divisor`` starts at 4 and is raised whenever the guard
+            # reverts a conflicted sweep — at the limit (chunk size 1) moves
+            # are applied one node at a time, which is exact greedy Louvain.
+            chunk_size = max(1, min(_CHUNK_SIZE, frontier.size // chunk_divisor))
+        else:
+            # Low-churn sweeps rarely conflict (and the stale-skip plus the
+            # modularity guard catch those that do), so the tail runs with
+            # as few chunks as possible.
+            chunk_size = _CHUNK_SIZE
+        num_chunks = max(1, -(-frontier.size // chunk_size))
+        sweep_movers: List[np.ndarray] = []
+        requeue: List[np.ndarray] = []
+
+        def apply_moves(movers: np.ndarray, new_comm: np.ndarray) -> None:
+            old_comm = community[movers]
+            mover_strength = strength[movers]
+            np.subtract.at(community_strength, old_comm, mover_strength)
+            np.add.at(community_strength, new_comm, mover_strength)
+            np.subtract.at(community_size, old_comm, 1)
+            np.add.at(community_size, new_comm, 1)
+            community[movers] = new_comm
+            if community32 is not None:
+                community32[movers] = new_comm
+            sweep_movers.append(movers)
+
+        gathered = gather_sweep(frontier)
+        entry_cum = gathered[0]
+        chunk_bounds = np.linspace(0, frontier.size, num_chunks + 1).astype(np.int64)
+        if high_churn:
+            # Fresh mode: re-group the links per chunk so every decision sees
+            # the moves of earlier chunks.  Costs one sort per chunk (the
+            # gather is shared); only worth it while a large share of the
+            # frontier is moving.
+            for index in range(num_chunks):
+                lo, hi = chunk_bounds[index], chunk_bounds[index + 1]
+                if lo == hi:
+                    continue
+                movers, new_comm = chunk_moves(
+                    frontier[lo:hi],
+                    *group_entries(gathered, entry_cum[lo], entry_cum[hi], lo),
+                )
+                if movers.size:
+                    apply_moves(movers, new_comm)
+        else:
+            # Batched mode: one grouping for the whole sweep.  A node whose
+            # tally an earlier chunk's move invalidated (it neighbours a
+            # mover) is skipped and re-queued for the next sweep — the
+            # low-churn tail, which is the bulk of all sweeps, runs at one
+            # sort per sweep without ever acting on stale link weights.
+            row_start, group_row, group_comm, link_weight = group_entries(
+                gathered, 0, int(entry_cum[-1]), 0
+            )
+            stale_flag = np.zeros(n, dtype=bool)
+            group_bounds = np.append(row_start, group_row.size)[chunk_bounds]
+            for index in range(num_chunks):
+                lo, hi = chunk_bounds[index], chunk_bounds[index + 1]
+                glo, ghi = group_bounds[index], group_bounds[index + 1]
+                if lo == hi:
+                    continue
+                chunk = frontier[lo:hi]
+                stale = stale_flag[chunk] if sweep_movers else None
+                movers, new_comm = chunk_moves(
+                    chunk, row_start[lo:hi] - glo, group_row[glo:ghi] - lo,
+                    group_comm[glo:ghi], link_weight[glo:ghi], stale=stale,
+                )
+                if stale is not None and np.any(stale):
+                    requeue.append(chunk[stale])
+                if movers.size:
+                    apply_moves(movers, new_comm)
+                    # Any tally involving these movers is now stale.
+                    _, moved_neighbor, _ = _gather_rows(indptr, indices, None, movers)
+                    stale_flag[moved_neighbor] = True
+
+        if not sweep_movers:
+            if requeue:
+                frontier = np.concatenate(requeue)
+                continue
+            break
+        # Fresh mode is only worth its per-chunk tallies while a large share
+        # of the frontier is moving (a level's opening sweeps); the batched
+        # stale-skip path would defer most of a high-churn sweep.
+        was_high_churn = high_churn
+        high_churn = (
+            sum(block.size for block in sweep_movers) > _CHURN_THRESHOLD * frontier.size
+        )
+        if was_high_churn and not high_churn and tail_countdown is None:
+            tail_countdown = _TAIL_SWEEPS
+        elif tail_countdown is not None and tail_countdown > 0:
+            tail_countdown -= 1
+        unguarded_moves = True
+
+        # Exact modularity guard: every sweep while the big conflict-prone
+        # batches run, then amortised to every _GUARD_INTERVAL sweeps.  A
+        # non-improving stretch is reverted to the last guarded snapshot and
+        # ends the level (classic Louvain's stopping rule) — the singleton
+        # rule makes genuine oscillation rare, so the guard is a backstop.
+        tail_done = tail_countdown == 0
+        if tail_done or sweeps <= 4 or sweeps % _GUARD_INTERVAL == 0:
+            quality = level_modularity()
+            if quality <= best_quality + 1e-10:
+                restore(guarded_community)
+                unguarded_moves = False
+                if was_high_churn and chunk_size > 1 and sweeps < _MOVE_BUDGET:
+                    # The synchronous moves conflicted into a net loss (e.g.
+                    # the chain-shift pathology on trees): retry the sweep
+                    # from the guarded state with finer chunks.  Chunk size 1
+                    # is exact greedy Louvain, so the retries terminate.
+                    chunk_divisor *= 4
+                    high_churn = True
+                    continue
+                break
+            stretch_gain = quality - best_quality
+            best_quality = quality
+            np.copyto(guarded_community, community)
+            unguarded_moves = False
+            if sweeps > 4 and stretch_gain < _MIN_STRETCH_GAIN:
+                break
+            if tail_done:
+                # The mass-move phase of this level is over and the short
+                # batched tail has run: aggregate now and let the (much
+                # smaller) next level finish the refinement.
+                break
+
+        # Pruning: revisit only neighbours of movers that sit outside the
+        # mover's (final) new community, plus any stale-deferred nodes.
+        all_movers = np.concatenate(sweep_movers)
+        mover_row, mover_neighbor, _ = _gather_rows(indptr, indices, None, all_movers)
+        outside = community[mover_neighbor] != community[all_movers][mover_row]
+        in_frontier = np.zeros(n, dtype=bool)
+        in_frontier[mover_neighbor[outside]] = True
+        for block in requeue:
+            in_frontier[block] = True
+        frontier = np.nonzero(in_frontier)[0]
+
+    if unguarded_moves:
+        # The loop ended between guard points; accept the tail only if it
+        # still improved over the last guarded state.
+        if level_modularity() <= best_quality + 1e-10:
+            restore(guarded_community)
+
+    if stats is not None:
+        stats["sweeps"] = stats.get("sweeps", 0) + sweeps
+        stats["capped"] = stats.get("capped", False) or capped
+    if capped:
+        warnings.warn(
+            f"Louvain CSR local-move phase hit the {_MOVE_BUDGET}-sweep cap with "
+            f"{frontier.size} nodes still queued; the move phase was truncated",
+            LouvainConvergenceWarning,
+            stacklevel=2,
+        )
+    return community
+
+
+def _aggregate_csr(indptr: np.ndarray, indices: np.ndarray,
+                   weights: Optional[np.ndarray], self_loops: np.ndarray,
+                   community: np.ndarray,
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse communities into super-nodes with sort + bincount bucketing.
+
+    Returns the aggregated ``(indptr, indices, weights, self_loops)`` plus the
+    node → super-node relabelling.  Community labels are compacted in sorted
+    order (same convention as the dict engine's ``sorted(set(community))``);
+    the sorted unique community-pair codes *are* the next level's CSR layout.
+    """
+    n = indptr.size - 1
+    labels, mapping = np.unique(community, return_inverse=True)
+    k = labels.size
+    mapping = mapping.astype(np.int64)
+
+    degree = np.diff(indptr)
+    src_comm = mapping[np.repeat(np.arange(n, dtype=np.int64), degree)]
+    dst_comm = mapping[indices] if indices.size else np.empty(0, dtype=np.int64)
+
+    new_self_loops = np.bincount(mapping, weights=self_loops, minlength=k)
+    if indices.size:
+        intra = src_comm == dst_comm
+        # Directed entries count every intra edge twice → halve the bucket sum.
+        if weights is None:
+            new_self_loops += 0.5 * np.bincount(src_comm[intra], minlength=k)
+        else:
+            new_self_loops += 0.5 * np.bincount(
+                src_comm[intra], weights=weights[intra], minlength=k
+            )
+        inter_code = src_comm[~intra] * np.int64(k) + dst_comm[~intra]
+        inter_weight = None if weights is None else weights[~intra]
+    else:
+        inter_code = np.empty(0, dtype=np.int64)
+        inter_weight = np.empty(0, dtype=np.float64)
+
+    if inter_code.size:
+        order = _sort_codes(inter_code, k * k)
+        sorted_code = inter_code[order]
+        group_start = np.nonzero(_first_of_segment(sorted_code))[0]
+        unique_code = sorted_code[group_start]
+        if inter_weight is None:
+            new_weights = np.diff(np.append(group_start, sorted_code.size)).astype(np.float64)
+        else:
+            new_weights = np.add.reduceat(inter_weight[order], group_start)
+        new_src = unique_code // k
+        new_indices = unique_code - new_src * np.int64(k)
+    else:
+        new_src = np.empty(0, dtype=np.int64)
+        new_indices = np.empty(0, dtype=np.int64)
+        new_weights = np.empty(0, dtype=np.float64)
+
+    new_indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(np.bincount(new_src, minlength=k), out=new_indptr[1:])
+    return new_indptr, new_indices, new_weights, new_self_loops, mapping
+
+
+def _louvain_csr(graph: Graph, resolution: float, rng, max_levels: int,
+                 diagnostics: Optional[dict] = None) -> Partition:
+    """The CSR engine's level loop (rng only shuffles the sweep order)."""
+    n = graph.num_nodes
+    indptr, indices, weights = _graph_to_csr(graph)
+    self_loops = np.zeros(n, dtype=np.float64)
+    node_to_community = np.arange(n, dtype=np.int64)
+
+    stats: dict = {"sweeps": 0, "capped": False}
+    levels = 0
+    for _ in range(max_levels):
+        community = _one_level_csr(indptr, indices, weights, self_loops,
+                                   resolution, rng, stats=stats)
+        levels += 1
+        indptr, indices, weights, self_loops, mapping = _aggregate_csr(
+            indptr, indices, weights, self_loops, community
+        )
+        if indptr.size - 1 == community.size:
+            break  # no merge happened at this level; we have converged
+        node_to_community = mapping[node_to_community]
+    if diagnostics is not None:
+        diagnostics.update(
+            method="csr", levels=levels,
+            sweeps=stats["sweeps"], move_phase_capped=stats["capped"],
+            num_communities=int(indptr.size - 1),
+        )
+    return Partition(node_to_community)
+
+
+# ---------------------------------------------------------------------------
+# dict engine (seed-compatible reference)
+# ---------------------------------------------------------------------------
 
 def _graph_to_weighted(graph: Graph) -> _WeightedAdjacency:
     """Weighted adjacency dicts built from the canonical edge array.
@@ -73,7 +644,7 @@ def _graph_to_weighted_scalar(graph: Graph) -> _WeightedAdjacency:
 
 
 def _one_level(adjacency: _WeightedAdjacency, self_loops: List[float], resolution: float,
-               rng) -> List[int]:
+               rng, stats: Optional[dict] = None) -> List[int]:
     """Run the local-move phase; returns the community label of each node.
 
     Uses queue-based pruning (Ozaki et al. 2016): instead of re-scanning all
@@ -97,7 +668,7 @@ def _one_level(adjacency: _WeightedAdjacency, self_loops: List[float], resolutio
     queue = deque(order)
     queued = [True] * n
     visits = 0
-    max_visits = 64 * n  # mirrors the old 32-full-passes cap with headroom
+    max_visits = _MOVE_BUDGET * n  # mirrors the old 32-full-passes cap with headroom
     while queue and visits < max_visits:
         node = queue.popleft()
         queued[node] = False
@@ -126,6 +697,17 @@ def _one_level(adjacency: _WeightedAdjacency, self_loops: List[float], resolutio
                 if community[neighbor] != best_community and not queued[neighbor]:
                     queue.append(neighbor)
                     queued[neighbor] = True
+    capped = bool(queue)
+    if stats is not None:
+        stats["visits"] = stats.get("visits", 0) + visits
+        stats["capped"] = stats.get("capped", False) or capped
+    if capped:
+        warnings.warn(
+            f"Louvain dict local-move phase hit the {max_visits}-visit cap with "
+            f"{len(queue)} nodes still queued; the move phase was truncated",
+            LouvainConvergenceWarning,
+            stacklevel=2,
+        )
     return community
 
 
@@ -151,28 +733,74 @@ def _aggregate(adjacency: _WeightedAdjacency, self_loops: List[float],
     return new_adjacency, new_self_loops, mapping
 
 
-def louvain_communities(graph: Graph, resolution: float = 1.0, rng: RngLike = None,
-                        max_levels: int = 16) -> Partition:
-    """Detect communities with the Louvain method; returns a :class:`Partition`."""
-    generator = ensure_rng(rng)
+def _louvain_dict(graph: Graph, resolution: float, rng, max_levels: int,
+                  diagnostics: Optional[dict] = None) -> Partition:
+    """The dict engine's level loop (the retained reference path)."""
     n = graph.num_nodes
-    if n == 0:
-        return Partition([])
-    if graph.num_edges == 0:
-        return Partition(list(range(n)))
-
     adjacency = _graph_to_weighted(graph)
     self_loops = [0.0] * n
     node_to_community = list(range(n))
 
+    stats: dict = {"visits": 0, "capped": False}
+    levels = 0
     for _ in range(max_levels):
-        community = _one_level(adjacency, self_loops, resolution, generator)
+        community = _one_level(adjacency, self_loops, resolution, rng, stats=stats)
+        levels += 1
         if len(set(community)) == len(adjacency):
             break  # no merge happened at this level; we have converged
         adjacency, self_loops, mapping = _aggregate(adjacency, self_loops, community)
         # Compose the original-node -> super-node chain with this level's merge.
         node_to_community = [mapping[node_to_community[node]] for node in range(n)]
+    if diagnostics is not None:
+        diagnostics.update(
+            method="dict", levels=levels,
+            visits=stats["visits"], move_phase_capped=stats["capped"],
+            num_communities=len(set(node_to_community)),
+        )
     return Partition(node_to_community)
 
 
-__all__ = ["louvain_communities"]
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+def louvain_communities(graph: Graph, resolution: float = 1.0, rng: RngLike = None,
+                        max_levels: int = 16, method: str = "csr",
+                        diagnostics: Optional[dict] = None) -> Partition:
+    """Detect communities with the Louvain method; returns a :class:`Partition`.
+
+    Parameters
+    ----------
+    method:
+        ``"csr"`` (default) runs the flat-array batched engine; ``"dict"``
+        runs the retained per-node reference implementation.  Both optimise
+        the same modularity objective; tie-breaking differs (see the module
+        docstring), so partitions may differ where ties occur.
+    diagnostics:
+        Optional dict filled with convergence information: ``levels``,
+        ``sweeps``/``visits``, ``move_phase_capped`` (True when the move
+        budget truncated a level — also surfaced as a
+        :class:`LouvainConvergenceWarning`) and ``num_communities``.
+    """
+    if method not in ("csr", "dict"):
+        raise ValueError(f"unknown Louvain method {method!r}; expected 'csr' or 'dict'")
+    n = graph.num_nodes
+    if n == 0:
+        if diagnostics is not None:
+            diagnostics.update(method=method, levels=0, move_phase_capped=False,
+                               num_communities=0)
+        return Partition([])
+    if graph.num_edges == 0:
+        if diagnostics is not None:
+            diagnostics.update(method=method, levels=0, move_phase_capped=False,
+                               num_communities=n)
+        return Partition(list(range(n)))
+    generator = ensure_rng(rng)
+    if method == "csr":
+        return _louvain_csr(graph, resolution, generator, max_levels,
+                            diagnostics=diagnostics)
+    return _louvain_dict(graph, resolution, generator, max_levels,
+                         diagnostics=diagnostics)
+
+
+__all__ = ["louvain_communities", "LouvainConvergenceWarning"]

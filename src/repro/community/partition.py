@@ -23,6 +23,17 @@ class Partition:
     """
 
     def __init__(self, labels: Sequence) -> None:
+        if isinstance(labels, np.ndarray) and labels.dtype.kind in "iu":
+            # Vectorized first-occurrence normalisation (identical to the
+            # scalar dict walk below): ranking the distinct labels by where
+            # they first appear reproduces insertion order.
+            flat = labels.ravel()
+            _, first_index, inverse = np.unique(
+                flat, return_index=True, return_inverse=True
+            )
+            rank_by_first = np.argsort(np.argsort(first_index))
+            self._labels = rank_by_first[inverse].astype(np.int64)
+            return
         labels = list(labels)
         distinct = {}
         normalised = np.empty(len(labels), dtype=np.int64)

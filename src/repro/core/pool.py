@@ -1,0 +1,71 @@
+"""Module-level process-pool manager shared across benchmark runs.
+
+Spinning up a ``ProcessPoolExecutor`` costs a fork plus an interpreter
+warm-up per worker — negligible for one long grid run, but a real tax when a
+driver executes many small :func:`~repro.core.runner.run_benchmark` calls
+(parameter sweeps, the test suite, a service handling benchmark requests).
+This module keeps one executor alive and hands it to every runner:
+
+* :func:`get_shared_pool` returns the living pool when its worker count
+  matches, and transparently replaces it when the requested worker count
+  changes or the pool has broken (a worker died);
+* :func:`shutdown_shared_pool` tears it down explicitly (also registered via
+  :mod:`atexit`, so interpreter exit never hangs on live workers).
+
+The pool is intentionally *not* shut down between runs — the keyed
+per-repetition seeding makes results independent of which worker executes
+what, so reuse is free of correctness concerns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+_lock = threading.Lock()
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+
+
+def _is_broken(pool: ProcessPoolExecutor) -> bool:
+    """True when the executor can no longer accept work (a worker died)."""
+    return bool(getattr(pool, "_broken", False))
+
+
+def get_shared_pool(workers: int) -> ProcessPoolExecutor:
+    """Return the shared executor with ``workers`` workers, (re)creating it on demand.
+
+    The same executor object is returned for repeated calls with the same
+    worker count; asking for a different count replaces the pool (the old
+    one is shut down without waiting for queued work — callers own their
+    futures and collect them before changing worker counts).
+    """
+    global _pool, _pool_workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with _lock:
+        if _pool is not None and _pool_workers == workers and not _is_broken(_pool):
+            return _pool
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+        return _pool
+
+
+def shutdown_shared_pool(wait: bool = True) -> None:
+    """Shut the shared executor down (no-op when none is alive)."""
+    global _pool, _pool_workers
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown(wait=wait, cancel_futures=True)
+            _pool = None
+            _pool_workers = 0
+
+
+atexit.register(shutdown_shared_pool, wait=False)
+
+
+__all__ = ["get_shared_pool", "shutdown_shared_pool"]

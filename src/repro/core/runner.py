@@ -6,15 +6,21 @@ each synthetic graph, and records the *average* error per query — exactly the
 procedure of the paper's Section V-D ("we run each experiment 10 times and
 calculate the average of the utility metrics").
 
-Grid cells are independent, so they can run on a ``ProcessPoolExecutor``
-(``workers`` in the spec / ``--workers`` in the CLI).  Every repetition draws
-its noise from a :class:`numpy.random.SeedSequence` keyed by
-``(master seed, algorithm, dataset, ε, repetition)`` rather than from a
-shared sequential stream, which makes the results *bit-identical* for any
-worker count and any execution order.  Each synthetic graph is evaluated
-through a memoized :class:`~repro.queries.context.EvaluationContext`, so the
-15 queries share their expensive derivations (BFS sweeps, Louvain runs,
-triangle counts).
+Repetitions — not just grid cells — are independent, so the parallel runner
+submits every ``(cell, repetition)`` pair as its own unit of work to a
+*shared* ``ProcessPoolExecutor`` (``workers`` in the spec / ``--workers`` in
+the CLI; the pool is reused across runs, see :mod:`repro.core.pool`).  A
+small grid with many repetitions therefore saturates a many-core machine
+just as well as a large grid.  Every repetition draws its noise from a
+:class:`numpy.random.SeedSequence` keyed by ``(master seed, algorithm,
+dataset, ε, repetition)`` rather than from a shared sequential stream, and
+cells are assembled from their repetition results in repetition order, which
+makes the results *bit-identical* for any worker count and any execution
+order.  Cells still checkpoint atomically: a cell reaches the journal only
+once all of its repetitions have completed.  Each synthetic graph is
+evaluated through a memoized
+:class:`~repro.queries.context.EvaluationContext`, so the 15 queries share
+their expensive derivations (BFS sweeps, Louvain runs, triangle counts).
 
 Results are plain dataclass records collected into :class:`BenchmarkResults`,
 which the aggregation module turns into the paper's tables.
@@ -24,7 +30,7 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -179,55 +185,92 @@ def repetition_seed_sequence(master_seed: int, algorithm: str, dataset: str,
     )
 
 
-def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
-                  query_names: Sequence[str], true_values: Dict[str, object],
-                  repetitions: int, master_seed: int, strict: bool = True) -> List[CellResult]:
-    """Run one grid cell; used verbatim by both the serial and parallel paths.
+@dataclass(frozen=True)
+class RepetitionResult:
+    """Outcome of one repetition of one grid cell.
 
-    A repetition whose generation raises either aborts the whole run (strict
-    mode) or is logged and skipped; a cell with no surviving repetition is
-    returned as explicit failed records rather than dropped.
+    ``errors`` maps query name → error for a successful repetition;
+    ``failure`` carries the error message of a failed generation (non-strict
+    runs only — in strict mode the failure propagates as
+    :class:`CellExecutionError` instead).
+    """
+
+    repetition: int
+    errors: Optional[Dict[str, float]]
+    generation_seconds: float
+    failure: str = ""
+
+
+def _execute_repetition(algorithm_name: str, dataset_name: str, graph: Graph,
+                        epsilon: float, query_names: Sequence[str],
+                        true_values: Dict[str, object], repetition: int,
+                        master_seed: int, strict: bool = True) -> RepetitionResult:
+    """Run one repetition of one grid cell; the parallel runner's unit of work.
+
+    The noise stream is keyed by the full cell coordinates plus the
+    repetition index (:func:`repetition_seed_sequence`), so executing
+    repetitions in any order — or on any worker — draws identical noise.
     """
     from repro.algorithms.registry import get_algorithm
     from repro.metrics.registry import get_metric
     from repro.queries.registry import get_query
 
     queries = [get_query(name) for name in query_names]
-    errors: Dict[str, List[float]] = {query.name: [] for query in queries}
-    failures: List[str] = []
-    generation_time = 0.0
-    for repetition in range(repetitions):
-        algorithm = get_algorithm(algorithm_name)
-        seed = repetition_seed_sequence(
-            master_seed, algorithm_name, dataset_name, epsilon, repetition
+    algorithm = get_algorithm(algorithm_name)
+    seed = repetition_seed_sequence(
+        master_seed, algorithm_name, dataset_name, epsilon, repetition
+    )
+    start = time.perf_counter()
+    try:
+        synthetic = algorithm.generate_graph(graph, epsilon, rng=np.random.default_rng(seed))
+    except Exception as exc:
+        if strict:
+            raise CellExecutionError(
+                f"generation failed: algorithm={algorithm_name} "
+                f"dataset={dataset_name} epsilon={epsilon} repetition={repetition}"
+            ) from exc
+        logger.exception(
+            "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
+            algorithm_name, dataset_name, epsilon, repetition,
         )
-        start = time.perf_counter()
-        try:
-            synthetic = algorithm.generate_graph(graph, epsilon, rng=np.random.default_rng(seed))
-        except Exception as exc:
-            if strict:
-                raise CellExecutionError(
-                    f"generation failed: algorithm={algorithm_name} "
-                    f"dataset={dataset_name} epsilon={epsilon} repetition={repetition}"
-                ) from exc
-            logger.exception(
-                "generation failed: algorithm=%s dataset=%s epsilon=%s repetition=%d",
-                algorithm_name, dataset_name, epsilon, repetition,
-            )
-            failures.append(f"repetition {repetition}: {type(exc).__name__}: {exc}")
-            continue
-        generation_time += time.perf_counter() - start
-        context = EvaluationContext(synthetic)
-        for query in queries:
-            metric = get_metric(query.metric_name)
-            synthetic_value = query.evaluate_in(context)
-            score = metric(true_values[query.name], synthetic_value)
-            error = 1.0 - score if metric.higher_is_better else score
-            errors[query.name].append(float(error))
+        return RepetitionResult(
+            repetition=repetition, errors=None, generation_seconds=0.0,
+            failure=f"repetition {repetition}: {type(exc).__name__}: {exc}",
+        )
+    generation_seconds = time.perf_counter() - start
+    context = EvaluationContext(synthetic)
+    errors: Dict[str, float] = {}
+    for query in queries:
+        metric = get_metric(query.metric_name)
+        synthetic_value = query.evaluate_in(context)
+        score = metric(true_values[query.name], synthetic_value)
+        error = 1.0 - score if metric.higher_is_better else score
+        errors[query.name] = float(error)
+    return RepetitionResult(
+        repetition=repetition, errors=errors, generation_seconds=generation_seconds
+    )
+
+
+def _assemble_cell(algorithm_name: str, dataset_name: str, epsilon: float,
+                   query_names: Sequence[str],
+                   repetition_results: Sequence[RepetitionResult]) -> List[CellResult]:
+    """Aggregate a cell's repetition results (in repetition order) into cells.
+
+    The aggregation is a pure function of the per-repetition outcomes, so
+    serial and repetition-parallel execution produce bit-identical cells no
+    matter which worker finished first.
+    """
+    from repro.queries.registry import get_query
+
+    ordered = sorted(repetition_results, key=lambda result: result.repetition)
+    queries = [get_query(name) for name in query_names]
+    successful = [result for result in ordered if result.errors is not None]
+    failures = [result.failure for result in ordered if result.errors is None]
+    generation_time = sum(result.generation_seconds for result in successful)
 
     cells: List[CellResult] = []
     for query in queries:
-        values = errors[query.name]
+        values = [result.errors[query.name] for result in successful]
         if not values:
             cells.append(
                 CellResult(
@@ -263,6 +306,59 @@ def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon:
     return cells
 
 
+class _WorkerDataMiss(Exception):
+    """A worker was asked for a dataset payload it has not received yet."""
+
+
+#: Per-worker-process cache of (dataset graph, true query values), keyed by
+#: (spec fingerprint, dataset name).  The runner ships each dataset payload
+#: at most a handful of times (first unit optimistically, then once per
+#: worker that reports a miss) instead of once per repetition — at 100k
+#: nodes that is megabytes of edge array per submission saved.
+_worker_data: Dict[Tuple[str, str], Tuple[Graph, Dict[str, object]]] = {}
+
+
+def _execute_repetition_remote(cache_key: Tuple[str, str],
+                               payload: Optional[Tuple[Graph, Dict[str, object]]],
+                               algorithm_name: str, dataset_name: str, epsilon: float,
+                               query_names: Sequence[str], repetition: int,
+                               master_seed: int, strict: bool) -> RepetitionResult:
+    """Worker-side wrapper around :func:`_execute_repetition` with a data cache.
+
+    ``payload`` carries the (graph, true values) pair when the submitter
+    chose to ship it; otherwise the worker serves it from its cache and
+    raises :class:`_WorkerDataMiss` when it has never seen the dataset — the
+    runner resubmits that unit with the payload attached.
+    """
+    if payload is not None:
+        fingerprint = cache_key[0]
+        for stale_key in [key for key in _worker_data if key[0] != fingerprint]:
+            del _worker_data[stale_key]  # a new spec: drop the previous run's data
+        _worker_data[cache_key] = payload
+    try:
+        graph, true_values = _worker_data[cache_key]
+    except KeyError:
+        raise _WorkerDataMiss(f"dataset payload {cache_key} not cached in this worker")
+    return _execute_repetition(
+        algorithm_name, dataset_name, graph, epsilon, query_names,
+        true_values, repetition, master_seed, strict,
+    )
+
+
+def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
+                  query_names: Sequence[str], true_values: Dict[str, object],
+                  repetitions: int, master_seed: int, strict: bool = True) -> List[CellResult]:
+    """Run one grid cell serially: every repetition, then the aggregation."""
+    results = [
+        _execute_repetition(
+            algorithm_name, dataset_name, graph, epsilon, query_names,
+            true_values, repetition, master_seed, strict,
+        )
+        for repetition in range(repetitions)
+    ]
+    return _assemble_cell(algorithm_name, dataset_name, epsilon, query_names, results)
+
+
 class BenchmarkRunner:
     """Runs a :class:`BenchmarkSpec` and returns :class:`BenchmarkResults`.
 
@@ -278,8 +374,12 @@ class BenchmarkRunner:
         execution.
     workers:
         Number of worker processes; overrides ``spec.workers`` when given.
-        With 1 worker everything runs in-process.  Results are bit-identical
-        for every worker count thanks to the keyed per-repetition seeding.
+        With 1 worker everything runs in-process; with more, every
+        ``(cell, repetition)`` pair becomes a unit of work on the shared
+        process pool (:mod:`repro.core.pool`), so repetitions of a single
+        cell run concurrently.  Results are bit-identical for every worker
+        count thanks to the keyed per-repetition seeding and the
+        repetition-ordered cell assembly.
     journal:
         Optional :class:`~repro.core.persistence.CheckpointJournal`.  Every
         completed cell is appended to it as soon as its future resolves, and
@@ -368,22 +468,77 @@ class BenchmarkRunner:
                 ))
             return per_task
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            future_to_task = {}
-            for task in pending:
-                algorithm_name, dataset_name, epsilon = task
-                future = pool.submit(
-                    _execute_cell,
-                    algorithm_name, dataset_name, graphs[dataset_name], epsilon,
-                    query_names, true_values[dataset_name],
-                    self.spec.repetitions, self.spec.seed, self.spec.strict,
-                )
-                future_to_task[future] = task
-            # Collect as cells finish so each one is journaled (and reported)
-            # the moment it completes — a killed run loses at most the cells
-            # still in flight.  run() re-orders into canonical layout.
-            for future in as_completed(future_to_task):
-                finish(future_to_task[future], future.result())
+        # Repetition-level parallelism on the shared module-level pool: every
+        # (cell, repetition) pair is an independent unit of work thanks to the
+        # keyed seeding, so a single cell saturates many cores.  The pool is
+        # reused across run_benchmark calls (see repro.core.pool).  Dataset
+        # payloads (graph + true values) ship with the first unit per dataset
+        # and live in a worker-side cache afterwards; a worker that never
+        # received one raises _WorkerDataMiss and that unit is resubmitted
+        # with the payload attached — so each worker receives each dataset at
+        # most once instead of once per repetition.
+        from repro.core.pool import get_shared_pool
+
+        pool = get_shared_pool(workers)
+        repetitions = self.spec.repetitions
+        fingerprint = self.spec.fingerprint()
+        payloads = {
+            dataset_name: (graphs[dataset_name], true_values[dataset_name])
+            for dataset_name in graphs
+        }
+
+        def submit(task: TaskKey, repetition: int, with_payload: bool):
+            algorithm_name, dataset_name, epsilon = task
+            return pool.submit(
+                _execute_repetition_remote,
+                (fingerprint, dataset_name),
+                payloads[dataset_name] if with_payload else None,
+                algorithm_name, dataset_name, epsilon, query_names,
+                repetition, self.spec.seed, self.spec.strict,
+            )
+
+        future_to_unit: Dict[object, Tuple[TaskKey, int]] = {}
+        shipped: Set[str] = set()
+        for task in pending:
+            dataset_name = task[1]
+            for repetition in range(repetitions):
+                future = submit(task, repetition, dataset_name not in shipped)
+                shipped.add(dataset_name)
+                future_to_unit[future] = (task, repetition)
+
+        collected: Dict[TaskKey, List[RepetitionResult]] = {task: [] for task in pending}
+        outstanding = set(future_to_unit)
+        try:
+            # Collect as repetitions finish; a cell is assembled — and
+            # journaled/reported — the moment its last repetition lands, so a
+            # killed run loses at most the cells still in flight.  run()
+            # re-orders into canonical layout; _assemble_cell sorts by
+            # repetition index, so completion order never leaks into results.
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, repetition = future_to_unit.pop(future)
+                    try:
+                        result = future.result()
+                    except _WorkerDataMiss:
+                        retry = submit(task, repetition, with_payload=True)
+                        future_to_unit[retry] = (task, repetition)
+                        outstanding.add(retry)
+                        continue
+                    collected[task].append(result)
+                    if len(collected[task]) == repetitions:
+                        algorithm_name, dataset_name, epsilon = task
+                        finish(task, _assemble_cell(
+                            algorithm_name, dataset_name, epsilon, query_names,
+                            collected.pop(task),
+                        ))
+        except BaseException:
+            # Strict-mode repetition failure (or a crashed worker): drop the
+            # remaining queued units so the shared pool comes back clean for
+            # the next run, then propagate.
+            for future in future_to_unit:
+                future.cancel()
+            raise
         return per_task
 
 
@@ -402,6 +557,7 @@ __all__ = [
     "CellExecutionError",
     "BenchmarkResults",
     "BenchmarkRunner",
+    "RepetitionResult",
     "TaskKey",
     "run_benchmark",
     "repetition_seed_sequence",

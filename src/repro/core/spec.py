@@ -30,6 +30,14 @@ from repro.queries.registry import PGB_QUERY_NAMES, get_query
 #: The privacy budgets of the benchmark instantiation (paper Table V / VII).
 PGB_EPSILONS: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
 
+#: Version of the *result-producing implementation*, folded into
+#: :meth:`BenchmarkSpec.fingerprint`.  Bump it whenever an algorithm or query
+#: implementation change alters the values cells contain for the same spec
+#: (version 2: the CSR Louvain engine changed Q12/Q13 and PrivGraph cells),
+#: so checkpoint journals and shard outputs written by an older codebase are
+#: refused loudly instead of silently mixing old and new cell values.
+RESULTS_PROTOCOL_VERSION = 2
+
 
 class SpecValidationError(ValueError):
     """Raised when a benchmark specification violates a design principle."""
@@ -126,7 +134,9 @@ class BenchmarkSpec:
         a spec with a matching fingerprint.  ``workers`` is deliberately
         excluded: the keyed seeding makes results independent of the worker
         count, so a journal written with ``--workers 4`` can be resumed with
-        any other value.
+        any other value.  :data:`RESULTS_PROTOCOL_VERSION` is included, so
+        journals written by a codebase whose algorithms produced different
+        cell values refuse to resume instead of mixing engines silently.
         """
         material = json.dumps(
             {
@@ -135,6 +145,7 @@ class BenchmarkSpec:
                 "epsilons": [float(epsilon) for epsilon in self.epsilons],
                 "queries": list(self.queries),
                 "repetitions": int(self.repetitions),
+                "results_protocol": RESULTS_PROTOCOL_VERSION,
                 "scale": float(self.scale),
                 "seed": int(self.seed),
                 "strict": bool(self.strict),
@@ -237,4 +248,5 @@ class BenchmarkSpec:
         )
 
 
-__all__ = ["BenchmarkSpec", "SpecValidationError", "PGB_EPSILONS"]
+__all__ = ["BenchmarkSpec", "SpecValidationError", "PGB_EPSILONS",
+           "RESULTS_PROTOCOL_VERSION"]

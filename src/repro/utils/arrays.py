@@ -1,0 +1,22 @@
+"""Small shared ndarray helpers used by the vectorized hot paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def first_of_run(values: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run in a sorted array.
+
+    The building block of every sort-then-segment grouping in the codebase
+    (Louvain link tallies and aggregation, the grouped rejection sampler):
+    ``np.nonzero(first_of_run(sorted_codes))[0]`` yields the group starts.
+    """
+    mask = np.empty(values.size, dtype=bool)
+    if values.size:
+        mask[0] = True
+        np.not_equal(values[1:], values[:-1], out=mask[1:])
+    return mask
+
+
+__all__ = ["first_of_run"]

@@ -21,6 +21,8 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.utils.arrays import first_of_run
+
 #: A proposer returns (codes, valid): ``codes[i]`` is the encoded pair of
 #: attempt i of the batch and ``valid[i]`` whether it passes the cheap local
 #: checks (self-loop, orientation).  Invalid attempts still count as attempts.
@@ -84,4 +86,101 @@ def rejection_sample_codes(
     return accepted, attempts
 
 
-__all__ = ["rejection_sample_codes", "Proposer"]
+#: A grouped proposer receives the group index of every attempt in the batch
+#: (group-major) and returns (codes, valid) for all attempts at once.
+GroupedProposer = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+def grouped_rejection_sample_codes(
+    targets: np.ndarray,
+    max_attempts: np.ndarray,
+    propose: GroupedProposer,
+    min_batch: int = 64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rejection-sample every group's codes in one shared vectorized loop.
+
+    The single-group sampler (:func:`rejection_sample_codes`) pays its fixed
+    batching cost once per call; callers with *many* small groups (DER's
+    quadtree leaves) used to pay it once per group.  Here all still-active
+    groups propose together each round: one RNG draw, one validity mask, one
+    deduplication pass for the whole collection.
+
+    Codes must be **globally unique across groups** (each group draws from
+    its own disjoint code space — true for disjoint matrix regions), so
+    deduplication never has to disambiguate groups.
+
+    Parameters
+    ----------
+    targets:
+        Per-group number of codes to accept (shape ``(g,)``).
+    max_attempts:
+        Per-group attempt budgets (shape ``(g,)``).
+    propose:
+        Batched proposer; receives the group id of each attempt.
+    min_batch:
+        Per-group floor on the round's batch size, so tiny groups still
+        amortise their rejections.
+
+    Returns
+    -------
+    (codes, group_of_code):
+        Accepted codes (grouped order not guaranteed) and the group index of
+        each accepted code.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    max_attempts = np.asarray(max_attempts, dtype=np.int64)
+    num_groups = targets.size
+    accepted = np.empty(0, dtype=np.int64)
+    accepted_groups = np.empty(0, dtype=np.int64)
+    taken = np.zeros(num_groups, dtype=np.int64)
+    attempts = np.zeros(num_groups, dtype=np.int64)
+    while True:
+        need = targets - taken
+        active = (need > 0) & (attempts < max_attempts)
+        if not np.any(active):
+            break
+        batch = np.where(
+            active,
+            np.minimum(np.maximum(2 * need, min_batch), max_attempts - attempts),
+            0,
+        )
+        group_ids = np.repeat(np.arange(num_groups, dtype=np.int64), batch)
+        codes, valid = propose(group_ids)
+        attempts += batch
+        codes = codes[valid]
+        candidate_groups = group_ids[valid]
+        if codes.size == 0:
+            continue
+        # Dedup within the round (keep first occurrence in attempt order) and
+        # against everything accepted so far — codes are globally unique, so
+        # one sorted membership test covers all groups at once.
+        _, first_indices = np.unique(codes, return_index=True)
+        keep = np.sort(first_indices)
+        codes = codes[keep]
+        candidate_groups = candidate_groups[keep]
+        if accepted.size:
+            existing = np.sort(accepted)
+            positions = np.searchsorted(existing, codes)
+            clipped = np.minimum(positions, existing.size - 1)
+            present = (positions < existing.size) & (existing[clipped] == codes)
+            codes = codes[~present]
+            candidate_groups = candidate_groups[~present]
+        if codes.size == 0:
+            continue
+        # Cap acceptances per group: rank candidates within their group in
+        # attempt order and keep ranks below the group's remaining need.
+        order = np.argsort(candidate_groups, kind="stable")
+        sorted_groups = candidate_groups[order]
+        segment_starts = np.nonzero(first_of_run(sorted_groups))[0]
+        rank = np.arange(sorted_groups.size, dtype=np.int64)
+        rank -= np.repeat(segment_starts, np.diff(np.append(segment_starts, rank.size)))
+        within_need = rank < need[sorted_groups]
+        chosen = order[within_need]
+        accepted = np.concatenate([accepted, codes[chosen]])
+        accepted_groups = np.concatenate([accepted_groups, candidate_groups[chosen]])
+        np.add.at(taken, candidate_groups[chosen], 1)
+    return accepted, accepted_groups
+
+
+__all__ = ["rejection_sample_codes", "grouped_rejection_sample_codes",
+           "Proposer", "GroupedProposer"]

@@ -79,6 +79,16 @@ class TestFingerprint:
     def test_workers_do_not_change_it(self):
         assert _small_spec(workers=1).fingerprint() == _small_spec(workers=4).fingerprint()
 
+    def test_results_protocol_version_changes_it(self, monkeypatch):
+        # A codebase whose algorithms produce different cell values bumps
+        # RESULTS_PROTOCOL_VERSION, so its journals refuse to resume here
+        # instead of silently mixing old and new engine outputs.
+        import repro.core.spec as spec_module
+
+        base = _small_spec().fingerprint()
+        monkeypatch.setattr(spec_module, "RESULTS_PROTOCOL_VERSION", 1)
+        assert _small_spec().fingerprint() != base
+
     @pytest.mark.parametrize("change", [
         dict(seed=8), dict(epsilons=(0.5,)), dict(repetitions=2),
         dict(scale=0.03), dict(algorithms=("tmf",)), dict(queries=("num_edges",)),

@@ -81,7 +81,9 @@ class TestLouvainUnchanged:
         import repro.community.louvain as louvain_module
 
         graph = planted_partition_graph(3, 20, p_in=0.5, p_out=0.02, rng=11)
-        fast = louvain_communities(graph, rng=42)
+        # The dict engine is the path that consumes the weighted-adjacency
+        # build; the CSR engine (default) never touches it.
+        fast = louvain_communities(graph, rng=42, method="dict")
         monkeypatch.setattr(louvain_module, "_graph_to_weighted", _graph_to_weighted_scalar)
-        slow = louvain_communities(graph, rng=42)
+        slow = louvain_communities(graph, rng=42, method="dict")
         assert fast == slow

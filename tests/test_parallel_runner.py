@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import pool as pool_module
+from repro.core.persistence import CheckpointJournal
 from repro.core.runner import (
     BenchmarkResults,
     CellResult,
@@ -87,6 +89,90 @@ class TestParallelDeterminism:
     def test_workers_validation(self):
         with pytest.raises(SpecValidationError):
             _small_spec(workers=0)
+
+
+class TestRepetitionParallelism:
+    """Repetitions are the unit of work: a single cell saturates the pool and
+    the results stay bit-identical to a serial run at any worker count."""
+
+    def _single_cell_spec(self, **overrides) -> BenchmarkSpec:
+        params = dict(
+            algorithms=("tmf",),
+            datasets=("ba",),
+            epsilons=(1.0,),
+            queries=("num_edges", "average_degree", "degree_distribution"),
+            repetitions=5,
+            scale=0.03,
+            seed=77,
+        )
+        params.update(overrides)
+        return BenchmarkSpec(**params)
+
+    def test_single_cell_many_repetitions_bit_identical(self):
+        serial = run_benchmark(self._single_cell_spec(), workers=1)
+        parallel = run_benchmark(self._single_cell_spec(), workers=3)
+        assert _comparable(serial.cells) == _comparable(parallel.cells)
+        assert serial.cells[0].repetitions == 5
+
+    def test_grid_with_repetitions_bit_identical(self):
+        serial = run_benchmark(_small_spec(repetitions=3), workers=1)
+        parallel = run_benchmark(_small_spec(repetitions=3), workers=4)
+        assert _comparable(serial.cells) == _comparable(parallel.cells)
+
+    def test_resumes_cleanly_from_a_journal(self, tmp_path):
+        """Repetition-parallel runs interoperate with the PR 2 journal:
+        cells journal atomically, and a truncated journal resumes to results
+        bit-identical to the uninterrupted run at any worker count."""
+        path = tmp_path / "journal.jsonl"
+        spec = _small_spec(repetitions=2)
+        uninterrupted = run_benchmark(_small_spec(repetitions=2), workers=1)
+
+        journal = CheckpointJournal.create(path, spec)
+        run_benchmark(spec, journal=journal, workers=2)
+        # Simulate a kill: keep the header plus the first completed cell.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n", encoding="utf-8")
+
+        resumed_journal = CheckpointJournal.resume(path, _small_spec(repetitions=2))
+        assert len(resumed_journal.completed) == 1
+        resumed = run_benchmark(
+            _small_spec(repetitions=2), journal=resumed_journal, workers=3
+        )
+        assert _comparable(resumed.cells) == _comparable(uninterrupted.cells)
+
+
+class TestSharedPool:
+    def test_pool_reused_for_same_worker_count(self):
+        try:
+            first = pool_module.get_shared_pool(2)
+            assert pool_module.get_shared_pool(2) is first
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_pool_recreated_for_different_worker_count(self):
+        try:
+            first = pool_module.get_shared_pool(2)
+            second = pool_module.get_shared_pool(3)
+            assert second is not first
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_runner_reuses_the_shared_pool_across_runs(self):
+        try:
+            run_benchmark(_small_spec(), workers=2)
+            pool_after_first = pool_module.get_shared_pool(2)
+            run_benchmark(_small_spec(), workers=2)
+            assert pool_module.get_shared_pool(2) is pool_after_first
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            pool_module.get_shared_pool(0)
+
+    def test_shutdown_is_idempotent(self):
+        pool_module.shutdown_shared_pool()
+        pool_module.shutdown_shared_pool()
 
 
 class TestResultIndexes:
