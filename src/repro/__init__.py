@@ -37,15 +37,19 @@ from repro.core import (
     BenchmarkSpec,
     best_count_by_dataset,
     best_count_by_query,
+    open_store,
     profile_algorithms,
     recommend_algorithm,
+    render_benchmark_tables,
     render_best_count_table,
     render_error_table,
+    render_leaderboard,
     render_resource_table,
 )
 from repro.core.runner import run_benchmark
 from repro.graphs import Graph, get_dataset, list_datasets, load_dataset
 from repro.queries import get_query, list_queries, make_default_queries
+from repro.registry import ResultsRegistry
 
 __version__ = "1.0.0"
 
@@ -75,6 +79,11 @@ __all__ = [
     "render_best_count_table",
     "render_error_table",
     "render_resource_table",
+    "render_benchmark_tables",
+    "render_leaderboard",
+    # results platform
+    "open_store",
+    "ResultsRegistry",
     # graphs
     "Graph",
     "get_dataset",

@@ -7,14 +7,19 @@ Mirrors the public benchmark platform's workflows from the terminal::
                         --queries num_edges modularity --scale 0.03
     python -m repro run --checkpoint run.jsonl --resume   # continue a killed run
     python -m repro run --shard 0/2 --output-json shard0.json   # half the grid
-    python -m repro merge shard0.json shard1.json --output-json full.json
+    python -m repro run --store sqlite:registry.db        # straight into a registry
+    python -m repro merge 'shard*.json' --output-json full.json
+    python -m repro export full.json --output-csv full.csv
+    python -m repro submit shard0.json shard1.json --registry registry.db
+    python -m repro leaderboard --registry registry.db
+    python -m repro serve --registry registry.db --port 8080
     python -m repro profile --datasets ba facebook --scale 0.03
     python -m repro recommend --nodes 5000 --acc 0.4 --epsilon 1.0
     python -m repro generate --dataset facebook --algorithm privgraph --epsilon 1 \
                         --output synthetic.txt
 
 Every subcommand prints the same plain-text tables the benchmark harness uses,
-so CLI output and bench output stay consistent.
+so CLI output, leaderboard output and bench output stay consistent.
 """
 
 from __future__ import annotations
@@ -28,10 +33,9 @@ from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm, list_a
 from repro.core.profiling import profile_algorithms, profiles_as_tables
 from repro.core.guidelines import recommend_algorithm
 from repro.core.report import (
-    render_best_count_table,
-    render_per_query_table,
+    render_benchmark_tables,
+    render_leaderboard,
     render_resource_table,
-    render_summary,
 )
 from repro.core.runner import run_benchmark
 from repro.core.spec import PGB_EPSILONS, BenchmarkSpec
@@ -92,15 +96,57 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--shard", type=_parse_shard, default=None, metavar="I/K",
                             help="run only the grid cells with index ≡ I (mod K); "
                                  "combine shard outputs with `repro merge`")
+    run_parser.add_argument("--store", default=None, metavar="URL",
+                            help="persist the results to a storage backend: "
+                                 "sqlite:PATH submits into a registry database, "
+                                 "json:PATH (or a bare .json/.json.gz path) "
+                                 "writes the classic results file")
+    run_parser.add_argument("--submitter", default="local-run",
+                            help="submitter recorded when --store targets a "
+                                 "registry database")
 
     merge_parser = subparsers.add_parser(
         "merge", help="merge shard / partial result JSONs into one results file")
     merge_parser.add_argument("inputs", nargs="+",
-                              help="result JSON files written by `repro run --output-json`")
+                              help="result JSON files written by `repro run "
+                                   "--output-json` (gzip .json.gz allowed; glob "
+                                   "patterns like 'shard*.json' are expanded)")
     merge_parser.add_argument("--output-json", required=True,
                               help="write the merged results (spec + cells) here")
     merge_parser.add_argument("--output-csv", default=None,
                               help="also export the merged cells as CSV")
+
+    export_parser = subparsers.add_parser(
+        "export", help="export a saved results file (or store) as CSV")
+    export_parser.add_argument("input",
+                               help="results to export: a JSON/.json.gz file or a "
+                                    "store URL (sqlite:PATH, json:PATH)")
+    export_parser.add_argument("--output-csv", required=True,
+                               help="write one CSV row per benchmark cell here")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit result files into a results registry database")
+    submit_parser.add_argument("inputs", nargs="+",
+                               help="result JSON/.json.gz files (globs expanded); a "
+                                    "PATH.manifest.json sidecar is validated when present")
+    submit_parser.add_argument("--registry", required=True, metavar="PATH",
+                               help="registry SQLite database (created if missing)")
+    submit_parser.add_argument("--submitter", default="anonymous",
+                               help="who is submitting (recorded as provenance)")
+
+    leaderboard_parser = subparsers.add_parser(
+        "leaderboard", help="render the merged leaderboard of a results registry")
+    leaderboard_parser.add_argument("--registry", required=True, metavar="PATH",
+                                    help="registry SQLite database")
+    leaderboard_parser.add_argument("--no-submissions", action="store_true",
+                                    help="omit the submissions provenance table")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a registry's leaderboard over a read-only JSON API")
+    serve_parser.add_argument("--registry", required=True, metavar="PATH",
+                              help="registry SQLite database")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000)
 
     profile_parser = subparsers.add_parser("profile", help="measure time and memory per algorithm")
     profile_parser.add_argument("--algorithms", nargs="+", default=list(PGB_ALGORITHM_NAMES))
@@ -160,6 +206,21 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.store:
+        # Refuse a bad store target *before* hours of grid execution, the way
+        # checkpoint conflicts are refused up front: parse the URL and, for a
+        # database target, open it once so unwritable/corrupt paths surface now.
+        from repro.core.store import SqliteResultsStore, StoreError, open_store
+
+        try:
+            store = open_store(args.store)
+            if isinstance(store, SqliteResultsStore):
+                from repro.core.store import connect
+
+                connect(store.path).close()
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     journal = None
     if args.checkpoint:
@@ -189,49 +250,220 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"shard {index}/{count}: running {shard_tasks} of {total_tasks} grid cells")
     print(f"running {spec.num_experiments} single experiments...")
     results = run_benchmark(spec, journal=journal, shard=args.shard)
-    print("\n=== best counts per (dataset, epsilon) — Definition 5 ===")
-    print(render_best_count_table(results))
-    print("\n=== best counts per query — Definition 6 ===")
-    print(render_per_query_table(results))
-    print("\n=== summary ===")
-    print(render_summary(results))
+    print()
+    print(render_benchmark_tables(results))
     if args.output_json:
-        from repro.core.persistence import save_results_json
+        from repro.core.persistence import (
+            manifest_path_for,
+            save_manifest_json,
+            save_results_json,
+        )
 
         save_results_json(results, args.output_json)
-        print(f"\nsaved JSON results to {args.output_json}")
+        manifest_path = manifest_path_for(args.output_json)
+        save_manifest_json(results, manifest_path)
+        print(f"\nsaved JSON results to {args.output_json} "
+              f"(manifest: {manifest_path})")
     if args.output_csv:
         from repro.core.persistence import export_results_csv
 
         export_results_csv(results, args.output_csv)
         print(f"saved CSV results to {args.output_csv}")
+    if args.store:
+        code = _persist_to_store(results, args.store, submitter=args.submitter,
+                                 source="repro run")
+        if code != 0:
+            return code
+    return 0
+
+
+def _persist_to_store(results, url: str, submitter: str, source: str) -> int:
+    """Write results into a --store target; sqlite stores go through the registry."""
+    from repro.core.store import SqliteResultsStore, StoreError, open_store
+    from repro.registry import RegistryError, ResultsRegistry
+
+    try:
+        store = open_store(url)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(store, SqliteResultsStore):
+        registry = ResultsRegistry(store.path)
+        try:
+            record = registry.submit(results, submitter=submitter, source=source)
+        except (RegistryError, StoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        have, total = registry.coverage()
+        print(f"stored results in registry {store.path} as submission "
+              f"#{record.submission_id} ({record.num_cells} cells; registry now "
+              f"covers {have} of {total} grid cells)")
+    else:
+        store.save(results, submitter=submitter, source=source)
+        print(f"stored results in {store.url}")
     return 0
 
 
 def _command_merge(args: argparse.Namespace) -> int:
+    import warnings as _warnings
+
     from repro.core.persistence import (
+        DuplicateCellWarning,
+        expand_result_paths,
         export_results_csv,
         load_results_json,
-        merge_results,
+        manifest_path_for,
+        merge_results_with_stats,
+        save_manifest_json,
         save_results_json,
     )
 
     try:
-        merged = merge_results([load_results_json(path) for path in args.inputs])
+        paths = expand_result_paths(args.inputs)
+        loaded = [load_results_json(path) for path in paths]
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always", DuplicateCellWarning)
+            merged, stats = merge_results_with_stats(
+                loaded, labels=[str(path) for path in paths]
+            )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     save_results_json(merged, args.output_json)
+    manifest_path = manifest_path_for(args.output_json)
+    save_manifest_json(merged, manifest_path)
     total = len(merged.spec.grid_tasks()) * len(merged.spec.queries)
-    print(f"merged {len(args.inputs)} result files: {len(merged.cells)} of "
-          f"{total} grid cells; saved JSON results to {args.output_json}")
+    print(f"merged {len(paths)} result files: {len(merged.cells)} of "
+          f"{total} grid cells; saved JSON results to {args.output_json} "
+          f"(manifest: {manifest_path})")
+    for input_stats in stats.inputs:
+        parts = [f"{input_stats.cells} cells", f"{input_stats.new} new"]
+        if input_stats.duplicates_agreeing:
+            parts.append(f"{input_stats.duplicates_agreeing} overlapping (agreeing)")
+        if input_stats.duplicates_identical:
+            parts.append(f"{input_stats.duplicates_identical} byte-identical duplicates")
+        print(f"  {input_stats.label}: {', '.join(parts)}")
+    for warning in caught:
+        if issubclass(warning.category, DuplicateCellWarning):
+            print(f"warning: {warning.message}", file=sys.stderr)
     if args.output_csv:
         export_results_csv(merged, args.output_csv)
         print(f"saved CSV results to {args.output_csv}")
-    print("\n=== best counts per (dataset, epsilon) — Definition 5 ===")
-    print(render_best_count_table(merged))
-    print("\n=== summary ===")
-    print(render_summary(merged))
+    print()
+    print(render_benchmark_tables(merged))
+    return 0
+
+
+def _load_results_argument(text: str):
+    """Load results named either by a store URL or a plain JSON path.
+
+    SQLite targets are read through the registry's *merged* view (all
+    submissions combined), not the latest submission alone — exporting a
+    registry should export everything it covers.
+    """
+    from repro.core.store import (
+        JsonResultsStore,
+        SqliteResultsStore,
+        StoreError,
+        open_store,
+    )
+    from repro.registry import ResultsRegistry
+
+    try:
+        store = open_store(text)
+    except StoreError:
+        # Unrecognised suffix: treat it as a plain JSON results file, the
+        # historical behaviour of every results-consuming command.
+        store = JsonResultsStore(text)
+    if isinstance(store, SqliteResultsStore):
+        return ResultsRegistry(store.path).merged()
+    if not store.exists():
+        raise StoreError(f"results file {text!r} does not exist")
+    return store.load()
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from repro.core.persistence import export_results_csv
+    from repro.core.store import StoreError
+
+    try:
+        results = _load_results_argument(args.input)
+    except (StoreError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    export_results_csv(results, args.output_csv)
+    print(f"exported {len(results.cells)} cells from {args.input} "
+          f"to {args.output_csv}")
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.core.persistence import (
+        expand_result_paths,
+        load_manifest_json,
+        load_results_json,
+        manifest_path_for,
+    )
+    from repro.registry import RegistryError, ResultsRegistry
+
+    registry = ResultsRegistry(args.registry)
+    try:
+        paths = expand_result_paths(args.inputs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            results = load_results_json(path)
+            manifest = None
+            manifest_path = manifest_path_for(path)
+            if manifest_path.exists():
+                manifest = load_manifest_json(manifest_path)
+            record = registry.submit(
+                results, submitter=args.submitter, source=str(path), manifest=manifest
+            )
+        except (RegistryError, ValueError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        validated = " (manifest validated)" if manifest is not None else ""
+        print(f"accepted {path} as submission #{record.submission_id} "
+              f"({record.num_cells} cells){validated}")
+    have, total = registry.coverage()
+    print(f"registry {args.registry}: {len(registry.submissions())} submissions, "
+          f"{have} of {total} grid cells covered")
+    return 0
+
+
+def _command_leaderboard(args: argparse.Namespace) -> int:
+    from repro.core.store import StoreError
+    from repro.registry import RegistryError, ResultsRegistry
+
+    registry = ResultsRegistry(args.registry)
+    try:
+        merged = registry.merged()
+    except (RegistryError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    submissions = () if args.no_submissions else registry.submissions()
+    print(render_leaderboard(merged, submissions))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.store import StoreError
+    from repro.registry import RegistryError, ResultsRegistry, serve_forever
+
+    registry = ResultsRegistry(args.registry)
+    try:
+        have, total = registry.coverage()
+    except (RegistryError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving registry {args.registry} ({have} of {total} grid cells) "
+          f"on http://{args.host}:{args.port} — endpoints: /api/health, "
+          "/api/spec, /api/submissions, /api/leaderboard, /api/results, "
+          "/api/cells (Ctrl-C to stop)")
+    serve_forever(registry, host=args.host, port=args.port)
     return 0
 
 
@@ -283,6 +515,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "merge":
         return _command_merge(args)
+    if args.command == "export":
+        return _command_export(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "leaderboard":
+        return _command_leaderboard(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "profile":
         return _command_profile(args)
     if args.command == "recommend":

@@ -9,7 +9,9 @@
 * :mod:`repro.core.profiling` — time / memory measurement per algorithm and
   dataset (Tables IX and X);
 * :mod:`repro.core.report` — plain-text table renderers that reproduce the
-  layout of the paper's tables;
+  layout of the paper's tables (including registry leaderboards);
+* :mod:`repro.core.store` — pluggable results storage backends (JSON file,
+  SQLite registry database) behind one :class:`ResultsStore` interface;
 * :mod:`repro.core.guidelines` — the mechanism-selection guidance of the
   paper's final section, derived from benchmark results.
 """
@@ -31,11 +33,23 @@ from repro.core.report import render_best_count_table, render_error_table, rende
 from repro.core.guidelines import recommend_algorithm
 from repro.core.persistence import (
     CheckpointJournal,
+    DuplicateCellWarning,
     JournalMismatchError,
+    UnsupportedFormatVersionError,
     export_results_csv,
     load_results_json,
     merge_results,
+    merge_results_with_stats,
+    save_manifest_json,
     save_results_json,
+)
+from repro.core.report import render_benchmark_tables, render_leaderboard
+from repro.core.store import (
+    JsonResultsStore,
+    ResultsStore,
+    SqliteResultsStore,
+    StoreError,
+    open_store,
 )
 from repro.core.theory import (
     expected_edge_count_relative_error,
@@ -52,7 +66,18 @@ __all__ = [
     "BenchmarkResults",
     "CheckpointJournal",
     "JournalMismatchError",
+    "UnsupportedFormatVersionError",
+    "DuplicateCellWarning",
     "merge_results",
+    "merge_results_with_stats",
+    "save_manifest_json",
+    "ResultsStore",
+    "JsonResultsStore",
+    "SqliteResultsStore",
+    "StoreError",
+    "open_store",
+    "render_benchmark_tables",
+    "render_leaderboard",
     "best_count_by_dataset",
     "best_count_by_query",
     "mean_error_table",

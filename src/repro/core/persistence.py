@@ -6,25 +6,38 @@ on-disk format for benchmark runs.  Three formats are provided:
 
 * **JSON** — the full record (spec + every cell), loadable back into a
   :class:`~repro.core.runner.BenchmarkResults` so aggregation and reporting
-  can be re-run without repeating the experiments;
+  can be re-run without repeating the experiments; transparently
+  gzip-compressed when the path ends in ``.gz`` (loading sniffs the gzip
+  magic bytes, so any compressed file loads regardless of its name);
 * **CSV** — one row per cell, convenient for spreadsheets and plotting tools;
 * **Checkpoint journal** — an append-only JSONL file recording every grid
   cell the moment it completes, so a killed grid run resumes where it
   stopped instead of starting over (see :class:`CheckpointJournal`).
 
 Shard outputs produced with ``--shard i/k`` recombine into one results
-object with :func:`merge_results`.  All writers are plain-text and
-dependency-free.
+object with :func:`merge_results` (or :func:`merge_results_with_stats`, which
+additionally reports per-input cell counts and flags byte-identical duplicate
+cells — the signature of one shard file submitted twice).  Every results file
+can travel with a **submission manifest** (:func:`save_manifest_json`): a
+small JSON sidecar carrying the spec fingerprint and results-protocol version
+that the results registry (:mod:`repro.registry`) validates on submission.
+All writers are plain-text and dependency-free; richer storage backends live
+in :mod:`repro.core.store`.
 """
 
 from __future__ import annotations
 
 import csv
+import glob as _glob
+import gzip
 import json
 import math
 import os
+import warnings
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.runner import BenchmarkResults, CellResult, TaskKey
 from repro.core.spec import BenchmarkSpec
@@ -39,6 +52,9 @@ _SUPPORTED_VERSIONS = (1, 2)
 
 #: Version of the checkpoint-journal layout (header line + one task per line).
 JOURNAL_FORMAT_VERSION = 1
+
+#: Version of the submission-manifest sidecar layout.
+MANIFEST_VERSION = 1
 
 _CSV_COLUMNS = (
     "algorithm",
@@ -57,6 +73,30 @@ _CSV_COLUMNS = (
 
 class JournalMismatchError(ValueError):
     """The journal was written by a spec with a different fingerprint."""
+
+
+class UnsupportedFormatVersionError(ValueError):
+    """A results payload carries a format version this build cannot read."""
+
+    def __init__(self, version: object) -> None:
+        self.version = version
+        self.supported = _SUPPORTED_VERSIONS
+        supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
+        super().__init__(
+            f"unsupported results format version {version!r}: this build reads "
+            f"versions {supported}; re-export the results with a matching repro "
+            "version, or upgrade this installation to one that understands the "
+            "newer format"
+        )
+
+
+class DuplicateCellWarning(UserWarning):
+    """Two merge inputs contributed byte-identical copies of the same cell.
+
+    Agreeing duplicates from independent shard runs differ in wall-clock
+    timing; byte-identical ones almost always mean the same file was passed
+    (or submitted) twice, which merging tolerates but should not hide.
+    """
 
 
 def spec_to_dict(spec: BenchmarkSpec) -> dict:
@@ -124,25 +164,113 @@ def results_from_dict(payload: dict) -> BenchmarkResults:
     """Rebuild a :class:`BenchmarkResults` from :func:`results_to_dict` output."""
     version = payload.get("format_version")
     if version not in _SUPPORTED_VERSIONS:
-        raise ValueError(f"unsupported results format version: {version!r}")
+        raise UnsupportedFormatVersionError(version)
     spec = spec_from_dict(payload["spec"])
     cells = [cell_from_dict(cell_payload) for cell_payload in payload["cells"]]
     return BenchmarkResults(spec=spec, cells=cells)
 
 
 def save_results_json(results: BenchmarkResults, path: PathLike) -> None:
-    """Write ``results`` to ``path`` as JSON (full spec + cells)."""
+    """Write ``results`` to ``path`` as JSON (full spec + cells).
+
+    A path ending in ``.gz`` is written gzip-compressed; everything else is
+    plain text.  Both variants load back with :func:`load_results_json`.
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wt", encoding="utf-8") as handle:
         json.dump(results_to_dict(results), handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
 def load_results_json(path: PathLike) -> BenchmarkResults:
-    """Load a results file written by :func:`save_results_json`."""
+    """Load a results file written by :func:`save_results_json`.
+
+    Compression is detected from the gzip magic bytes, not the file name, so
+    ``results.json.gz`` and a compressed file with a plain name both load.
+    """
+    path = Path(path)
+    with path.open("rb") as probe:
+        compressed = probe.read(2) == b"\x1f\x8b"
+    opener = gzip.open if compressed else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        return results_from_dict(json.load(handle))
+
+
+def expand_result_paths(patterns: Sequence[PathLike]) -> List[Path]:
+    """Expand a mixed list of paths and glob patterns into concrete paths.
+
+    Glob matches are sorted for determinism, and manifest sidecars
+    (``*.manifest.json``) are dropped from them — ``shard*.json`` should pick
+    up shard results, not their metadata.  A pattern that matches nothing
+    (after that filtering) is an error: a silently empty shard list would
+    merge to a partial grid.  Plain paths pass through untouched — a missing
+    file surfaces at open time, and an explicitly named manifest is kept so
+    the mistake is reported rather than ignored.
+    """
+    expanded: List[Path] = []
+    for pattern in patterns:
+        text = str(pattern)
+        if any(marker in text for marker in "*?["):
+            matches = sorted(
+                match for match in _glob.glob(text)
+                if not match.endswith(".manifest.json")
+            )
+            if not matches:
+                raise ValueError(f"no result files match pattern {text!r}")
+            expanded.extend(Path(match) for match in matches)
+        else:
+            expanded.append(Path(text))
+    return expanded
+
+
+# -- submission manifests ----------------------------------------------------
+
+def manifest_path_for(results_path: PathLike) -> Path:
+    """The conventional sidecar path of a results file's manifest.
+
+    ``results.json`` → ``results.manifest.json`` (likewise for ``.json.gz``);
+    anything without a recognised suffix just gains ``.manifest.json``.
+    """
+    path = Path(results_path)
+    name = path.name
+    for suffix in (".json.gz", ".json"):
+        if name.endswith(suffix):
+            return path.with_name(name[: -len(suffix)] + ".manifest.json")
+    return path.with_name(name + ".manifest.json")
+
+
+def save_manifest_json(results: BenchmarkResults, path: PathLike,
+                       created_at: Optional[str] = None) -> dict:
+    """Write the submission manifest of ``results`` to ``path``; returns it.
+
+    The manifest is :meth:`BenchmarkResults.manifest` (fingerprint, results
+    protocol version, cell counts) plus the on-disk ``format_version``, the
+    manifest layout version and a creation timestamp — everything the results
+    registry needs to validate a submission without re-running anything.
+    """
+    manifest = dict(results.manifest())
+    manifest["manifest_version"] = MANIFEST_VERSION
+    manifest["format_version"] = FORMAT_VERSION
+    manifest["created_at"] = (
+        created_at if created_at is not None
+        else datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def load_manifest_json(path: PathLike) -> dict:
+    """Load a manifest written by :func:`save_manifest_json`."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        return results_from_dict(json.load(handle))
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict) or "fingerprint" not in manifest:
+        raise ValueError(f"{path} is not a submission manifest (no fingerprint)")
+    return manifest
 
 
 def export_results_csv(results: BenchmarkResults, path: PathLike) -> None:
@@ -277,17 +405,48 @@ def _cells_agree(first: CellResult, second: CellResult) -> bool:
     )
 
 
-def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
-    """Combine shard (or otherwise partial) runs of one spec into one result.
+@dataclass
+class MergeInputStats:
+    """Per-input accounting of one :func:`merge_results_with_stats` call."""
 
-    All inputs must carry specs with the same fingerprint.  Overlapping cells
-    are allowed when their deterministic fields agree (the keyed seeding
-    guarantees they do for honest runs) and rejected otherwise.  The merged
-    cell list is laid out in canonical grid order, so merging the shards of a
-    complete grid is bit-identical to an uninterrupted single-machine run.
+    label: str
+    cells: int = 0
+    new: int = 0
+    duplicates_agreeing: int = 0
+    duplicates_identical: int = 0
+
+
+@dataclass
+class MergeStats:
+    """What each merge input contributed, plus the duplicate-cell tally."""
+
+    inputs: List[MergeInputStats] = field(default_factory=list)
+    identical_duplicate_keys: List[Tuple[str, str, float, str]] = field(default_factory=list)
+
+    @property
+    def total_identical_duplicates(self) -> int:
+        return len(self.identical_duplicate_keys)
+
+
+def merge_results_with_stats(
+    results_list: Sequence[BenchmarkResults],
+    labels: Optional[Sequence[str]] = None,
+) -> Tuple[BenchmarkResults, MergeStats]:
+    """:func:`merge_results` plus per-input accounting.
+
+    ``labels`` names the inputs in the returned :class:`MergeStats` (file
+    names in the CLI; defaults to ``input[i]``).  A byte-identical duplicate
+    cell — every serialised field equal, wall-clock timing included — emits a
+    :class:`DuplicateCellWarning`: honest independent shard runs agree on the
+    deterministic fields but never on timing, so byte-identical copies mean
+    the same file was merged twice.
     """
     if not results_list:
         raise ValueError("nothing to merge: no results given")
+    if labels is None:
+        labels = [f"input[{position}]" for position in range(len(results_list))]
+    if len(labels) != len(results_list):
+        raise ValueError("labels and results_list must have the same length")
     base = results_list[0]
     fingerprint = base.spec.fingerprint()
     for other in results_list[1:]:
@@ -299,7 +458,9 @@ def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
     task_order = {task: position for position, task in enumerate(base.spec.grid_tasks())}
     query_order = {query: position for position, query in enumerate(base.spec.queries)}
     chosen: Dict[Tuple[str, str, float, str], CellResult] = {}
-    for results in results_list:
+    stats = MergeStats()
+    for label, results in zip(labels, results_list):
+        input_stats = MergeInputStats(label=label, cells=len(results.cells))
         for cell in results.cells:
             key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
             if key in chosen:
@@ -308,8 +469,25 @@ def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
                         f"conflicting duplicate cell {key}: the inputs do not "
                         "come from the same deterministic run"
                     )
+                if cell_to_dict(chosen[key]) == cell_to_dict(cell):
+                    input_stats.duplicates_identical += 1
+                    stats.identical_duplicate_keys.append(key)
+                else:
+                    input_stats.duplicates_agreeing += 1
                 continue
             chosen[key] = cell
+            input_stats.new += 1
+        stats.inputs.append(input_stats)
+
+    if stats.identical_duplicate_keys:
+        warnings.warn(
+            f"{stats.total_identical_duplicates} duplicate cell(s) are "
+            "byte-identical across merge inputs (e.g. "
+            f"{stats.identical_duplicate_keys[0]}); was the same shard file "
+            "passed twice?",
+            DuplicateCellWarning,
+            stacklevel=2,
+        )
 
     def sort_key(cell: CellResult) -> Tuple[int, int]:
         task = (cell.algorithm, cell.dataset, cell.epsilon)
@@ -318,14 +496,39 @@ def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
             query_order.get(cell.query, len(query_order)),
         )
 
-    return BenchmarkResults(spec=base.spec, cells=sorted(chosen.values(), key=sort_key))
+    merged = BenchmarkResults(spec=base.spec, cells=sorted(chosen.values(), key=sort_key))
+    return merged, stats
+
+
+def merge_results(results_list: Sequence[BenchmarkResults]) -> BenchmarkResults:
+    """Combine shard (or otherwise partial) runs of one spec into one result.
+
+    All inputs must carry specs with the same fingerprint.  Overlapping cells
+    are allowed when their deterministic fields agree (the keyed seeding
+    guarantees they do for honest runs) and rejected otherwise.  The merged
+    cell list is laid out in canonical grid order, so merging the shards of a
+    complete grid is bit-identical to an uninterrupted single-machine run.
+
+    This plain variant never warns (the registry merges overlapping
+    submissions as a matter of course); use :func:`merge_results_with_stats`
+    for the accounting, duplicate-flagging behaviour of ``repro merge``.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DuplicateCellWarning)
+        merged, _ = merge_results_with_stats(results_list)
+    return merged
 
 
 __all__ = [
     "FORMAT_VERSION",
     "JOURNAL_FORMAT_VERSION",
+    "MANIFEST_VERSION",
     "JournalMismatchError",
+    "UnsupportedFormatVersionError",
+    "DuplicateCellWarning",
     "CheckpointJournal",
+    "MergeInputStats",
+    "MergeStats",
     "spec_to_dict",
     "spec_from_dict",
     "cell_to_dict",
@@ -334,6 +537,11 @@ __all__ = [
     "results_from_dict",
     "save_results_json",
     "load_results_json",
+    "expand_result_paths",
+    "manifest_path_for",
+    "save_manifest_json",
+    "load_manifest_json",
     "export_results_csv",
     "merge_results",
+    "merge_results_with_stats",
 ]

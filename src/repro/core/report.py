@@ -127,10 +127,68 @@ def render_summary(results: BenchmarkResults) -> str:
     return "\n".join(lines)
 
 
+def render_benchmark_tables(results: BenchmarkResults) -> str:
+    """The full paper-facing table block of one results set.
+
+    One renderer shared by ``repro run``, ``repro merge`` and ``repro
+    leaderboard``, so a leaderboard over registered submissions is
+    *textually identical* to the tables an uninterrupted single-machine run
+    prints — the registry's equivalence guarantee made visible.
+    """
+    return "\n".join([
+        "=== best counts per (dataset, epsilon) — Definition 5 ===",
+        render_best_count_table(results),
+        "",
+        "=== best counts per query — Definition 6 ===",
+        render_per_query_table(results),
+        "",
+        "=== summary ===",
+        render_summary(results),
+    ])
+
+
+def render_submissions_table(submissions: Sequence["SubmissionRecord"]) -> str:
+    """Provenance table of a registry's accepted submissions.
+
+    Rows are :class:`~repro.registry.registry.SubmissionRecord` instances
+    (duck-typed: anything with the same attributes renders).
+    """
+    header = ["id", "submitter", "submitted_at", "cells", "protocol", "source"]
+    rows = [
+        [
+            str(record.submission_id),
+            record.submitter,
+            record.submitted_at,
+            str(record.num_cells),
+            str(record.protocol_version),
+            record.source or "-",
+        ]
+        for record in submissions
+    ]
+    return _table(header, rows)
+
+
+def render_leaderboard(results: BenchmarkResults,
+                       submissions: Sequence["SubmissionRecord"] = ()) -> str:
+    """The registry leaderboard: provenance (when given) + the paper tables."""
+    sections: List[str] = []
+    if submissions:
+        sections.extend([
+            "=== submissions ===",
+            render_submissions_table(submissions),
+            "",
+        ])
+    sections.append(render_benchmark_tables(results))
+    return "\n".join(sections)
+
+
 __all__ = [
     "render_best_count_table",
     "render_per_query_table",
     "render_error_table",
     "render_resource_table",
     "render_summary",
+    "render_benchmark_tables",
+    "render_submissions_table",
+    "render_leaderboard",
 ]

@@ -169,6 +169,27 @@ class BenchmarkResults:
         present = self._indexes()["query"]
         return [name for name in self.spec.queries if name in present]
 
+    def manifest(self) -> Dict[str, object]:
+        """The submission manifest of this run: identity, not measurements.
+
+        Carries the spec fingerprint, the results-protocol version of the
+        code that produced the cells, and coverage counts — everything a
+        results registry needs to decide whether this run may be merged with
+        others (see :mod:`repro.registry`).  Deterministic by construction;
+        the persistence layer adds the timestamp when writing the sidecar.
+        """
+        from repro.core.spec import RESULTS_PROTOCOL_VERSION
+
+        return {
+            "fingerprint": self.spec.fingerprint(),
+            "results_protocol_version": RESULTS_PROTOCOL_VERSION,
+            "num_cells": len(self.cells),
+            "num_failed_cells": sum(1 for cell in self.cells if cell.failed),
+            "grid_cells_total": len(self.spec.grid_tasks()) * len(self.spec.queries),
+            "algorithms": list(self.algorithms()),
+            "datasets": list(self.datasets()),
+        }
+
 
 ProgressCallback = Callable[[str, str, float], None]
 

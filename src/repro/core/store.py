@@ -1,0 +1,361 @@
+"""Pluggable storage backends for benchmark results.
+
+A :class:`ResultsStore` persists one :class:`~repro.core.runner.BenchmarkResults`
+and loads it back.  Two backends are provided:
+
+* :class:`JsonResultsStore` — the historical single-file JSON format of
+  :func:`repro.core.persistence.save_results_json`, kept bit-compatible
+  (``format_version`` preserved, gzip transparent);
+* :class:`SqliteResultsStore` — a SQLite database whose cells are indexed by
+  ``(dataset, algorithm, query, epsilon)`` and whose runs carry submission
+  metadata (spec fingerprint, protocol version, submitter, timestamp).  The
+  same schema backs the results registry (:mod:`repro.registry`), so ``repro
+  run --store sqlite:registry.db`` writes straight into a registry database.
+
+Stores are addressed by URL: ``json:PATH``, ``sqlite:PATH``, or a bare path
+whose suffix decides (``.json`` / ``.json.gz`` → JSON, ``.db`` / ``.sqlite``
+/ ``.sqlite3`` → SQLite).  :func:`open_store` resolves the URL.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    UnsupportedFormatVersionError,
+    _SUPPORTED_VERSIONS,
+    cell_from_dict,
+    load_results_json,
+    save_results_json,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.spec import RESULTS_PROTOCOL_VERSION
+
+PathLike = Union[str, Path]
+
+#: Version of the SQLite schema; checked on every open.
+SQLITE_SCHEMA_VERSION = 1
+
+_CELL_COLUMNS = (
+    "algorithm", "dataset", "epsilon", "query", "query_code", "error",
+    "error_std", "repetitions", "generation_seconds", "failed", "failure",
+)
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS submissions (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint      TEXT    NOT NULL,
+    protocol_version INTEGER NOT NULL,
+    format_version   INTEGER NOT NULL,
+    submitter        TEXT    NOT NULL,
+    submitted_at     TEXT    NOT NULL,
+    source           TEXT    NOT NULL,
+    spec_json        TEXT    NOT NULL,
+    num_cells        INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    submission_id      INTEGER NOT NULL REFERENCES submissions(id) ON DELETE CASCADE,
+    position           INTEGER NOT NULL,
+    algorithm          TEXT    NOT NULL,
+    dataset            TEXT    NOT NULL,
+    epsilon            REAL    NOT NULL,
+    query              TEXT    NOT NULL,
+    query_code         TEXT    NOT NULL,
+    error              REAL,
+    error_std          REAL,
+    repetitions        INTEGER NOT NULL,
+    generation_seconds REAL    NOT NULL,
+    failed             INTEGER NOT NULL,
+    failure            TEXT    NOT NULL,
+    PRIMARY KEY (submission_id, position)
+);
+CREATE INDEX IF NOT EXISTS idx_cells_coordinates
+    ON cells (dataset, algorithm, query, epsilon);
+CREATE INDEX IF NOT EXISTS idx_submissions_fingerprint
+    ON submissions (fingerprint);
+"""
+
+
+class StoreError(ValueError):
+    """A results store could not be opened, read or written."""
+
+
+def connect(path: PathLike) -> sqlite3.Connection:
+    """Open (creating if needed) a results database and verify its schema."""
+    try:
+        connection = sqlite3.connect(str(path))
+    except sqlite3.Error as exc:
+        raise StoreError(f"cannot open results database {path}: {exc}") from exc
+    connection.row_factory = sqlite3.Row
+    try:
+        connection.executescript(_SCHEMA)
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.DatabaseError as exc:
+        connection.close()
+        raise StoreError(f"{path} is not a results database: {exc}") from exc
+    if row is None:
+        connection.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SQLITE_SCHEMA_VERSION),),
+        )
+        connection.commit()
+    elif int(row["value"]) != SQLITE_SCHEMA_VERSION:
+        version = row["value"]
+        connection.close()
+        raise StoreError(
+            f"results database {path} uses schema version {version}, this "
+            f"build expects {SQLITE_SCHEMA_VERSION}"
+        )
+    return connection
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _cell_to_row(cell: CellResult) -> Tuple:
+    # sqlite3 has no NaN representation (it binds to NULL); that is exactly
+    # the mapping we want, and _row_to_cell turns NULL back into NaN.
+    return (
+        cell.algorithm, cell.dataset, float(cell.epsilon), cell.query,
+        cell.query_code,
+        None if cell.error != cell.error else float(cell.error),
+        None if cell.error_std != cell.error_std else float(cell.error_std),
+        int(cell.repetitions), float(cell.generation_seconds),
+        1 if cell.failed else 0, cell.failure,
+    )
+
+
+def _row_to_cell(row: sqlite3.Row) -> CellResult:
+    return CellResult(
+        algorithm=row["algorithm"],
+        dataset=row["dataset"],
+        epsilon=float(row["epsilon"]),
+        query=row["query"],
+        query_code=row["query_code"],
+        error=float("nan") if row["error"] is None else float(row["error"]),
+        error_std=float("nan") if row["error_std"] is None else float(row["error_std"]),
+        repetitions=int(row["repetitions"]),
+        generation_seconds=float(row["generation_seconds"]),
+        failed=bool(row["failed"]),
+        failure=row["failure"],
+    )
+
+
+def insert_submission(connection: sqlite3.Connection, results: BenchmarkResults,
+                      submitter: str, source: str,
+                      protocol_version: int = RESULTS_PROTOCOL_VERSION,
+                      submitted_at: Optional[str] = None) -> int:
+    """Record ``results`` as one submission row plus its cells; returns the id.
+
+    The caller owns the transaction: nothing is committed here, so a
+    validation failure discovered after the insert rolls everything back.
+    """
+    cursor = connection.execute(
+        "INSERT INTO submissions (fingerprint, protocol_version, format_version,"
+        " submitter, submitted_at, source, spec_json, num_cells)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            results.spec.fingerprint(), int(protocol_version), FORMAT_VERSION,
+            submitter, submitted_at or _utc_now_iso(), source,
+            json.dumps(spec_to_dict(results.spec), sort_keys=True),
+            len(results.cells),
+        ),
+    )
+    submission_id = cursor.lastrowid
+    connection.executemany(
+        "INSERT INTO cells (submission_id, position, "
+        + ", ".join(f'"{column}"' for column in _CELL_COLUMNS)
+        + ") VALUES (" + ", ".join("?" for _ in range(len(_CELL_COLUMNS) + 2)) + ")",
+        [
+            (submission_id, position) + _cell_to_row(cell)
+            for position, cell in enumerate(results.cells)
+        ],
+    )
+    return submission_id
+
+
+def load_submission(connection: sqlite3.Connection, submission_id: int) -> BenchmarkResults:
+    """Reassemble one submission's results, cells in their original order."""
+    row = connection.execute(
+        "SELECT * FROM submissions WHERE id = ?", (submission_id,)
+    ).fetchone()
+    if row is None:
+        raise StoreError(f"no submission with id {submission_id}")
+    if row["format_version"] not in _SUPPORTED_VERSIONS:
+        raise UnsupportedFormatVersionError(row["format_version"])
+    spec = spec_from_dict(json.loads(row["spec_json"]))
+    cells = [
+        _row_to_cell(cell_row)
+        for cell_row in connection.execute(
+            "SELECT * FROM cells WHERE submission_id = ? ORDER BY position",
+            (submission_id,),
+        )
+    ]
+    return BenchmarkResults(spec=spec, cells=cells)
+
+
+# -- the store interface -----------------------------------------------------
+
+class ResultsStore(ABC):
+    """One persisted benchmark-results location, addressable by URL."""
+
+    #: URL scheme of the backend (``json`` or ``sqlite``).
+    scheme: str
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    @property
+    def url(self) -> str:
+        return f"{self.scheme}:{self.path}"
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    @abstractmethod
+    def save(self, results: BenchmarkResults, submitter: str = "local",
+             source: str = "") -> None:
+        """Persist ``results`` (metadata arguments are backend-dependent)."""
+
+    @abstractmethod
+    def load(self) -> BenchmarkResults:
+        """Load the stored results (the most recent run for SQLite)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.path)!r})"
+
+
+class JsonResultsStore(ResultsStore):
+    """The historical one-file JSON format, bit-compatible with PR 2 files."""
+
+    scheme = "json"
+
+    def save(self, results: BenchmarkResults, submitter: str = "local",
+             source: str = "") -> None:
+        save_results_json(results, self.path)
+
+    def load(self) -> BenchmarkResults:
+        return load_results_json(self.path)
+
+
+class SqliteResultsStore(ResultsStore):
+    """SQLite-backed results with indexed cells and submission metadata.
+
+    Every :meth:`save` appends a submission row (provenance preserved, never
+    overwritten); :meth:`load` returns the latest one.  The registry layers
+    fingerprint validation and merged views on the same database file.
+    """
+
+    scheme = "sqlite"
+
+    def save(self, results: BenchmarkResults, submitter: str = "local",
+             source: str = "") -> None:
+        connection = connect(self.path)
+        try:
+            insert_submission(connection, results, submitter=submitter, source=source)
+            connection.commit()
+        finally:
+            connection.close()
+
+    def load(self) -> BenchmarkResults:
+        if not self.path.exists():
+            raise StoreError(f"results database {self.path} does not exist")
+        connection = connect(self.path)
+        try:
+            row = connection.execute(
+                "SELECT id FROM submissions ORDER BY id DESC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                raise StoreError(f"results database {self.path} holds no submissions")
+            return load_submission(connection, row["id"])
+        finally:
+            connection.close()
+
+    def submission_ids(self) -> List[int]:
+        """All submission ids, oldest first."""
+        if not self.path.exists():
+            return []
+        connection = connect(self.path)
+        try:
+            return [
+                row["id"]
+                for row in connection.execute("SELECT id FROM submissions ORDER BY id")
+            ]
+        finally:
+            connection.close()
+
+
+_SUFFIX_SCHEMES = {
+    ".json": "json",
+    ".gz": "json",
+    ".db": "sqlite",
+    ".sqlite": "sqlite",
+    ".sqlite3": "sqlite",
+}
+
+_STORE_CLASSES = {
+    "json": JsonResultsStore,
+    "sqlite": SqliteResultsStore,
+}
+
+
+def open_store(url: PathLike) -> ResultsStore:
+    """Resolve a store URL (``sqlite:PATH``, ``json:PATH``, or a bare path).
+
+    Bare paths pick their backend from the suffix; an unrecognised suffix is
+    an error that names the accepted spellings rather than guessing.
+    """
+    text = str(url)
+    for scheme, store_class in _STORE_CLASSES.items():
+        prefix = scheme + ":"
+        if text.startswith(prefix):
+            path = text[len(prefix):]
+            if not path:
+                raise StoreError(f"store URL {text!r} has an empty path")
+            return store_class(path)
+    head = text.split(":", 1)[0]
+    if ":" in text and head and "/" not in head:
+        # Looks like a scheme (a colon before any path separator) but is not
+        # one we know: a typo like "sqllite:reg.db" must not silently become
+        # a literal file of that name.
+        supported = ", ".join(sorted(_STORE_CLASSES))
+        raise StoreError(
+            f"unknown store scheme {head!r} in {text!r}: supported schemes "
+            f"are {supported}"
+        )
+    scheme = _SUFFIX_SCHEMES.get(Path(text).suffix)
+    if scheme is None:
+        raise StoreError(
+            f"cannot infer a storage backend for {text!r}: use an explicit "
+            "json:PATH / sqlite:PATH URL, or a path ending in .json, "
+            ".json.gz, .db, .sqlite or .sqlite3"
+        )
+    return _STORE_CLASSES[scheme](text)
+
+
+__all__ = [
+    "SQLITE_SCHEMA_VERSION",
+    "StoreError",
+    "ResultsStore",
+    "JsonResultsStore",
+    "SqliteResultsStore",
+    "open_store",
+    "connect",
+    "insert_submission",
+    "load_submission",
+]

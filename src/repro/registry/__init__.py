@@ -1,0 +1,31 @@
+"""The results registry subsystem: the paper's public benchmark platform.
+
+Built on PR 2's shard/journal/merge substrate and the storage backends of
+:mod:`repro.core.store`: a :class:`ResultsRegistry` accepts fingerprint-
+validated submissions (full runs or shards) into a SQLite database, records
+provenance, and serves merged leaderboard views; :func:`create_server`
+publishes them over a read-only stdlib HTTP JSON API (``repro serve``).
+"""
+
+from repro.registry.registry import (
+    RegistryConflictError,
+    RegistryEmptyError,
+    RegistryError,
+    RegistryProtocolError,
+    RegistrySpecMismatchError,
+    ResultsRegistry,
+    SubmissionRecord,
+)
+from repro.registry.server import create_server, serve_forever
+
+__all__ = [
+    "RegistryError",
+    "RegistrySpecMismatchError",
+    "RegistryProtocolError",
+    "RegistryConflictError",
+    "RegistryEmptyError",
+    "SubmissionRecord",
+    "ResultsRegistry",
+    "create_server",
+    "serve_forever",
+]

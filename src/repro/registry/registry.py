@@ -1,0 +1,336 @@
+"""The results registry: validated multi-run storage with merged views.
+
+This is the paper's "public benchmark platform" in library form.  A
+:class:`ResultsRegistry` wraps one SQLite results database (the schema of
+:mod:`repro.core.store`) and accepts *submissions* — full runs, shard
+outputs, resumed runs — validating each one the way the checkpoint journal
+validates a resume:
+
+* the spec **fingerprint** must match the registry's (the first submission
+  pins it), so two submissions can only be merged when the keyed seeding
+  guarantees their overlapping cells agree;
+* the **results-protocol version** must match, so cells produced by an older
+  algorithm engine are refused instead of silently mixed in;
+* overlapping cells are tolerated when their deterministic fields agree and
+  refused (nothing written) when they conflict — exactly
+  :func:`repro.core.persistence.merge_results` semantics.
+
+Every accepted submission records provenance (submitter, UTC timestamp,
+source label), and :meth:`ResultsRegistry.merged` serves the union laid out
+in canonical grid order — bit-identical to an uninterrupted single-machine
+run once the grid is covered, which is what makes registry leaderboards
+trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.persistence import _cells_agree, merge_results, spec_from_dict
+from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.spec import RESULTS_PROTOCOL_VERSION, BenchmarkSpec
+from repro.core.store import connect, insert_submission, load_submission
+
+PathLike = Union[str, Path]
+
+
+class RegistryError(ValueError):
+    """Base class of everything a registry can refuse."""
+
+
+class RegistrySpecMismatchError(RegistryError):
+    """A submission's spec fingerprint differs from the registry's."""
+
+
+class RegistryProtocolError(RegistryError):
+    """A submission was produced under a different results-protocol version."""
+
+
+class RegistryConflictError(RegistryError):
+    """A submission's cells contradict already-registered cells."""
+
+
+class RegistryEmptyError(RegistryError):
+    """The registry holds no submissions yet."""
+
+
+@dataclass(frozen=True)
+class SubmissionRecord:
+    """Provenance of one accepted submission."""
+
+    submission_id: int
+    fingerprint: str
+    protocol_version: int
+    submitter: str
+    submitted_at: str
+    source: str
+    num_cells: int
+
+
+class ResultsRegistry:
+    """Validated, provenance-tracking storage for benchmark submissions.
+
+    The registry owns no long-lived connection: every operation opens the
+    database, works inside one transaction and closes it again, so the same
+    file can be shared by the CLI, the HTTP server threads and tests.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    # -- internals -----------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        return connect(self.path)
+
+    def _connect_existing(self) -> sqlite3.Connection:
+        """Open for reading; a missing database must not be created as a side
+        effect of a read-only command (a typo'd ``--registry`` path would
+        otherwise leave an empty database lying around to mislead the next
+        ``repro submit``)."""
+        if not self.path.exists():
+            raise RegistryEmptyError(
+                f"registry {self.path} does not exist (holds no submissions)"
+            )
+        return connect(self.path)
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> SubmissionRecord:
+        return SubmissionRecord(
+            submission_id=int(row["id"]),
+            fingerprint=row["fingerprint"],
+            protocol_version=int(row["protocol_version"]),
+            submitter=row["submitter"],
+            submitted_at=row["submitted_at"],
+            source=row["source"],
+            num_cells=int(row["num_cells"]),
+        )
+
+    @staticmethod
+    def _registered_cell_at(connection: sqlite3.Connection,
+                            cell: CellResult) -> Optional[CellResult]:
+        """One registered cell at this cell's coordinates, if any.
+
+        An indexed probe (``idx_cells_coordinates``), so conflict-checking a
+        submission costs one index lookup per incoming cell instead of a
+        full-table scan per submission.  Any representative will do:
+        agreement among registered duplicates is a submit-time invariant.
+        """
+        from repro.core.store import _row_to_cell
+
+        row = connection.execute(
+            'SELECT * FROM cells WHERE dataset = ? AND algorithm = ? AND '
+            '"query" = ? AND epsilon = ? LIMIT 1',
+            (cell.dataset, cell.algorithm, cell.query, float(cell.epsilon)),
+        ).fetchone()
+        return None if row is None else _row_to_cell(row)
+
+    # -- submissions ---------------------------------------------------------
+    def submit(self, results: BenchmarkResults, submitter: str = "anonymous",
+               source: str = "", manifest: Optional[dict] = None) -> SubmissionRecord:
+        """Validate and record one submission; returns its provenance.
+
+        ``manifest`` is the optional sidecar written alongside the results
+        file (:func:`repro.core.persistence.save_manifest_json`); when given,
+        its fingerprint and protocol version are checked against the loaded
+        results first, so a results file paired with the wrong manifest is
+        caught before it touches the database.  Validation failures raise a
+        typed :class:`RegistryError` subclass and write nothing.
+        """
+        fingerprint = results.spec.fingerprint()
+        protocol = RESULTS_PROTOCOL_VERSION
+        if manifest is not None:
+            manifest_fingerprint = manifest.get("fingerprint")
+            if manifest_fingerprint != fingerprint:
+                raise RegistrySpecMismatchError(
+                    f"manifest fingerprint {manifest_fingerprint!r} does not match "
+                    f"the results' spec fingerprint {fingerprint!r}; the manifest "
+                    "belongs to a different run"
+                )
+            manifest_protocol = manifest.get("results_protocol_version")
+            if manifest_protocol != protocol:
+                raise RegistryProtocolError(
+                    f"submission was produced under results protocol "
+                    f"{manifest_protocol!r}, this registry runs protocol "
+                    f"{protocol}; re-run the benchmark with the current code "
+                    "instead of submitting stale cells"
+                )
+            manifest_cells = manifest.get("num_cells")
+            if manifest_cells is not None and manifest_cells != len(results.cells):
+                raise RegistrySpecMismatchError(
+                    f"manifest records {manifest_cells} cells but the results "
+                    f"hold {len(results.cells)}; the results file was modified "
+                    "after its manifest was written"
+                )
+
+        connection = self._connect()
+        try:
+            # Take the write lock *before* validating, so two concurrent
+            # submits cannot both read the pre-existing cells, both pass the
+            # conflict check and both commit contradictory cells.
+            connection.execute("BEGIN IMMEDIATE")
+            pinned = connection.execute(
+                "SELECT fingerprint, protocol_version FROM submissions ORDER BY id LIMIT 1"
+            ).fetchone()
+            if pinned is not None:
+                if pinned["fingerprint"] != fingerprint:
+                    raise RegistrySpecMismatchError(
+                        f"submission spec fingerprint {fingerprint!r} does not "
+                        f"match this registry's {pinned['fingerprint']!r}; a "
+                        "registry holds submissions of exactly one benchmark "
+                        "spec — use a different database for a different spec"
+                    )
+                if int(pinned["protocol_version"]) != protocol:
+                    raise RegistryProtocolError(
+                        f"this registry was populated under results protocol "
+                        f"{pinned['protocol_version']}, the current code runs "
+                        f"protocol {protocol}; refusing to mix engine outputs"
+                    )
+
+            for cell in results.cells:
+                existing = self._registered_cell_at(connection, cell)
+                if existing is not None and not _cells_agree(existing, cell):
+                    key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
+                    raise RegistryConflictError(
+                        f"submission conflicts with registered cell {key}: the "
+                        "deterministic fields disagree, so the runs cannot come "
+                        "from the same spec + seed; refusing the whole submission"
+                    )
+
+            submission_id = insert_submission(
+                connection, results, submitter=submitter, source=source,
+                protocol_version=protocol,
+            )
+            connection.commit()
+            row = connection.execute(
+                "SELECT * FROM submissions WHERE id = ?", (submission_id,)
+            ).fetchone()
+            return self._record(row)
+        finally:
+            connection.close()
+
+    def submissions(self) -> List[SubmissionRecord]:
+        """Provenance of every accepted submission, oldest first."""
+        if not self.path.exists():
+            return []
+        connection = self._connect()
+        try:
+            return [
+                self._record(row)
+                for row in connection.execute("SELECT * FROM submissions ORDER BY id")
+            ]
+        finally:
+            connection.close()
+
+    # -- merged views --------------------------------------------------------
+    def spec(self) -> BenchmarkSpec:
+        """The benchmark spec this registry's submissions share."""
+        connection = self._connect_existing()
+        try:
+            row = connection.execute(
+                "SELECT spec_json FROM submissions ORDER BY id LIMIT 1"
+            ).fetchone()
+        finally:
+            connection.close()
+        if row is None:
+            raise RegistryEmptyError(f"registry {self.path} holds no submissions")
+        return spec_from_dict(json.loads(row["spec_json"]))
+
+    def merged(self) -> BenchmarkResults:
+        """All submissions merged into canonical grid order.
+
+        Overlaps were validated at submission time, so this is exactly the
+        result an uninterrupted single-machine run of the spec would produce
+        once every grid cell has been covered by some submission.
+        """
+        connection = self._connect_existing()
+        try:
+            ids = [
+                row["id"]
+                for row in connection.execute("SELECT id FROM submissions ORDER BY id")
+            ]
+            if not ids:
+                raise RegistryEmptyError(f"registry {self.path} holds no submissions")
+            runs = [load_submission(connection, submission_id) for submission_id in ids]
+        finally:
+            connection.close()
+        try:
+            return merge_results(runs)
+        except ValueError as exc:
+            # Submissions are validated on the way in, so this only fires on
+            # a database poisoned outside this code path; keep the failure
+            # typed so leaderboard/serve report it instead of crashing.
+            raise RegistryConflictError(
+                f"registry {self.path} contains contradictory submissions: {exc}"
+            ) from exc
+
+    def coverage(self) -> Tuple[int, int]:
+        """``(distinct cells registered, cells in the full grid)``."""
+        spec = self.spec()
+        connection = self._connect_existing()
+        try:
+            row = connection.execute(
+                "SELECT COUNT(*) AS n FROM (SELECT DISTINCT dataset, algorithm,"
+                " query, epsilon FROM cells)"
+            ).fetchone()
+        finally:
+            connection.close()
+        total = len(spec.grid_tasks()) * len(spec.queries)
+        return int(row["n"]), total
+
+    def query_cells(self, dataset: Optional[str] = None, algorithm: Optional[str] = None,
+                    query: Optional[str] = None,
+                    epsilon: Optional[float] = None) -> List[CellResult]:
+        """Registered cells matching the given coordinates (indexed lookup).
+
+        Serves the HTTP API's ``/api/cells`` endpoint straight from the
+        ``(dataset, algorithm, query, epsilon)`` index — duplicates collapsed
+        to one representative, ordered by coordinates.
+        """
+        from repro.core.store import _row_to_cell
+
+        clauses: List[str] = []
+        parameters: List[object] = []
+        for column, value in (
+            ("dataset", dataset), ("algorithm", algorithm), ("query", query),
+        ):
+            if value is not None:
+                clauses.append(f'"{column}" = ?')
+                parameters.append(value)
+        if epsilon is not None:
+            clauses.append("epsilon = ?")
+            parameters.append(float(epsilon))
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        connection = self._connect_existing()
+        try:
+            rows = connection.execute(
+                f"SELECT * FROM cells{where} "
+                "ORDER BY dataset, algorithm, epsilon, query, submission_id",
+                parameters,
+            ).fetchall()
+        finally:
+            connection.close()
+        cells: List[CellResult] = []
+        seen: set = set()
+        for row in rows:
+            cell = _row_to_cell(row)
+            key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
+            if key in seen:
+                continue
+            seen.add(key)
+            cells.append(cell)
+        return cells
+
+
+__all__ = [
+    "RegistryError",
+    "RegistrySpecMismatchError",
+    "RegistryProtocolError",
+    "RegistryConflictError",
+    "RegistryEmptyError",
+    "SubmissionRecord",
+    "ResultsRegistry",
+]

@@ -1,0 +1,169 @@
+"""A read-only JSON API over a results registry (stdlib ``http.server``).
+
+``repro serve --registry results.db`` publishes the registry's merged view so
+leaderboards can be queried without shipping the database around — the
+"compare easily" half of the paper's public benchmark platform.  Endpoints:
+
+* ``GET /api/health`` — liveness plus submission/cell counts;
+* ``GET /api/spec`` — the benchmark spec the registry is pinned to;
+* ``GET /api/submissions`` — provenance of every accepted submission;
+* ``GET /api/leaderboard`` — Definition 5 / Definition 6 win counts as JSON
+  records plus the rendered plain-text tables (bit-identical to ``repro
+  leaderboard`` and therefore to a single-machine ``repro run``);
+* ``GET /api/results`` — the merged results document (the JSON file format);
+* ``GET /api/cells?dataset=…&algorithm=…&query=…&epsilon=…`` — indexed cell
+  lookup with any subset of coordinates.
+
+The server is strictly read-only: submissions go through ``repro submit`` /
+:meth:`~repro.registry.registry.ResultsRegistry.submit`, never over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.aggregate import best_count_by_dataset, best_count_by_query
+from repro.core.persistence import cell_to_dict, results_to_dict, spec_to_dict
+from repro.core.report import render_benchmark_tables
+from repro.registry.registry import (
+    RegistryEmptyError,
+    RegistryError,
+    ResultsRegistry,
+)
+
+
+def _leaderboard_payload(registry: ResultsRegistry) -> dict:
+    merged = registry.merged()
+    per_dataset = [
+        {"epsilon": epsilon, "dataset": dataset, "algorithm": algorithm, "wins": wins}
+        for (epsilon, dataset, algorithm), wins in sorted(
+            best_count_by_dataset(merged).items(),
+            key=lambda item: (item[0][0], item[0][1], item[0][2]),
+        )
+    ]
+    per_query = [
+        {"query": query, "algorithm": algorithm, "wins": wins}
+        for (query, algorithm), wins in sorted(best_count_by_query(merged).items())
+    ]
+    have, total = registry.coverage()
+    return {
+        "fingerprint": merged.spec.fingerprint(),
+        "coverage": {"registered_cells": have, "grid_cells": total},
+        "per_dataset": per_dataset,
+        "per_query": per_query,
+        "tables": render_benchmark_tables(merged),
+    }
+
+
+class RegistryAPIHandler(BaseHTTPRequestHandler):
+    """Routes GET requests against the registry; everything else is 405."""
+
+    #: Set by :func:`create_server` on the handler subclass it builds.
+    registry: ResultsRegistry
+
+    server_version = "repro-registry/1"
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        pass  # keep test output and CLI output clean; `serve` prints its own line
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    # -- routing -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/api/health":
+                submissions = self.registry.submissions()
+                self._send_json({
+                    "status": "ok",
+                    "submissions": len(submissions),
+                    "cells": sum(record.num_cells for record in submissions),
+                })
+            elif parsed.path == "/api/spec":
+                self._send_json(spec_to_dict(self.registry.spec()))
+            elif parsed.path == "/api/submissions":
+                self._send_json([
+                    {
+                        "submission_id": record.submission_id,
+                        "fingerprint": record.fingerprint,
+                        "protocol_version": record.protocol_version,
+                        "submitter": record.submitter,
+                        "submitted_at": record.submitted_at,
+                        "source": record.source,
+                        "num_cells": record.num_cells,
+                    }
+                    for record in self.registry.submissions()
+                ])
+            elif parsed.path == "/api/leaderboard":
+                self._send_json(_leaderboard_payload(self.registry))
+            elif parsed.path == "/api/results":
+                self._send_json(results_to_dict(self.registry.merged()))
+            elif parsed.path == "/api/cells":
+                query = parse_qs(parsed.query)
+
+                def first(name: str) -> Optional[str]:
+                    values = query.get(name)
+                    return values[0] if values else None
+
+                epsilon_text = first("epsilon")
+                cells = self.registry.query_cells(
+                    dataset=first("dataset"),
+                    algorithm=first("algorithm"),
+                    query=first("query"),
+                    epsilon=float(epsilon_text) if epsilon_text is not None else None,
+                )
+                self._send_json([cell_to_dict(cell) for cell in cells])
+            else:
+                self._send_error_json(404, f"unknown endpoint {parsed.path!r}")
+        except RegistryEmptyError as exc:
+            self._send_error_json(404, str(exc))
+        except (RegistryError, ValueError) as exc:
+            self._send_error_json(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._send_error_json(
+            405, "this API is read-only; submit runs with `repro submit`"
+        )
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+
+def create_server(registry: ResultsRegistry, host: str = "127.0.0.1",
+                  port: int = 8000) -> ThreadingHTTPServer:
+    """Build (but do not start) the API server; ``port=0`` picks a free port."""
+
+    class _Handler(RegistryAPIHandler):
+        pass
+
+    _Handler.registry = registry
+    return ThreadingHTTPServer((host, port), _Handler)
+
+
+def serve_forever(registry: ResultsRegistry, host: str = "127.0.0.1",
+                  port: int = 8000) -> Tuple[str, int]:
+    """Run the API until interrupted; returns the bound address on exit."""
+    server = create_server(registry, host=host, port=port)
+    address = server.server_address[:2]
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+    return address
+
+
+__all__ = ["RegistryAPIHandler", "create_server", "serve_forever"]

@@ -81,3 +81,124 @@ class TestCommands:
                      "--scale", "0.02"])
         assert code == 0
         assert "guarantee" in capsys.readouterr().out
+
+
+RUN_ARGS = [
+    "run",
+    "--algorithms", "tmf", "dgg",
+    "--datasets", "ba",
+    "--epsilons", "0.5", "2.0",
+    "--queries", "num_edges", "average_degree",
+    "--repetitions", "1",
+    "--scale", "0.02",
+    "--seed", "7",
+]
+
+
+class TestExport:
+    def test_export_round_trips_the_run_cells(self, tmp_path, capsys):
+        import csv
+
+        from repro.core.persistence import load_results_json
+
+        results_json = tmp_path / "results.json"
+        results_csv = tmp_path / "results.csv"
+        assert main(RUN_ARGS + ["--output-json", str(results_json)]) == 0
+        assert main(["export", str(results_json), "--output-csv", str(results_csv)]) == 0
+        assert "exported 8 cells" in capsys.readouterr().out
+        cells = load_results_json(results_json).cells
+        with results_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(cells)
+        for row, cell in zip(rows, cells):
+            assert row["algorithm"] == cell.algorithm
+            assert row["query"] == cell.query
+            assert float(row["epsilon"]) == cell.epsilon
+            assert float(row["error"]) == pytest.approx(cell.error)
+            assert row["failed"] == str(cell.failed)
+
+    def test_export_reads_sqlite_stores(self, tmp_path, capsys):
+        db = tmp_path / "registry.db"
+        out = tmp_path / "cells.csv"
+        assert main(RUN_ARGS + ["--store", f"sqlite:{db}"]) == 0
+        capsys.readouterr()
+        assert main(["export", f"sqlite:{db}", "--output-csv", str(out)]) == 0
+        assert "exported 8 cells" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_export_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "nope.json"),
+                     "--output-csv", str(tmp_path / "out.csv")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestMergeAccounting:
+    def _shards(self, tmp_path, suffixes=("json", "json")):
+        paths = []
+        for index, suffix in enumerate(suffixes):
+            path = tmp_path / f"shard{index}.{suffix}"
+            assert main(RUN_ARGS + ["--shard", f"{index}/2",
+                                    "--output-json", str(path)]) == 0
+            paths.append(path)
+        return paths
+
+    def test_merge_prints_per_shard_cell_counts(self, tmp_path, capsys):
+        paths = self._shards(tmp_path)
+        capsys.readouterr()
+        out_json = tmp_path / "merged.json"
+        assert main(["merge", *map(str, paths), "--output-json", str(out_json)]) == 0
+        output = capsys.readouterr().out
+        assert f"{paths[0]}: 4 cells, 4 new" in output
+        assert f"{paths[1]}: 4 cells, 4 new" in output
+
+    def test_merge_warns_on_byte_identical_duplicates(self, tmp_path, capsys):
+        paths = self._shards(tmp_path)
+        capsys.readouterr()
+        out_json = tmp_path / "merged.json"
+        assert main(["merge", str(paths[0]), str(paths[0]), str(paths[1]),
+                     "--output-json", str(out_json)]) == 0
+        captured = capsys.readouterr()
+        assert "4 byte-identical duplicates" in captured.out
+        assert "byte-identical" in captured.err
+        assert "passed twice" in captured.err
+
+    def test_merge_accepts_globs_and_gzip(self, tmp_path, capsys):
+        from repro.core.persistence import load_results_json
+
+        gz_shards = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.json.gz"
+            assert main(RUN_ARGS + ["--shard", f"{index}/2",
+                                    "--output-json", str(path)]) == 0
+            gz_shards.append(path)
+        full_json = tmp_path / "full.json"
+        assert main(RUN_ARGS + ["--output-json", str(full_json)]) == 0
+        capsys.readouterr()
+        merged_json = tmp_path / "merged.json"
+        assert main(["merge", str(tmp_path / "shard*.json.gz"),
+                     "--output-json", str(merged_json)]) == 0
+        full = load_results_json(full_json)
+        merged = load_results_json(merged_json)
+        assert [cell.error for cell in merged.cells] == \
+            [cell.error for cell in full.cells]
+
+    def test_merge_empty_glob_fails_cleanly(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path / "none*.json"),
+                     "--output-json", str(tmp_path / "out.json")]) == 2
+        assert "no result files match" in capsys.readouterr().err
+
+
+class TestRunManifest:
+    def test_output_json_writes_a_validating_manifest(self, tmp_path, capsys):
+        from repro.core.persistence import load_manifest_json, load_results_json
+        from repro.core.spec import RESULTS_PROTOCOL_VERSION
+
+        results_json = tmp_path / "full.json"
+        assert main(RUN_ARGS + ["--output-json", str(results_json)]) == 0
+        assert "manifest" in capsys.readouterr().out
+        manifest = load_manifest_json(tmp_path / "full.manifest.json")
+        results = load_results_json(results_json)
+        assert manifest["fingerprint"] == results.spec.fingerprint()
+        assert manifest["results_protocol_version"] == RESULTS_PROTOCOL_VERSION
+        assert manifest["num_cells"] == len(results.cells)
+        assert manifest["created_at"]

@@ -1,0 +1,414 @@
+"""Tests for the results registry and its read-only HTTP JSON API.
+
+The platform contract: submitting k shards (any order, any worker count) and
+rendering the leaderboard is bit-identical to an uninterrupted single-machine
+run; mismatched fingerprints / protocol versions / conflicting cells are
+refused with typed errors and write nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.persistence import save_manifest_json, save_results_json
+from repro.core.report import (
+    render_benchmark_tables,
+    render_leaderboard,
+    render_submissions_table,
+)
+from repro.core.runner import CellResult, run_benchmark
+from repro.core.spec import RESULTS_PROTOCOL_VERSION, BenchmarkSpec
+from repro.registry import (
+    RegistryConflictError,
+    RegistryEmptyError,
+    RegistryProtocolError,
+    RegistrySpecMismatchError,
+    ResultsRegistry,
+    create_server,
+)
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    def norm(value):
+        return "nan" if isinstance(value, float) and math.isnan(value) else value
+
+    return [
+        tuple(norm(getattr(cell, field)) for field in (
+            "algorithm", "dataset", "epsilon", "query", "query_code",
+            "error", "error_std", "repetitions", "failed", "failure",
+        ))
+        for cell in cells
+    ]
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _spec()
+
+
+@pytest.fixture(scope="module")
+def full_run(spec):
+    return run_benchmark(spec)
+
+
+@pytest.fixture(scope="module")
+def shards(spec):
+    return [run_benchmark(spec, shard=(index, 2)) for index in range(2)]
+
+
+class TestSubmissionEquivalence:
+    def test_shards_in_any_order_merge_to_the_full_run(self, tmp_path, spec,
+                                                       full_run, shards):
+        for label, order in (("forward", [0, 1]), ("reverse", [1, 0])):
+            registry = ResultsRegistry(tmp_path / f"{label}.db")
+            for index in order:
+                registry.submit(shards[index], submitter=f"machine-{index}")
+            merged = registry.merged()
+            assert _comparable(merged.cells) == _comparable(full_run.cells)
+
+    def test_leaderboard_tables_bit_identical_to_single_run(self, tmp_path,
+                                                            full_run, shards):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        for index, shard in enumerate(shards):
+            registry.submit(shard, submitter=f"machine-{index}")
+        assert render_benchmark_tables(registry.merged()) == \
+            render_benchmark_tables(full_run)
+
+    def test_worker_count_does_not_change_the_registry_view(self, tmp_path, spec,
+                                                            full_run):
+        parallel = run_benchmark(spec, workers=2)
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(parallel, submitter="parallel-machine")
+        assert _comparable(registry.merged().cells) == _comparable(full_run.cells)
+
+    def test_overlapping_submissions_tolerated(self, tmp_path, full_run, shards):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(shards[0])
+        registry.submit(full_run)  # covers shard 0 again, plus the rest
+        have, total = registry.coverage()
+        assert (have, total) == (len(full_run.cells), len(full_run.cells))
+        assert _comparable(registry.merged().cells) == _comparable(full_run.cells)
+
+
+class TestSubmissionValidation:
+    def test_fingerprint_mismatch_refused_typed(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(full_run)
+        other = run_benchmark(_spec(seed=8))
+        with pytest.raises(RegistrySpecMismatchError, match="fingerprint"):
+            registry.submit(other)
+        assert len(registry.submissions()) == 1  # nothing was written
+
+    def test_conflicting_cells_refused_and_rolled_back(self, tmp_path, spec,
+                                                       full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(full_run)
+        cell = full_run.cells[0]
+        forged = run_benchmark(spec)
+        forged.cells[0] = CellResult(
+            algorithm=cell.algorithm, dataset=cell.dataset, epsilon=cell.epsilon,
+            query=cell.query, query_code=cell.query_code, error=cell.error + 1.0,
+            error_std=cell.error_std, repetitions=cell.repetitions,
+            generation_seconds=cell.generation_seconds,
+        )
+        with pytest.raises(RegistryConflictError, match="conflicts"):
+            registry.submit(forged)
+        assert len(registry.submissions()) == 1
+
+    def test_wrong_manifest_fingerprint_refused(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        with pytest.raises(RegistrySpecMismatchError, match="manifest"):
+            registry.submit(full_run, manifest={"fingerprint": "deadbeef",
+                                                "results_protocol_version":
+                                                    RESULTS_PROTOCOL_VERSION})
+        assert registry.submissions() == []
+
+    def test_stale_protocol_version_refused(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        manifest = {
+            "fingerprint": full_run.spec.fingerprint(),
+            "results_protocol_version": RESULTS_PROTOCOL_VERSION - 1,
+        }
+        with pytest.raises(RegistryProtocolError, match="protocol"):
+            registry.submit(full_run, manifest=manifest)
+        assert registry.submissions() == []
+
+    def test_empty_registry_has_no_merged_view(self, tmp_path):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        with pytest.raises(RegistryEmptyError, match="no submissions"):
+            registry.merged()
+        assert registry.submissions() == []
+
+    def test_manifest_cell_count_mismatch_refused(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        manifest = {
+            "fingerprint": full_run.spec.fingerprint(),
+            "results_protocol_version": RESULTS_PROTOCOL_VERSION,
+            "num_cells": len(full_run.cells) + 1,
+        }
+        with pytest.raises(RegistrySpecMismatchError, match="modified"):
+            registry.submit(full_run, manifest=manifest)
+        assert registry.submissions() == []
+
+    def test_read_only_views_do_not_create_the_database(self, tmp_path):
+        path = tmp_path / "typo.db"
+        registry = ResultsRegistry(path)
+        for view in (registry.merged, registry.spec, registry.coverage,
+                     registry.query_cells):
+            with pytest.raises(RegistryEmptyError, match="does not exist"):
+                view()
+        assert not path.exists()
+
+    def test_non_sqlite_file_refused_typed(self, tmp_path, full_run):
+        from repro.core.store import StoreError
+
+        path = tmp_path / "notadb.db"
+        path.write_text("definitely not sqlite")
+        registry = ResultsRegistry(path)
+        with pytest.raises(StoreError, match="not a results database"):
+            registry.merged()
+        with pytest.raises(StoreError, match="not a results database"):
+            registry.submit(full_run)
+
+    def test_poisoned_database_fails_typed_not_raw(self, tmp_path, spec,
+                                                   full_run):
+        # Conflicting cells written around the validation path (a hand-edited
+        # database): merged() must stay a typed registry failure.
+        from repro.core.runner import BenchmarkResults
+        from repro.core.store import connect, insert_submission
+
+        cell = full_run.cells[0]
+        forged = CellResult(
+            algorithm=cell.algorithm, dataset=cell.dataset, epsilon=cell.epsilon,
+            query=cell.query, query_code=cell.query_code, error=cell.error + 1.0,
+            error_std=cell.error_std, repetitions=cell.repetitions,
+            generation_seconds=cell.generation_seconds,
+        )
+        path = tmp_path / "poisoned.db"
+        connection = connect(path)
+        insert_submission(connection, full_run, submitter="a", source="")
+        insert_submission(connection, BenchmarkResults(spec=spec, cells=[forged]),
+                          submitter="b", source="")
+        connection.commit()
+        connection.close()
+        with pytest.raises(RegistryConflictError, match="contradictory"):
+            ResultsRegistry(path).merged()
+
+
+class TestProvenance:
+    def test_submissions_record_who_when_what(self, tmp_path, shards):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(shards[0], submitter="alice", source="shard0.json")
+        registry.submit(shards[1], submitter="bob", source="shard1.json")
+        records = registry.submissions()
+        assert [record.submitter for record in records] == ["alice", "bob"]
+        assert [record.source for record in records] == ["shard0.json", "shard1.json"]
+        assert all(record.protocol_version == RESULTS_PROTOCOL_VERSION
+                   for record in records)
+        assert all(record.fingerprint == shards[0].spec.fingerprint()
+                   for record in records)
+        assert all(record.submitted_at for record in records)
+        table = render_submissions_table(records)
+        assert "alice" in table and "bob" in table
+
+    def test_leaderboard_renderer_includes_provenance(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(full_run, submitter="carol")
+        text = render_leaderboard(registry.merged(), registry.submissions())
+        assert "=== submissions ===" in text
+        assert "carol" in text
+        assert "Definition 5" in text and "Definition 6" in text
+
+    def test_query_cells_uses_coordinates(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(full_run)
+        registry.submit(full_run)  # overlap: lookups must still dedupe
+        cells = registry.query_cells(algorithm="tmf", epsilon=0.5)
+        assert len(cells) == 2  # one per query
+        assert all(cell.algorithm == "tmf" and cell.epsilon == 0.5 for cell in cells)
+
+
+class TestHttpApi:
+    @pytest.fixture()
+    def server(self, tmp_path, shards):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        for index, shard in enumerate(shards):
+            registry.submit(shard, submitter=f"machine-{index}",
+                            source=f"shard{index}.json")
+        server = create_server(registry, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _get(self, server, path):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def test_health(self, server, full_run):
+        payload = self._get(server, "/api/health")
+        assert payload["status"] == "ok"
+        assert payload["submissions"] == 2
+        assert payload["cells"] == len(full_run.cells)
+
+    def test_spec_and_submissions(self, server, spec):
+        assert tuple(self._get(server, "/api/spec")["algorithms"]) == spec.algorithms
+        submissions = self._get(server, "/api/submissions")
+        assert [record["submitter"] for record in submissions] == \
+            ["machine-0", "machine-1"]
+
+    def test_leaderboard_matches_single_machine_tables(self, server, full_run):
+        payload = self._get(server, "/api/leaderboard")
+        assert payload["tables"] == render_benchmark_tables(full_run)
+        assert payload["coverage"]["registered_cells"] == len(full_run.cells)
+        wins = {
+            (entry["epsilon"], entry["dataset"], entry["algorithm"]): entry["wins"]
+            for entry in payload["per_dataset"]
+        }
+        from repro.core.aggregate import best_count_by_dataset
+
+        assert wins == best_count_by_dataset(full_run)
+
+    def test_results_document_round_trips(self, server, full_run):
+        from repro.core.persistence import results_from_dict
+
+        payload = self._get(server, "/api/results")
+        assert _comparable(results_from_dict(payload).cells) == \
+            _comparable(full_run.cells)
+
+    def test_cell_lookup_with_coordinates(self, server):
+        cells = self._get(server, "/api/cells?algorithm=tmf&epsilon=0.5")
+        assert len(cells) == 2
+        assert all(cell["algorithm"] == "tmf" for cell in cells)
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/api/nope")
+        assert excinfo.value.code == 404
+
+    def test_api_is_read_only(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/api/submissions", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 405
+
+
+class TestCli:
+    RUN_ARGS = [
+        "run",
+        "--algorithms", "tmf", "dgg",
+        "--datasets", "ba",
+        "--epsilons", "0.5", "2.0",
+        "--queries", "num_edges", "average_degree",
+        "--repetitions", "1",
+        "--scale", "0.02",
+        "--seed", "7",
+    ]
+
+    def test_run_refuses_bad_store_url_before_executing(self, tmp_path, capsys,
+                                                        monkeypatch):
+        import repro.core.runner as runner_module
+        from repro.cli import main
+
+        def explode(*args, **kwargs):
+            raise AssertionError("a bad --store must be refused before the run")
+
+        monkeypatch.setattr(runner_module, "run_benchmark", explode)
+        monkeypatch.setattr("repro.cli.run_benchmark", explode)
+        assert main(self.RUN_ARGS + ["--store", "sqllite:typo.db"]) == 2
+        assert "unknown store scheme" in capsys.readouterr().err
+
+    def test_run_store_sqlite_writes_into_a_registry(self, tmp_path, capsys,
+                                                     full_run):
+        from repro.cli import main
+
+        db = tmp_path / "registry.db"
+        assert main(self.RUN_ARGS + ["--store", f"sqlite:{db}",
+                                     "--submitter", "ci"]) == 0
+        assert "stored results in registry" in capsys.readouterr().out
+        registry = ResultsRegistry(db)
+        assert [record.submitter for record in registry.submissions()] == ["ci"]
+        assert _comparable(registry.merged().cells) == _comparable(full_run.cells)
+
+    def test_submit_then_leaderboard_equals_run_tables(self, tmp_path, capsys,
+                                                       full_run, shards):
+        from repro.cli import main
+
+        paths = []
+        for index, shard in enumerate(shards):
+            path = tmp_path / f"shard{index}.json"
+            save_results_json(shard, path)
+            paths.append(str(path))
+        db = tmp_path / "registry.db"
+        assert main(["submit", *paths, "--registry", str(db),
+                     "--submitter", "ci"]) == 0
+        submit_out = capsys.readouterr().out
+        assert "accepted" in submit_out and "2 submissions" in submit_out
+        assert main(["leaderboard", "--registry", str(db)]) == 0
+        leaderboard_out = capsys.readouterr().out
+        assert render_benchmark_tables(full_run) in leaderboard_out
+        assert "=== submissions ===" in leaderboard_out
+
+    def test_submit_validates_manifest_sidecar(self, tmp_path, capsys, full_run):
+        from repro.cli import main
+
+        path = tmp_path / "full.json"
+        save_results_json(full_run, path)
+        save_manifest_json(full_run, tmp_path / "full.manifest.json")
+        db = tmp_path / "registry.db"
+        assert main(["submit", str(path), "--registry", str(db)]) == 0
+        assert "manifest validated" in capsys.readouterr().out
+
+    def test_submit_refuses_mismatched_spec(self, tmp_path, capsys, full_run):
+        from repro.cli import main
+
+        db = tmp_path / "registry.db"
+        first = tmp_path / "full.json"
+        save_results_json(full_run, first)
+        other = tmp_path / "other.json"
+        save_results_json(run_benchmark(_spec(seed=8)), other)
+        assert main(["submit", str(first), "--registry", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["submit", str(other), "--registry", str(db)]) == 2
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_leaderboard_of_empty_registry_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.db"
+        assert main(["leaderboard", "--registry", str(path)]) == 2
+        assert "no submissions" in capsys.readouterr().err
+        assert not path.exists()  # a typo'd path must not leave a database behind
+
+    def test_leaderboard_of_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "corrupt.db"
+        path.write_text("definitely not sqlite")
+        assert main(["leaderboard", "--registry", str(path)]) == 2
+        assert "not a results database" in capsys.readouterr().err

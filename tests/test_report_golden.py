@@ -1,0 +1,153 @@
+"""Golden-output tests for the paper-facing table renderers.
+
+These pin the exact rendered text of the Table VII / Table XII / error-curve
+/ summary layouts over a hand-constructed, fully deterministic results set,
+so leaderboard refactoring cannot silently change the tables the paper
+comparison rests on.  The expected strings are assembled line-by-line
+(``ljust`` padding produces trailing spaces an editor would strip from a
+literal block).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import (
+    render_benchmark_tables,
+    render_best_count_table,
+    render_error_table,
+    render_leaderboard,
+    render_per_query_table,
+    render_submissions_table,
+    render_summary,
+)
+from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.spec import BenchmarkSpec
+
+_CODES = {"num_edges": "Q2", "average_degree": "Q4"}
+
+
+def _results() -> BenchmarkResults:
+    """tmf errs 0.1 everywhere; dgg errs 0.2 except 0.05 on minnesota Q2.
+
+    So per (dataset, ε): tmf wins both queries on ba, and the two split
+    minnesota — small enough to verify the win counts by hand.
+    """
+    spec = BenchmarkSpec(
+        algorithms=("tmf", "dgg"), datasets=("ba", "minnesota"),
+        epsilons=(0.5, 2.0), queries=("num_edges", "average_degree"),
+        repetitions=1, scale=0.02, seed=7,
+    )
+    cells = []
+    for dataset in spec.datasets:
+        for algorithm in spec.algorithms:
+            for epsilon in spec.epsilons:
+                for query in spec.queries:
+                    if algorithm == "tmf":
+                        error = 0.1
+                    elif dataset == "minnesota" and query == "num_edges":
+                        error = 0.05
+                    else:
+                        error = 0.2
+                    cells.append(CellResult(
+                        algorithm=algorithm, dataset=dataset, epsilon=epsilon,
+                        query=query, query_code=_CODES[query], error=error,
+                        error_std=0.0, repetitions=1, generation_seconds=0.0,
+                    ))
+    return BenchmarkResults(spec=spec, cells=cells)
+
+
+GOLDEN_BEST_COUNT = "\n".join([
+    "epsilon  algorithm  ba  minnesota",
+    "-------  ---------  --  ---------",
+    "0.5      tmf        2*  1*       ",
+    "0.5      dgg        0   1*       ",
+    "2        tmf        2*  1*       ",
+    "2        dgg        0   1*       ",
+])
+
+GOLDEN_PER_QUERY = "\n".join([
+    "algorithm  Q2  Q4",
+    "---------  --  --",
+    "tmf        2   4 ",
+    "dgg        2   0 ",
+])
+
+GOLDEN_ERROR_CURVE = "\n".join([
+    "algorithm  eps=0.5  eps=2",
+    "---------  -------  -----",
+    "tmf        0.1      0.1  ",
+    "dgg        0.05     0.05 ",
+])
+
+GOLDEN_SUMMARY = "\n".join([
+    "algorithms: 2  datasets: 2  epsilons: 2  queries: 2",
+    "single experiments: 16",
+    "algorithm  total_wins  mean_error",
+    "---------  ----------  ----------",
+    "tmf        6           0.1       ",
+    "dgg        2           0.1625    ",
+])
+
+
+class TestGoldenLayouts:
+    def test_table_vii_best_count_layout(self):
+        assert render_best_count_table(_results()) == GOLDEN_BEST_COUNT
+
+    def test_table_xii_per_query_layout(self):
+        assert render_per_query_table(_results()) == GOLDEN_PER_QUERY
+
+    def test_error_curve_layout(self):
+        assert render_error_table(_results(), "num_edges", "minnesota") == \
+            GOLDEN_ERROR_CURVE
+
+    def test_summary_layout(self):
+        assert render_summary(_results()) == GOLDEN_SUMMARY
+
+    def test_benchmark_tables_block_composes_the_goldens(self):
+        expected = "\n".join([
+            "=== best counts per (dataset, epsilon) — Definition 5 ===",
+            GOLDEN_BEST_COUNT,
+            "",
+            "=== best counts per query — Definition 6 ===",
+            GOLDEN_PER_QUERY,
+            "",
+            "=== summary ===",
+            GOLDEN_SUMMARY,
+        ])
+        assert render_benchmark_tables(_results()) == expected
+
+
+class _Record:
+    """Duck-typed SubmissionRecord for renderer tests."""
+
+    def __init__(self, submission_id, submitter, submitted_at, num_cells,
+                 protocol_version, source):
+        self.submission_id = submission_id
+        self.submitter = submitter
+        self.submitted_at = submitted_at
+        self.num_cells = num_cells
+        self.protocol_version = protocol_version
+        self.source = source
+
+
+class TestLeaderboardRenderers:
+    RECORDS = [
+        _Record(1, "alice", "2026-07-27T00:00:00+00:00", 8, 2, "shard0.json"),
+        _Record(2, "bob", "2026-07-27T00:05:00+00:00", 8, 2, ""),
+    ]
+
+    def test_submissions_table_golden(self):
+        expected = "\n".join([
+            "id  submitter  submitted_at               cells  protocol  source     ",
+            "--  ---------  -------------------------  -----  --------  -----------",
+            "1   alice      2026-07-27T00:00:00+00:00  8      2         shard0.json",
+            "2   bob        2026-07-27T00:05:00+00:00  8      2         -          ",
+        ])
+        assert render_submissions_table(self.RECORDS) == expected
+
+    def test_leaderboard_with_submissions(self):
+        text = render_leaderboard(_results(), self.RECORDS)
+        assert text.startswith("=== submissions ===")
+        assert text.endswith(render_benchmark_tables(_results()))
+
+    def test_leaderboard_without_submissions_is_just_the_tables(self):
+        assert render_leaderboard(_results()) == render_benchmark_tables(_results())

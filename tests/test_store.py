@@ -1,0 +1,328 @@
+"""Tests for the pluggable results-store backends (JSON and SQLite).
+
+The contract: both backends round-trip the same :class:`BenchmarkResults`
+(property-tested over arbitrary cell values, NaN included), existing v1/v2
+JSON results files keep loading unchanged, gzip compression is transparent,
+and unknown format versions fail with an error naming the supported ones.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    UnsupportedFormatVersionError,
+    expand_result_paths,
+    load_manifest_json,
+    load_results_json,
+    manifest_path_for,
+    results_from_dict,
+    results_to_dict,
+    save_manifest_json,
+    save_results_json,
+    spec_to_dict,
+)
+from repro.core.runner import BenchmarkResults, CellResult
+from repro.core.spec import RESULTS_PROTOCOL_VERSION, BenchmarkSpec
+from repro.core.store import (
+    JsonResultsStore,
+    SqliteResultsStore,
+    StoreError,
+    open_store,
+)
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    """Cell identity with NaN-tolerant float fields (NaN == NaN)."""
+    def norm(value):
+        return "nan" if isinstance(value, float) and math.isnan(value) else value
+
+    return [
+        tuple(norm(getattr(cell, field)) for field in (
+            "algorithm", "dataset", "epsilon", "query", "query_code", "error",
+            "error_std", "repetitions", "generation_seconds", "failed", "failure",
+        ))
+        for cell in cells
+    ]
+
+
+# -- strategies ---------------------------------------------------------------
+
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def cell_lists(draw):
+    """Arbitrary cell lists over the fixed small spec's coordinates."""
+    spec = _spec()
+    cells = []
+    for algorithm in spec.algorithms:
+        for epsilon in spec.epsilons:
+            for query in spec.queries:
+                if not draw(st.booleans()):
+                    continue
+                failed = draw(st.booleans())
+                error = float("nan") if failed else draw(_finite)
+                cells.append(CellResult(
+                    algorithm=algorithm, dataset="ba", epsilon=epsilon,
+                    query=query, query_code="Q2" if query == "num_edges" else "Q4",
+                    error=error,
+                    error_std=float("nan") if failed else abs(draw(_finite)),
+                    repetitions=0 if failed else draw(st.integers(1, 10)),
+                    generation_seconds=abs(draw(_finite)),
+                    failed=failed,
+                    failure="RuntimeError: boom" if failed else "",
+                ))
+    return BenchmarkResults(spec=spec, cells=cells)
+
+
+class TestBackendRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(results=cell_lists())
+    def test_json_and_sqlite_round_trip_identically(self, results, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("stores")
+        json_store = JsonResultsStore(tmp_path / "results.json")
+        sqlite_store = SqliteResultsStore(tmp_path / "results.db")
+        json_store.save(results)
+        sqlite_store.save(results)
+        from_json = json_store.load()
+        from_sqlite = sqlite_store.load()
+        expected = _comparable(results.cells)
+        assert _comparable(from_json.cells) == expected
+        assert _comparable(from_sqlite.cells) == expected
+        assert from_json.spec.fingerprint() == results.spec.fingerprint()
+        assert from_sqlite.spec.fingerprint() == results.spec.fingerprint()
+
+
+class TestSqliteStore:
+    def test_nan_cells_round_trip(self, tmp_path):
+        failed = CellResult(
+            algorithm="tmf", dataset="ba", epsilon=0.5, query="num_edges",
+            query_code="Q2", error=float("nan"), error_std=float("nan"),
+            repetitions=0, generation_seconds=0.0, failed=True,
+            failure="repetition 0: RuntimeError: boom",
+        )
+        store = SqliteResultsStore(tmp_path / "r.db")
+        store.save(BenchmarkResults(spec=_spec(), cells=[failed]))
+        loaded = store.load().cells[0]
+        assert loaded.failed is True
+        assert math.isnan(loaded.error) and math.isnan(loaded.error_std)
+        assert loaded.failure == failed.failure
+
+    def test_save_appends_submissions_and_load_returns_latest(self, tmp_path):
+        store = SqliteResultsStore(tmp_path / "r.db")
+        spec = _spec()
+        first = CellResult(
+            algorithm="tmf", dataset="ba", epsilon=0.5, query="num_edges",
+            query_code="Q2", error=0.1, error_std=0.0, repetitions=1,
+            generation_seconds=0.0,
+        )
+        second = CellResult(
+            algorithm="dgg", dataset="ba", epsilon=2.0, query="average_degree",
+            query_code="Q4", error=0.2, error_std=0.0, repetitions=1,
+            generation_seconds=0.0,
+        )
+        store.save(BenchmarkResults(spec=spec, cells=[first]))
+        store.save(BenchmarkResults(spec=spec, cells=[second]))
+        assert store.submission_ids() == [1, 2]
+        assert store.load().cells[0].algorithm == "dgg"
+
+    def test_cells_are_indexed_by_coordinates(self, tmp_path):
+        store = SqliteResultsStore(tmp_path / "r.db")
+        store.save(BenchmarkResults(spec=_spec(), cells=[]))
+        from repro.core.store import connect
+
+        connection = connect(store.path)
+        try:
+            plan = connection.execute(
+                "EXPLAIN QUERY PLAN SELECT * FROM cells WHERE dataset = 'ba' "
+                "AND algorithm = 'tmf' AND query = 'num_edges' AND epsilon = 0.5"
+            ).fetchall()
+        finally:
+            connection.close()
+        assert any("idx_cells_coordinates" in row["detail"] for row in plan)
+
+    def test_empty_or_missing_database_refused(self, tmp_path):
+        store = SqliteResultsStore(tmp_path / "missing.db")
+        with pytest.raises(StoreError, match="does not exist"):
+            store.load()
+        store.save(BenchmarkResults(spec=_spec(), cells=[]))
+        fresh = SqliteResultsStore(tmp_path / "empty.db")
+        from repro.core.store import connect
+
+        connect(fresh.path).close()
+        with pytest.raises(StoreError, match="no submissions"):
+            fresh.load()
+
+
+class TestOpenStore:
+    @pytest.mark.parametrize("url,store_class", [
+        ("json:anywhere.dat", JsonResultsStore),
+        ("sqlite:anywhere.dat", SqliteResultsStore),
+        ("results.json", JsonResultsStore),
+        ("results.json.gz", JsonResultsStore),
+        ("results.db", SqliteResultsStore),
+        ("results.sqlite", SqliteResultsStore),
+        ("results.sqlite3", SqliteResultsStore),
+    ])
+    def test_url_resolution(self, url, store_class):
+        store = open_store(url)
+        assert isinstance(store, store_class)
+        assert store.scheme in store.url
+
+    def test_unknown_suffix_rejected_with_guidance(self):
+        with pytest.raises(StoreError, match="sqlite:PATH"):
+            open_store("results.xyz")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(StoreError, match="empty path"):
+            open_store("sqlite:")
+
+    def test_misspelled_scheme_rejected_not_treated_as_filename(self):
+        # "sqllite:reg.db" must not become a literal file named sqllite:reg.db.
+        with pytest.raises(StoreError, match="unknown store scheme 'sqllite'"):
+            open_store("sqllite:reg.db")
+
+    def test_paths_with_directories_still_resolve(self, tmp_path):
+        store = open_store(str(tmp_path / "nested" / "results.json"))
+        assert isinstance(store, JsonResultsStore)
+
+    def test_unopenable_database_path_is_a_store_error(self, tmp_path):
+        from repro.core.store import connect
+
+        with pytest.raises(StoreError, match="cannot open"):
+            connect(tmp_path / "no" / "such" / "dir" / "reg.db")
+
+
+class TestJsonCompatibility:
+    """Existing v1/v2 JSON files keep loading; the format stays bit-compatible."""
+
+    def _cell_payload(self, **overrides):
+        payload = {
+            "algorithm": "tmf", "dataset": "ba", "epsilon": 0.5,
+            "query": "num_edges", "query_code": "Q2", "error": 0.25,
+            "error_std": 0.01, "repetitions": 3, "generation_seconds": 0.1,
+            "failed": False, "failure": "",
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_v1_payload_without_failure_fields_loads(self):
+        cell = self._cell_payload()
+        del cell["failed"], cell["failure"]
+        payload = {
+            "format_version": 1,
+            "spec": spec_to_dict(_spec()),
+            "cells": [cell],
+        }
+        results = results_from_dict(payload)
+        assert results.cells[0].failed is False
+        assert results.cells[0].error == 0.25
+
+    def test_v2_payload_loads(self):
+        payload = {
+            "format_version": 2,
+            "spec": spec_to_dict(_spec()),
+            "cells": [self._cell_payload(failed=True, error=float("nan"))],
+        }
+        assert results_from_dict(payload).cells[0].failed is True
+
+    def test_json_store_writes_the_versioned_format(self, tmp_path):
+        store = JsonResultsStore(tmp_path / "r.json")
+        store.save(BenchmarkResults(spec=_spec(), cells=[]))
+        payload = json.loads(store.path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+
+    def test_unknown_version_error_names_supported_versions(self):
+        payload = {"format_version": 99, "spec": spec_to_dict(_spec()), "cells": []}
+        with pytest.raises(UnsupportedFormatVersionError, match="versions 1, 2"):
+            results_from_dict(payload)
+        with pytest.raises(ValueError, match="format version"):
+            results_from_dict(payload)
+
+
+class TestGzipAndGlob:
+    def test_gzip_round_trip_by_suffix(self, tmp_path):
+        results = BenchmarkResults(
+            spec=_spec(),
+            cells=[CellResult(
+                algorithm="tmf", dataset="ba", epsilon=0.5, query="num_edges",
+                query_code="Q2", error=0.5, error_std=0.0, repetitions=1,
+                generation_seconds=0.0,
+            )],
+        )
+        path = tmp_path / "results.json.gz"
+        save_results_json(results, path)
+        with path.open("rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # actually gzip on disk
+        assert _comparable(load_results_json(path).cells) == _comparable(results.cells)
+
+    def test_load_sniffs_gzip_regardless_of_name(self, tmp_path):
+        results = BenchmarkResults(spec=_spec(), cells=[])
+        payload = json.dumps(results_to_dict(results)).encode("utf-8")
+        disguised = tmp_path / "results.json"  # gzip bytes behind a plain name
+        disguised.write_bytes(gzip.compress(payload))
+        assert load_results_json(disguised).spec.fingerprint() == _spec().fingerprint()
+
+    def test_expand_result_paths_globs_sorted(self, tmp_path):
+        for name in ("shard1.json", "shard0.json", "other.txt"):
+            (tmp_path / name).write_text("{}")
+        expanded = expand_result_paths([str(tmp_path / "shard*.json")])
+        assert [path.name for path in expanded] == ["shard0.json", "shard1.json"]
+
+    def test_expand_result_paths_skips_manifest_sidecars(self, tmp_path):
+        for name in ("shard0.json", "shard0.manifest.json"):
+            (tmp_path / name).write_text("{}")
+        expanded = expand_result_paths([str(tmp_path / "shard*.json")])
+        assert [path.name for path in expanded] == ["shard0.json"]
+
+    def test_empty_glob_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no result files match"):
+            expand_result_paths([str(tmp_path / "nothing*.json")])
+
+    def test_plain_paths_pass_through(self, tmp_path):
+        path = tmp_path / "missing.json"
+        assert expand_result_paths([str(path)]) == [path]
+
+
+class TestManifest:
+    def test_manifest_carries_identity(self, tmp_path):
+        results = BenchmarkResults(spec=_spec(), cells=[])
+        manifest = save_manifest_json(results, tmp_path / "m.json")
+        assert manifest["fingerprint"] == _spec().fingerprint()
+        assert manifest["results_protocol_version"] == RESULTS_PROTOCOL_VERSION
+        assert manifest["format_version"] == FORMAT_VERSION
+        loaded = load_manifest_json(tmp_path / "m.json")
+        assert loaded == manifest
+
+    def test_manifest_path_convention(self):
+        assert manifest_path_for("out/full.json").name == "full.manifest.json"
+        assert manifest_path_for("out/full.json.gz").name == "full.manifest.json"
+        assert manifest_path_for("out/full.dat").name == "full.dat.manifest.json"
+
+    def test_non_manifest_file_rejected(self, tmp_path):
+        path = tmp_path / "not.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_manifest_json(path)
