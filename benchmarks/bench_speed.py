@@ -1,6 +1,6 @@
 """Speed trajectory of the array-native pipeline: before vs after.
 
-Measures six layers on a Chung–Lu graph (10k nodes by default,
+Measures seven layers on a Chung–Lu graph (10k nodes by default,
 power-law-ish expected degrees):
 
 * ``graph_core``     — degree / CSR / dense-adjacency / subgraph conversions
@@ -16,27 +16,36 @@ power-law-ish expected degrees):
                        dict engine (median of 3 runs each; modularity of
                        both partitions is recorded so the speedup is tied to
                        quality parity);
-* ``privgraph_generation`` — PrivGraph end to end with the CSR Louvain
-                       representation stage vs the dict engine;
-* ``der_generation`` — DER with the grouped one-pass leaf reconstruction vs
-                       the retained per-leaf rejection loop.
+* ``privgraph_generation`` — PrivGraph end to end: the sparse engine
+                       (blocked Gumbel-max scores, streamed pair noise, CSR
+                       Louvain) vs the dense reference on the dict engine;
+* ``der_generation`` — DER with the frontier exploration + grouped one-pass
+                       leaf reconstruction vs the dense re-counting
+                       exploration with the per-leaf rejection loop;
+* ``privskg_generation`` — PrivSKG with the blocked Kronecker sampler vs
+                       the retained scalar ball-dropping loop (bit-identical
+                       output).
 
 Every layer also records ``after_peak_mb``: the tracemalloc peak of the
 optimized path (measured in a separate run so instrumentation does not skew
-the timings).  ``--scale`` additionally runs the CSR Louvain engine on a
-100k-node Chung–Lu graph — the scale ceiling entry — and records it under
-``"scale"``.
+the timings).  ``--scale`` additionally runs every sparse engine — CSR
+Louvain, PrivGraph, DER, PrivSKG — on a 500k-node Chung–Lu graph, records
+each engine's seconds and peak under ``"scale"``, and **asserts a per-layer
+peak-memory budget** (linear in n + m) so a dense-path regression fails
+loudly instead of silently OOM-ing the runner.
 
 Results are written to ``BENCH_speed.json`` so future PRs can track the
 trajectory; re-run with ``--quick`` for the CI smoke (a smaller graph, same
 protocol).  ``--min-combined-speedup`` gates the TmF + 15-query speedup and
-``--min-louvain-speedup`` gates the Louvain layer, so regressions fail CI.
+``--min-louvain-speedup`` gates the Louvain layer, so regressions fail CI;
+``benchmarks/check_trajectory.py`` compares a fresh run against the
+committed trajectory (the nightly scale gate).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_speed.py            # full (10k nodes)
-    PYTHONPATH=src python benchmarks/bench_speed.py --scale    # + 100k entry
-    PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke
+    python benchmarks/bench_speed.py            # full (10k nodes)
+    python benchmarks/bench_speed.py --scale    # + 500k-node engine entries
+    python benchmarks/bench_speed.py --quick    # CI smoke
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ import numpy as np
 
 from repro.algorithms.der import DER
 from repro.algorithms.privgraph import PrivGraph
+from repro.algorithms.privskg import PrivSKG
 from repro.algorithms.tmf import TmF
 from repro.community.louvain import louvain_communities
 from repro.community.partition import modularity
@@ -64,7 +74,22 @@ from repro.queries.registry import make_default_queries
 
 EPSILON = 1.0
 SEED = 2024
-SCALE_NODES = 100_000
+SCALE_NODES = 500_000
+
+#: Peak-memory budgets for the ``--scale`` engine runs, as MiB per million
+#: (nodes + edges).  Linear in the graph size by construction, so any
+#: accidental re-introduction of an O(n²) dense matrix / O(n·k) score matrix
+#: blows the budget immediately (a dense 500k² bitmap alone is ~31 000 MiB).
+#: PrivSKG's budget is larger because its smooth-sensitivity stage counts
+#: triangles through a sparse A² ∘ A product whose fill-in scales with the
+#: degree second moment, not with n + m.
+SCALE_PEAK_BUDGET_MB_PER_MILLION = {
+    "louvain": 400.0,
+    "privgraph": 400.0,
+    "der": 400.0,
+    "privskg": 1600.0,
+}
+SCALE_PEAK_BUDGET_BASE_MB = 64.0
 
 
 def _timed(fn):
@@ -195,9 +220,21 @@ def bench_louvain(graph: Graph) -> dict:
 
 
 def bench_privgraph(graph: Graph) -> dict:
-    """PrivGraph end to end: dict-Louvain representation vs CSR-Louvain."""
+    """PrivGraph end to end: dense engine on dict Louvain vs the sparse engine.
+
+    The before path stacks the two retained references (dict Louvain
+    representation + dense perturbation), the after path the two current
+    engines — the layer tracks the cumulative trajectory.  The dense and
+    sparse perturbation engines are additionally asserted bit-identical on
+    the same Louvain method.
+    """
+    sparse_graph = PrivGraph().generate_graph(graph, EPSILON, rng=SEED)
+    dense_graph = PrivGraph(dense=True).generate_graph(graph, EPSILON, rng=SEED)
+    assert sparse_graph == dense_graph, "sparse PrivGraph diverged from the dense reference"
     before_s, _ = _timed_median(
-        lambda: PrivGraph(louvain_method="dict").generate_graph(graph, EPSILON, rng=SEED)
+        lambda: PrivGraph(louvain_method="dict", dense=True).generate_graph(
+            graph, EPSILON, rng=SEED
+        )
     )
     after_s, _ = _timed_median(
         lambda: PrivGraph().generate_graph(graph, EPSILON, rng=SEED)
@@ -207,33 +244,86 @@ def bench_privgraph(graph: Graph) -> dict:
 
 
 def bench_der(graph: Graph) -> dict:
-    """DER: grouped one-pass leaf fill vs the retained per-leaf loop."""
+    """DER: frontier exploration + grouped leaf fill vs the dense re-counting
+    exploration + per-leaf rejection loop."""
+    frontier_graph = DER().generate_graph(graph, EPSILON, rng=SEED)
+    dense_graph = DER(dense=True).generate_graph(graph, EPSILON, rng=SEED)
+    assert frontier_graph == dense_graph, "frontier DER diverged from the dense reference"
     before_s, _ = _timed_median(
-        lambda: DER(vectorized=False).generate_graph(graph, EPSILON, rng=SEED)
+        lambda: DER(vectorized=False, dense=True).generate_graph(graph, EPSILON, rng=SEED)
     )
     after_s, _ = _timed_median(lambda: DER().generate_graph(graph, EPSILON, rng=SEED))
     peak = _peak_mb(lambda: DER().generate_graph(graph, EPSILON, rng=SEED))
     return _layer(before_s, after_s, peak)
 
 
-def bench_scale(nodes: int = SCALE_NODES) -> dict:
-    """The scale-ceiling entry: CSR Louvain on a ``nodes``-node Chung–Lu graph."""
+def bench_privskg(graph: Graph) -> dict:
+    """PrivSKG: blocked Kronecker sampler vs the scalar ball-dropping loop."""
+    blocked_graph = PrivSKG().generate_graph(graph, EPSILON, rng=SEED)
+    dense_graph = PrivSKG(dense=True).generate_graph(graph, EPSILON, rng=SEED)
+    assert blocked_graph == dense_graph, "blocked PrivSKG diverged from the scalar reference"
+    before_s, _ = _timed_median(
+        lambda: PrivSKG(dense=True).generate_graph(graph, EPSILON, rng=SEED)
+    )
+    after_s, _ = _timed_median(lambda: PrivSKG().generate_graph(graph, EPSILON, rng=SEED))
+    peak = _peak_mb(lambda: PrivSKG().generate_graph(graph, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak)
+
+
+def scale_peak_budget_mb(layer: str, nodes: int, edges: int) -> float:
+    """Per-layer peak budget: linear in n + m, so quadratic paths fail loudly."""
+    per_million = SCALE_PEAK_BUDGET_MB_PER_MILLION[layer]
+    return SCALE_PEAK_BUDGET_BASE_MB + per_million * (nodes + edges) / 1e6
+
+
+def bench_scale(nodes: int = SCALE_NODES) -> tuple[dict, list[str]]:
+    """Scale-ceiling entries: every sparse engine on a ``nodes``-node graph.
+
+    Returns the scale payload and a list of peak-budget violations (empty
+    when all engines stay inside their sub-quadratic budgets).
+    """
     graph = build_input_graph(nodes)
+    n, m = graph.num_nodes, graph.num_edges
+    payload: dict = {"nodes": n, "edges": m}
+    violations: list[str] = []
+
     diagnostics: dict = {}
     seconds, partition = _timed(
         lambda: louvain_communities(graph, rng=SEED, diagnostics=diagnostics)
     )
-    peak = _peak_mb(lambda: louvain_communities(graph, rng=SEED))
-    return {
-        "nodes": graph.num_nodes,
-        "edges": graph.num_edges,
-        "louvain_seconds": seconds,
-        "louvain_peak_mb": peak,
+    payload["louvain"] = {
+        "seconds": seconds,
+        "after_peak_mb": _peak_mb(lambda: louvain_communities(graph, rng=SEED)),
         "modularity": modularity(graph, partition),
         "communities": partition.num_communities,
         "levels": diagnostics.get("levels"),
         "sweeps": diagnostics.get("sweeps"),
     }
+
+    engines = {
+        "privgraph": lambda: PrivGraph().generate_graph(graph, EPSILON, rng=SEED),
+        "der": lambda: DER().generate_graph(graph, EPSILON, rng=SEED),
+        "privskg": lambda: PrivSKG().generate_graph(graph, EPSILON, rng=SEED),
+    }
+    for name, run in engines.items():
+        print(f"  scale [{name}] …", flush=True)
+        seconds, synthetic = _timed(run)
+        payload[name] = {
+            "seconds": seconds,
+            "after_peak_mb": _peak_mb(run),
+            "synthetic_edges": synthetic.num_edges,
+        }
+
+    for name in ("louvain", "privgraph", "der", "privskg"):
+        budget = scale_peak_budget_mb(name, n, m)
+        payload[name]["peak_budget_mb"] = budget
+        peak = payload[name]["after_peak_mb"]
+        if peak > budget:
+            violations.append(
+                f"scale [{name}] peak {peak:.1f} MB exceeds the "
+                f"sub-quadratic budget {budget:.1f} MB"
+            )
+    return payload, violations
 
 
 def main(argv=None) -> int:
@@ -242,7 +332,7 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: 2000 nodes, same protocol")
     parser.add_argument("--scale", action="store_true",
-                        help="additionally record a 100k-node Louvain scale entry")
+                        help="additionally record 500k-node entries for every sparse engine")
     parser.add_argument("--scale-nodes", type=int, default=SCALE_NODES)
     parser.add_argument("--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_speed.json"))
     parser.add_argument("--min-combined-speedup", type=float, default=None,
@@ -263,6 +353,7 @@ def main(argv=None) -> int:
     layers["louvain"] = bench_louvain(graph)
     layers["privgraph_generation"] = bench_privgraph(graph)
     layers["der_generation"] = bench_der(graph)
+    layers["privskg_generation"] = bench_privskg(graph)
 
     combined_before = (layers["tmf_generation"]["before_seconds"]
                        + layers["query_evaluation"]["before_seconds"])
@@ -276,7 +367,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "bench_speed",
-        "protocol_version": 2,
+        "protocol_version": 3,
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "quick": bool(args.quick),
@@ -285,9 +376,10 @@ def main(argv=None) -> int:
         "layers": layers,
         "combined_tmf_plus_queries": combined,
     }
+    scale_violations: list[str] = []
     if args.scale:
         print(f"running the {args.scale_nodes}-node scale scenario …")
-        payload["scale"] = bench_scale(args.scale_nodes)
+        payload["scale"], scale_violations = bench_scale(args.scale_nodes)
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -299,9 +391,12 @@ def main(argv=None) -> int:
           f"{combined['after_seconds']:>8.3f}s {combined['speedup']:>8.1f}x {'':>9}")
     if "scale" in payload:
         scale = payload["scale"]
-        print(f"scale: louvain on {scale['nodes']} nodes / {scale['edges']} edges: "
-              f"{scale['louvain_seconds']:.2f}s, peak {scale['louvain_peak_mb']:.1f} MB, "
-              f"Q={scale['modularity']:.4f}, {scale['communities']} communities")
+        print(f"scale input: {scale['nodes']} nodes / {scale['edges']} edges")
+        for name in ("louvain", "privgraph", "der", "privskg"):
+            entry = scale[name]
+            print(f"scale [{name:<9}] {entry['seconds']:>8.2f}s "
+                  f"peak {entry['after_peak_mb']:>8.1f} MB "
+                  f"(budget {entry['peak_budget_mb']:.0f} MB)")
     print(f"wrote {args.output}")
 
     status = 0
@@ -313,6 +408,9 @@ def main(argv=None) -> int:
             and layers["louvain"]["speedup"] < args.min_louvain_speedup):
         print(f"FAIL: louvain speedup {layers['louvain']['speedup']:.1f}x "
               f"< required {args.min_louvain_speedup:.1f}x", file=sys.stderr)
+        status = 1
+    for violation in scale_violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
         status = 1
     return status
 

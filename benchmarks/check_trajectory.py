@@ -1,0 +1,132 @@
+"""Gate a fresh BENCH_speed.json against the committed trajectory.
+
+The nightly scale workflow re-runs ``bench_speed.py --scale`` and then calls
+this script with the fresh output and the committed ``BENCH_speed.json``.
+It fails (exit 1) when
+
+* a layer present in the committed trajectory is missing from the fresh run;
+* a layer's speedup fell below ``--min-speedup-ratio`` × the committed
+  speedup (speedups are before/after ratios measured on the same machine,
+  so they are robust to runner hardware differences, unlike raw seconds);
+* a layer's or scale engine's ``after_peak_mb`` exceeds ``--max-peak-ratio``
+  × the committed peak plus ``--peak-slack-mb`` (peaks are allocation
+  volumes, also machine-independent).
+
+A ``workflow_dispatch`` run may use a non-default ``--scale-nodes``; the
+sparse engines' peaks are linear in n + m by design (that is exactly what
+``bench_speed`` budgets), so the scale-engine ceilings are rescaled by the
+fresh/committed (nodes + edges) ratio instead of demanding equal sizes.
+The committed 500k-node claim itself is still gated nightly, because the
+scheduled run always uses the default node count.
+
+Usage::
+
+    python benchmarks/check_trajectory.py BENCH_fresh.json BENCH_speed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCALE_ENGINES = ("louvain", "privgraph", "der", "privskg")
+
+
+def check_trajectory(fresh: dict, committed: dict, min_speedup_ratio: float,
+                     max_peak_ratio: float, peak_slack_mb: float) -> list[str]:
+    """Return the list of regressions of ``fresh`` against ``committed``."""
+    failures: list[str] = []
+
+    for name, reference in committed.get("layers", {}).items():
+        layer = fresh.get("layers", {}).get(name)
+        if layer is None:
+            failures.append(f"layer {name!r} missing from the fresh run")
+            continue
+        floor = reference["speedup"] * min_speedup_ratio
+        if layer["speedup"] < floor:
+            failures.append(
+                f"layer {name!r} speedup {layer['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({min_speedup_ratio:.0%} of the committed "
+                f"{reference['speedup']:.2f}x)"
+            )
+        ceiling = reference["after_peak_mb"] * max_peak_ratio + peak_slack_mb
+        if layer["after_peak_mb"] > ceiling:
+            failures.append(
+                f"layer {name!r} peak {layer['after_peak_mb']:.1f} MB exceeds "
+                f"{ceiling:.1f} MB (committed {reference['after_peak_mb']:.1f} MB)"
+            )
+
+    committed_scale = committed.get("scale")
+    if committed_scale is not None:
+        fresh_scale = fresh.get("scale")
+        if fresh_scale is None:
+            failures.append("scale section missing from the fresh run")
+            return failures
+        committed_size = committed_scale["nodes"] + committed_scale.get("edges", 0)
+        fresh_size = fresh_scale["nodes"] + fresh_scale.get("edges", 0)
+        size_ratio = fresh_size / committed_size if committed_size else 1.0
+        if fresh_scale["nodes"] != committed_scale["nodes"]:
+            print(
+                f"note: scale run covers {fresh_scale['nodes']} nodes vs the "
+                f"committed {committed_scale['nodes']}; peak ceilings rescaled "
+                f"by {size_ratio:.2f}x (engine peaks are linear in n + m)"
+            )
+        for name in SCALE_ENGINES:
+            reference = committed_scale.get(name)
+            entry = fresh_scale.get(name)
+            if reference is None:
+                continue
+            if entry is None:
+                failures.append(f"scale engine {name!r} missing from the fresh run")
+                continue
+            ceiling = (reference["after_peak_mb"] * max_peak_ratio * size_ratio
+                       + peak_slack_mb)
+            if entry["after_peak_mb"] > ceiling:
+                failures.append(
+                    f"scale engine {name!r} peak {entry['after_peak_mb']:.1f} MB "
+                    f"exceeds {ceiling:.1f} MB "
+                    f"(committed {reference['after_peak_mb']:.1f} MB at the "
+                    f"committed scale)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="BENCH_speed.json produced by this run")
+    parser.add_argument("committed", help="committed BENCH_speed.json to gate against")
+    parser.add_argument("--min-speedup-ratio", type=float, default=0.5,
+                        help="fail when a layer speedup drops below this "
+                             "fraction of the committed speedup (default 0.5)")
+    parser.add_argument("--max-peak-ratio", type=float, default=1.5,
+                        help="fail when a peak exceeds this multiple of the "
+                             "committed peak (default 1.5)")
+    parser.add_argument("--peak-slack-mb", type=float, default=32.0,
+                        help="absolute slack added to every peak ceiling (default 32)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    committed = json.loads(Path(args.committed).read_text(encoding="utf-8"))
+    failures = check_trajectory(
+        fresh, committed,
+        min_speedup_ratio=args.min_speedup_ratio,
+        max_peak_ratio=args.max_peak_ratio,
+        peak_slack_mb=args.peak_slack_mb,
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    checked = len(committed.get("layers", {})) + (
+        len(SCALE_ENGINES) if "scale" in committed else 0
+    )
+    print(f"trajectory OK: {checked} entries within tolerance "
+          f"(speedup ≥ {args.min_speedup_ratio:.0%} of committed, "
+          f"peak ≤ {args.max_peak_ratio:.1f}× + {args.peak_slack_mb:.0f} MB)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

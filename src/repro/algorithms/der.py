@@ -14,6 +14,17 @@ TmF and PrivGraph (Figure 7).  The algorithm:
 
 The quadtree depth is logarithmic in the number of nodes and capped so the
 number of leaf regions stays manageable.
+
+Two exploration engines share the loop.  The default *frontier* engine
+maintains, for every frontier region, an index range into a working copy of
+the edge array: a region's count is just the length of its slice, and a
+split partitions the slice into the four quadrant subranges with one stable
+sort over 2-bit quadrant codes plus a ``searchsorted`` over the sorted codes
+— O(m) work per level and no per-region scans.  The *dense* engine
+(``dense=True``, the retained reference) re-counts every region with a
+row-band ``searchsorted`` slice and a dense column mask.  Both engines visit
+the same regions in the same order and draw the same noise, so their outputs
+are **bit-identical for the same seed**.
 """
 
 from __future__ import annotations
@@ -67,7 +78,7 @@ class DER(GraphGenerator):
     requires_delta = False
 
     def __init__(self, max_depth: int | None = None, min_region: int = 8,
-                 vectorized: bool = True) -> None:
+                 vectorized: bool = True, dense: bool = False) -> None:
         super().__init__(delta=0.0)
         if min_region < 1:
             raise ValueError("min_region must be >= 1")
@@ -79,6 +90,11 @@ class DER(GraphGenerator):
         #: timing in the speed benchmark.  RNG consumption differs between
         #: the two paths, so their outputs are distinct (both valid) draws.
         self.vectorized = vectorized
+        #: When True, the exploration re-counts every quadtree region with a
+        #: row-band slice + dense column mask (the retained reference).  The
+        #: default frontier engine carries index ranges instead and is
+        #: bit-identical for the same seed.
+        self.dense = dense
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         n = graph.num_nodes
@@ -89,20 +105,9 @@ class DER(GraphGenerator):
         depth = max(min(depth, 8), 1)
         per_level_epsilon = budget.epsilon / depth
 
-        # Count edges inside a region of the upper-triangular adjacency
-        # matrix.  The canonical edge array is lexicographically sorted, so
-        # the row band [r0, r1) is one searchsorted slice and only its
-        # columns need a mask — O(log m + rows in band) instead of a full
-        # O(m) scan per quadtree region.
         edge_arr = graph.edge_array()
         edge_u = edge_arr[:, 0]
         edge_v = edge_arr[:, 1]
-
-        def count_cells(region: _Region) -> int:
-            lo = int(np.searchsorted(edge_u, region.r0, side="left"))
-            hi = int(np.searchsorted(edge_u, region.r1, side="left"))
-            band = edge_v[lo:hi]
-            return int(np.count_nonzero((band >= region.c0) & (band < region.c1)))
 
         mechanism_levels = [
             LaplaceMechanism(epsilon=per_level_epsilon, sensitivity=1.0) for _ in range(depth)
@@ -112,24 +117,10 @@ class DER(GraphGenerator):
 
         # Explore: descend the quadtree, stopping early in regions whose noisy
         # count is (near) zero — that is the "exploration" part of DER.
-        root = _Region(0, n, 0, n)
-        leaves: List[Tuple[_Region, int]] = []
-        frontier: List[Tuple[_Region, int]] = [(root, 0)]
-        while frontier:
-            region, level = frontier.pop()
-            noisy = mechanism_levels[min(level, depth - 1)].randomize_count(
-                count_cells(region), rng=rng, minimum=0
-            )
-            is_leaf = (
-                level >= depth - 1
-                or region.area <= self.min_region * self.min_region
-                or noisy == 0
-            )
-            if is_leaf:
-                leaves.append((region, noisy))
-            else:
-                for child in region.split():
-                    frontier.append((child, level + 1))
+        if self.dense:
+            leaves = self._explore_dense(edge_u, edge_v, n, depth, mechanism_levels, rng)
+        else:
+            leaves = self._explore_frontier(edge_u, edge_v, n, depth, mechanism_levels, rng)
 
         # Reconstruct: fill each leaf with uniformly random upper-triangle
         # cells.  Leaf regions are disjoint blocks of the matrix, so their
@@ -178,6 +169,102 @@ class DER(GraphGenerator):
 
         self._record_diagnostics(num_leaf_regions=len(leaves), quadtree_depth=depth)
         return synthetic
+
+    def _explore_dense(self, edge_u: np.ndarray, edge_v: np.ndarray, n: int,
+                       depth: int, mechanism_levels: List[LaplaceMechanism],
+                       rng) -> List[Tuple[_Region, int]]:
+        """Reference exploration: re-count every region against the edge array.
+
+        The canonical edge array is lexicographically sorted, so the row band
+        [r0, r1) is one searchsorted slice and only its columns need a mask —
+        O(log m + rows in band) per quadtree region, but the band mask is
+        re-built from scratch at every region, which multiplies up to
+        O(m · 2^depth) across a full exploration.
+        """
+
+        def count_cells(region: _Region) -> int:
+            lo = int(np.searchsorted(edge_u, region.r0, side="left"))
+            hi = int(np.searchsorted(edge_u, region.r1, side="left"))
+            band = edge_v[lo:hi]
+            return int(np.count_nonzero((band >= region.c0) & (band < region.c1)))
+
+        leaves: List[Tuple[_Region, int]] = []
+        frontier: List[Tuple[_Region, int]] = [(_Region(0, n, 0, n), 0)]
+        while frontier:
+            region, level = frontier.pop()
+            noisy = mechanism_levels[min(level, depth - 1)].randomize_count(
+                count_cells(region), rng=rng, minimum=0
+            )
+            if self._is_leaf(region, level, depth, noisy):
+                leaves.append((region, noisy))
+            else:
+                for child in region.split():
+                    frontier.append((child, level + 1))
+        return leaves
+
+    def _explore_frontier(self, edge_u: np.ndarray, edge_v: np.ndarray, n: int,
+                          depth: int, mechanism_levels: List[LaplaceMechanism],
+                          rng) -> List[Tuple[_Region, int]]:
+        """Frontier exploration over index ranges into a working edge copy.
+
+        Every frontier entry owns the contiguous slice ``[lo, hi)`` of the
+        working arrays holding exactly its region's edges, so a region's
+        count is ``hi - lo`` — no per-region scan.  Splitting stably sorts
+        the slice by 2-bit quadrant code and finds the three quadrant
+        boundaries with one ``searchsorted``; children inherit the
+        subranges.  Sibling slices are disjoint and a parent's slice is
+        never revisited after its split, so partitioning in place is safe.
+        The visit order (LIFO, children pushed in ``split()`` order) and the
+        per-region noise draws replay the dense reference exactly, which
+        makes the resulting leaves — and the reconstructed graph —
+        bit-identical.
+        """
+        work_u = edge_u.astype(np.int64, copy=True)
+        work_v = edge_v.astype(np.int64, copy=True)
+        leaves: List[Tuple[_Region, int]] = []
+        frontier: List[Tuple[_Region, int, int, int]] = [
+            (_Region(0, n, 0, n), 0, 0, int(edge_u.size))
+        ]
+        while frontier:
+            region, level, lo, hi = frontier.pop()
+            noisy = mechanism_levels[min(level, depth - 1)].randomize_count(
+                hi - lo, rng=rng, minimum=0
+            )
+            if self._is_leaf(region, level, depth, noisy):
+                leaves.append((region, noisy))
+                continue
+            rm = (region.r0 + region.r1) // 2
+            cm = (region.c0 + region.c1) // 2
+            slice_u = work_u[lo:hi]
+            slice_v = work_v[lo:hi]
+            codes = ((slice_u >= rm).astype(np.int8) << 1) | (slice_v >= cm).astype(np.int8)
+            order = np.argsort(codes, kind="stable")
+            work_u[lo:hi] = slice_u[order]
+            work_v[lo:hi] = slice_v[order]
+            bounds = lo + np.searchsorted(codes[order], np.arange(1, 4))
+            offsets = [lo, int(bounds[0]), int(bounds[1]), int(bounds[2]), hi]
+            quadrants = [
+                _Region(region.r0, rm, region.c0, cm),
+                _Region(region.r0, rm, cm, region.c1),
+                _Region(rm, region.r1, region.c0, cm),
+                _Region(rm, region.r1, cm, region.c1),
+            ]
+            # Quadrant code order equals ``split()`` order; zero-area
+            # quadrants are skipped exactly as ``split()`` drops them (no
+            # edge can carry their code, so their subranges are empty).
+            for quadrant_id, child in enumerate(quadrants):
+                if child.area > 0:
+                    frontier.append(
+                        (child, level + 1, offsets[quadrant_id], offsets[quadrant_id + 1])
+                    )
+        return leaves
+
+    def _is_leaf(self, region: _Region, level: int, depth: int, noisy: int) -> bool:
+        return (
+            level >= depth - 1
+            or region.area <= self.min_region * self.min_region
+            or noisy == 0
+        )
 
 
 __all__ = ["DER"]

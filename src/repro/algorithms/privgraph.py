@@ -18,6 +18,17 @@ Pipeline:
 3. **Construction** — each community is wired internally with the Chung–Lu
    model on its noisy degree sequence; inter-community edges are placed
    uniformly between the two communities to match the noisy counts.
+
+Two engines implement the perturbation stage.  The default *sparse* engine
+never materialises the full ``n × k`` exponential-mechanism score matrix or
+the ``k × k`` inter-community count matrix: scores are tallied per row block
+straight from the memoized CSR adjacency (the same shared derivation the
+evaluation context rides on) with Gumbel-max selection streamed block by
+block, and the pairwise Laplace noise is drawn one community row at a time
+against a sparse count lookup.  The dense engine — the original
+implementation — is retained behind ``dense=True`` as the equivalence
+reference; both engines consume the RNG stream identically, so their outputs
+are **bit-identical for the same seed**.
 """
 
 from __future__ import annotations
@@ -33,7 +44,12 @@ from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import ExponentialMechanism, LaplaceMechanism
 from repro.generators.chung_lu import chung_lu_graph
 from repro.graphs.graph import Graph
-from repro.utils.sampling import rejection_sample_codes
+from repro.utils.sampling import block_ranges, rejection_sample_codes
+
+#: Upper bound on the number of score-matrix cells a sparse-engine block may
+#: hold ((rows per block) × (communities)); keeps the streamed Gumbel-max
+#: selection at a few MiB of peak memory regardless of n and k.
+_SCORE_BLOCK_CELLS = 1 << 20
 
 
 class PrivGraph(GraphGenerator):
@@ -45,7 +61,7 @@ class PrivGraph(GraphGenerator):
     requires_delta = False
 
     def __init__(self, community_fraction: float = 0.2, degree_fraction: float = 0.5,
-                 louvain_method: str = "csr") -> None:
+                 louvain_method: str = "csr", dense: bool = False) -> None:
         super().__init__(delta=0.0)
         if not 0.0 < community_fraction < 1.0:
             raise ValueError("community_fraction must lie strictly between 0 and 1")
@@ -58,6 +74,11 @@ class PrivGraph(GraphGenerator):
         #: Which Louvain engine runs the (non-private) representation stage:
         #: the flat-array CSR engine (default) or the retained dict reference.
         self.louvain_method = louvain_method
+        #: When True, the perturbation stage materialises the dense n × k
+        #: score matrix and the k × k pair-count matrix (the retained
+        #: reference path).  The default sparse engine streams both and is
+        #: bit-identical for the same seed.
+        self.dense = dense
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         eps_community, eps_degrees, eps_edges = budget.split(
@@ -84,16 +105,22 @@ class PrivGraph(GraphGenerator):
         # --- Stage 1: private re-assignment with the exponential mechanism.
         # Quality of assigning node v to community c = number of v's neighbours
         # currently in c; sensitivity 1 (adding/removing one edge changes one
-        # neighbour count by 1).  The per-node neighbour tallies are one
-        # scatter-add over the edge array and all n selections are a single
-        # Gumbel-max draw.
+        # neighbour count by 1).
         mechanism = ExponentialMechanism(epsilon=eps_community, sensitivity=1.0)
         labels = np.asarray(seed_partition.labels, dtype=np.int64)
         edge_arr = graph.edge_array()
-        scores = np.zeros((n, num_communities))
-        np.add.at(scores, (edge_arr[:, 0], labels[edge_arr[:, 1]]), 1.0)
-        np.add.at(scores, (edge_arr[:, 1], labels[edge_arr[:, 0]]), 1.0)
-        private_labels = mechanism.select_indices(scores, rng=rng)
+        if self.dense:
+            # Reference path: the per-node neighbour tallies are one
+            # scatter-add over the edge array and all n selections are a
+            # single Gumbel-max draw over the dense (n, k) matrix.
+            scores = np.zeros((n, num_communities))
+            np.add.at(scores, (edge_arr[:, 0], labels[edge_arr[:, 1]]), 1.0)
+            np.add.at(scores, (edge_arr[:, 1], labels[edge_arr[:, 0]]), 1.0)
+            private_labels = mechanism.select_indices(scores, rng=rng)
+        else:
+            private_labels = self._select_communities_blocked(
+                graph, labels, num_communities, mechanism, rng
+            )
 
         member_arrays: List[np.ndarray] = [
             members for members in
@@ -111,8 +138,10 @@ class PrivGraph(GraphGenerator):
             noisy = degree_mechanism.randomize(intra_degree_all[members], rng=rng)
             intra_degrees.append(np.clip(noisy, 0.0, float(max(members.size - 1, 0))))
 
-        # --- Stage 3: noisy inter-community edge counts, tallied as one
-        # bincount over (community, community) pair codes.
+        # --- Stage 3: noisy inter-community edge counts.  DP requires a
+        # Laplace draw for *every* community pair (a zero count in this graph
+        # can be non-zero in a neighbouring one), but only the observed pairs
+        # need a materialised count.
         edge_mechanism = LaplaceMechanism(epsilon=eps_edges, sensitivity=1.0)
         k = len(member_arrays)
         community_of = np.empty(n, dtype=np.int64)
@@ -122,15 +151,14 @@ class PrivGraph(GraphGenerator):
         cv = community_of[edge_arr[:, 1]]
         inter = cu != cv
         pair_codes = (np.minimum(cu, cv)[inter] * np.int64(k) + np.maximum(cu, cv)[inter])
-        pair_counts = np.bincount(pair_codes, minlength=k * k)
-        noisy_inter: Dict[Tuple[int, int], int] = {}
-        for i in range(k):
-            for j in range(i + 1, k):
-                true_count = int(pair_counts[i * k + j])
-                noisy_count = edge_mechanism.randomize_count(true_count, rng=rng, minimum=0)
-                max_possible = member_arrays[i].size * member_arrays[j].size
-                if noisy_count > 0:
-                    noisy_inter[(i, j)] = min(noisy_count, max_possible)
+        if self.dense:
+            noisy_inter = self._noisy_inter_dense(
+                pair_codes, member_arrays, k, edge_mechanism, rng
+            )
+        else:
+            noisy_inter = self._noisy_inter_sparse(
+                pair_codes, member_arrays, k, edge_mechanism, rng
+            )
 
         # --- Construction.  Intra blocks (one Chung-Lu pass per community)
         # and inter blocks (bulk rejection sampling per community pair) are
@@ -170,6 +198,88 @@ class PrivGraph(GraphGenerator):
             ),
         )
         return synthetic
+
+    @staticmethod
+    def _select_communities_blocked(graph: Graph, labels: np.ndarray,
+                                    num_communities: int,
+                                    mechanism: ExponentialMechanism,
+                                    rng) -> np.ndarray:
+        """Exponential-mechanism re-assignment without the dense score matrix.
+
+        Node scores are tallied one row block at a time from the graph's
+        memoized CSR adjacency (a bincount over ``row · k + label(neighbour)``
+        composite codes), and the Gumbel-max selection runs per block.  The
+        Gumbel draws of consecutive blocks consume the RNG stream exactly as
+        one dense ``(n, k)`` draw would, and the per-row argmax is unaffected
+        by blocking, so the selected labels are bit-identical to the dense
+        reference while peak memory stays O(block · k + m).
+        """
+        n = graph.num_nodes
+        k = num_communities
+        adjacency = graph.to_sparse_adjacency()
+        indptr = adjacency.indptr
+        neighbor_labels = labels[adjacency.indices]
+        selected = np.empty(n, dtype=np.int64)
+        rows_per_block = max(_SCORE_BLOCK_CELLS // max(k, 1), 1)
+        for lo, hi in block_ranges(n, rows_per_block):
+            row_lengths = np.diff(indptr[lo:hi + 1]).astype(np.int64)
+            local_rows = np.repeat(np.arange(hi - lo, dtype=np.int64), row_lengths)
+            codes = local_rows * np.int64(k) + neighbor_labels[indptr[lo]:indptr[hi]]
+            scores = np.bincount(codes, minlength=(hi - lo) * k).astype(float)
+            selected[lo:hi] = mechanism.select_indices(
+                scores.reshape(hi - lo, k), rng=rng
+            )
+        return selected
+
+    @staticmethod
+    def _noisy_inter_dense(pair_codes: np.ndarray, member_arrays: List[np.ndarray],
+                           k: int, edge_mechanism: LaplaceMechanism,
+                           rng) -> Dict[Tuple[int, int], int]:
+        """Reference path: dense k × k tally + one scalar Laplace call per pair."""
+        pair_counts = np.bincount(pair_codes, minlength=k * k)
+        noisy_inter: Dict[Tuple[int, int], int] = {}
+        for i in range(k):
+            for j in range(i + 1, k):
+                true_count = int(pair_counts[i * k + j])
+                noisy_count = edge_mechanism.randomize_count(true_count, rng=rng, minimum=0)
+                max_possible = member_arrays[i].size * member_arrays[j].size
+                if noisy_count > 0:
+                    noisy_inter[(i, j)] = min(noisy_count, max_possible)
+        return noisy_inter
+
+    @staticmethod
+    def _noisy_inter_sparse(pair_codes: np.ndarray, member_arrays: List[np.ndarray],
+                            k: int, edge_mechanism: LaplaceMechanism,
+                            rng) -> Dict[Tuple[int, int], int]:
+        """Streamed path: sparse pair counts + one vector Laplace draw per row.
+
+        Observed pair counts live in a sorted unique-code array instead of a
+        dense ``k × k`` matrix; the mandatory per-pair noise is drawn one
+        community row at a time (``k - 1 - i`` doubles for row ``i``), which
+        consumes the RNG stream exactly like the reference's scalar
+        ``randomize_count`` loop in its i-major / j-ascending order — the kept
+        counts, their caps and the dict insertion order are bit-identical.
+        """
+        unique_codes, unique_counts = np.unique(pair_codes, return_counts=True)
+        sizes = np.array([members.size for members in member_arrays], dtype=np.int64)
+        scale = edge_mechanism.scale
+        noisy_inter: Dict[Tuple[int, int], int] = {}
+        for i in range(k - 1):
+            js = np.arange(i + 1, k, dtype=np.int64)
+            row_codes = i * np.int64(k) + js
+            true_counts = np.zeros(js.size, dtype=float)
+            if unique_codes.size:
+                positions = np.searchsorted(unique_codes, row_codes)
+                clipped = np.minimum(positions, unique_codes.size - 1)
+                found = (positions < unique_codes.size) & (unique_codes[clipped] == row_codes)
+                true_counts[found] = unique_counts[clipped[found]]
+            noisy = true_counts + rng.laplace(loc=0.0, scale=scale, size=js.size)
+            noisy_counts = np.maximum(np.rint(noisy).astype(np.int64), 0)
+            capped = np.minimum(noisy_counts, sizes[i] * sizes[js])
+            for j, count in zip(js[noisy_counts > 0].tolist(),
+                                capped[noisy_counts > 0].tolist()):
+                noisy_inter[(i, int(j))] = int(count)
+        return noisy_inter
 
 
 __all__ = ["PrivGraph"]

@@ -47,9 +47,16 @@ class PrivSKG(GraphGenerator):
     sensitivity_type = "smooth"
     requires_delta = True
 
-    def __init__(self, delta: float = 0.01, grid_points: int = 10) -> None:
+    def __init__(self, delta: float = 0.01, grid_points: int = 10,
+                 dense: bool = False) -> None:
         super().__init__(delta=delta)
         self.grid_points = grid_points
+        #: When True, construction uses the retained scalar ball-dropping
+        #: loop (one Python-level Kronecker descent per attempt).  The
+        #: default blocked sampler evaluates the initiator probabilities in
+        #: on-demand blocks during edge sampling and produces bit-identical
+        #: graphs for the same seed.
+        self.dense = dense
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         eps_edges, eps_wedges, eps_triangles = budget.split(
@@ -94,7 +101,8 @@ class PrivSKG(GraphGenerator):
         k = max(int(math.ceil(math.log2(n))), 1)
         initiator = self._fit_to_moments(noisy_edges, noisy_wedges, noisy_triangles, k)
         synthetic = sample_kronecker_graph(
-            initiator, k=k, num_nodes=n, rng=rng, num_edges=int(round(noisy_edges))
+            initiator, k=k, num_nodes=n, rng=rng, num_edges=int(round(noisy_edges)),
+            dense=self.dense,
         )
         self._record_diagnostics(
             noisy_edges=noisy_edges,

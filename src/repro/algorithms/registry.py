@@ -40,6 +40,13 @@ _FACTORIES: Dict[str, AlgorithmFactory] = {
     # refuses to mix privacy models unless strict=False — principle M1).
     "ldpgen": LDPGen,
     "rnl": RandomizedNeighborLists,
+    # Dense reference engines of the sparse-scale generators.  Outputs are
+    # bit-identical to the default sparse engines for the same seed; these
+    # entries exist so benchmark specs can pin the reference path explicitly
+    # (e.g. to cross-check an engine change from the CLI).
+    "privgraph-dense": lambda: PrivGraph(dense=True),
+    "privskg-dense": lambda: PrivSKG(delta=0.01, dense=True),
+    "der-dense": lambda: DER(dense=True),
 }
 
 #: The two bundled Edge-LDP algorithms, usable as an LDP-only benchmark M set.

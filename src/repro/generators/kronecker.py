@@ -30,6 +30,7 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.graphs.properties import triangle_count
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sampling import rejection_sample_codes
 from repro.utils.validation import check_probability
 
 
@@ -147,15 +148,38 @@ def fit_kronecker_initiator(graph: Graph, k: int | None = None,
     return KroneckerInitiator(*best[1]), k
 
 
+#: Upper bound on attempts proposed per round by the blocked sampler; bounds
+#: peak memory at O(max_batch · k) regardless of the edge target (each round
+#: keeps a few (batch, k) temporaries alive: the choice matrix, its uniform
+#: draws and the bit-shift intermediates).
+_SAMPLE_MAX_BATCH = 1 << 16
+
+
 def sample_kronecker_graph(initiator: KroneckerInitiator, k: int, num_nodes: int | None = None,
-                           rng: RngLike = None, num_edges: int | None = None) -> Graph:
+                           rng: RngLike = None, num_edges: int | None = None,
+                           dense: bool = False) -> Graph:
     """Sample a graph from the k-th Kronecker power of ``initiator``.
 
     Uses the ball-dropping method: the expected number of edges is computed,
     and each edge is placed by descending the k levels of the Kronecker
     recursion, choosing a quadrant at every level proportionally to the
     initiator entries.  Duplicate edges and self-loops are dropped, matching
-    the usual SKG sampling practice.
+    the usual SKG sampling practice.  Neither engine ever materialises the
+    ``2^k × 2^k`` probability matrix — the initiator entries are evaluated on
+    demand per descent level.
+
+    The default *blocked* engine draws whole blocks of descents at once (one
+    ``choice`` call for up to ``_SAMPLE_MAX_BATCH`` attempts × k levels, bit
+    arithmetic instead of per-level Python shifts) and feeds the encoded
+    pairs through the shared rejection sampler.  ``dense=True`` keeps the
+    scalar one-descent-per-attempt loop as the reference; the candidate
+    sequences are identical, so both engines return **bit-identical graphs
+    for the same seed**.  Unlike PrivGraph's and DER's engine pairs, the two
+    engines do *not* leave a shared generator at the same stream position
+    (the blocked engine consumes whole proposal batches where the scalar
+    loop stops at the last acceptance) — callers must not draw from ``rng``
+    after this call and expect cross-engine parity; PrivSKG samples last for
+    exactly this reason.
 
     ``num_nodes`` truncates the 2^k universe down to the original graph size
     (extra rows/columns of the Kronecker matrix are simply unused);
@@ -179,24 +203,48 @@ def sample_kronecker_graph(initiator: KroneckerInitiator, k: int, num_nodes: int
     if total <= 0:
         return graph
     probabilities = entries / total
-    quadrant_bits = np.array([(0, 0), (0, 1), (1, 0), (1, 1)])
-
-    attempts = 0
     max_attempts = 30 * target + 100
-    while graph.num_edges < target and attempts < max_attempts:
-        attempts += 1
-        choices = generator.choice(4, size=k, p=probabilities)
-        bits = quadrant_bits[choices]
-        u = 0
-        v = 0
-        for level in range(k):
-            u = (u << 1) | int(bits[level][0])
-            v = (v << 1) | int(bits[level][1])
-        if u == v or u >= n or v >= n:
-            continue
-        if not graph.has_edge(u, v):
-            graph.add_edge(u, v)
-    return graph
+
+    # Encoded pairs need 2k bits; beyond that only the scalar loop's Python
+    # integers are safe (cannot happen for k derived from a node count).
+    if dense or 2 * k > 62:
+        quadrant_bits = np.array([(0, 0), (0, 1), (1, 0), (1, 1)])
+        attempts = 0
+        while graph.num_edges < target and attempts < max_attempts:
+            attempts += 1
+            choices = generator.choice(4, size=k, p=probabilities)
+            bits = quadrant_bits[choices]
+            u = 0
+            v = 0
+            for level in range(k):
+                u = (u << 1) | int(bits[level][0])
+                v = (v << 1) | int(bits[level][1])
+            if u == v or u >= n or v >= n:
+                continue
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        return graph
+
+    row_bit = np.array([0, 0, 1, 1], dtype=np.int64)
+    col_bit = np.array([0, 1, 0, 1], dtype=np.int64)
+    level_shift = np.arange(k - 1, -1, -1, dtype=np.int64)
+
+    def propose(batch: int):
+        choices = generator.choice(4, size=(batch, k), p=probabilities)
+        u = (row_bit[choices] << level_shift).sum(axis=1)
+        v = (col_bit[choices] << level_shift).sum(axis=1)
+        valid = (u != v) & (u < n) & (v < n)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        return lo * np.int64(size) + hi, valid
+
+    codes, _ = rejection_sample_codes(
+        target, max_attempts, propose, max_batch=_SAMPLE_MAX_BATCH
+    )
+    if codes.size == 0:
+        return graph
+    edges = np.column_stack([codes // size, codes % size])
+    return Graph.from_edge_array(edges, n)
 
 
 __all__ = ["KroneckerInitiator", "fit_kronecker_initiator", "sample_kronecker_graph"]

@@ -38,10 +38,17 @@ def _align(first: Sequence[float], second: Sequence[float]) -> Tuple[np.ndarray,
 
 def kl_divergence(true_distribution: Sequence[float], synthetic_distribution: Sequence[float],
                   smoothing: float = 1e-9) -> float:
-    """KL(P_true || P_synthetic) (E3), with additive smoothing to keep it finite."""
+    """KL(P_true || P_synthetic) (E3), with additive smoothing to keep it finite.
+
+    The smoothing denominator is the smoothed vector's actual mass: 1 for a
+    normalised histogram (the benchmark path — values unchanged bit for bit)
+    and ``smoothing · n`` for a degenerate all-zero one, which turns the
+    zero-mass input into the uniform distribution instead of a near-zero
+    vector whose KL against a real distribution could dip negative.
+    """
     p, q = _align(true_distribution, synthetic_distribution)
-    p = (p + smoothing) / (1.0 + smoothing * p.size)
-    q = (q + smoothing) / (1.0 + smoothing * q.size)
+    p = (p + smoothing) / ((1.0 if p.sum() > 0 else 0.0) + smoothing * p.size)
+    q = (q + smoothing) / ((1.0 if q.sum() > 0 else 0.0) + smoothing * q.size)
     return float(np.sum(p * np.log(p / q)))
 
 

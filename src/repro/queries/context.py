@@ -53,13 +53,21 @@ class EvaluationContext:
             "triangle_count", lambda: int(self.triangles_per_node().sum()) // 3
         )
 
-    def louvain(self, seed: int, resolution: float = 1.0):
-        """The Louvain partition for a fixed seed (shared by Q12 and Q13)."""
+    def louvain(self, seed: int, resolution: float = 1.0, method: str = "csr"):
+        """The Louvain partition for a fixed seed (shared by Q12 and Q13).
+
+        ``method`` selects the engine (the flat-array CSR engine by default,
+        ``"dict"`` for the retained reference) — the same engine threading
+        the sparse-scale generators expose, so a context can pin the
+        reference path when cross-checking results.
+        """
         from repro.community.louvain import louvain_communities
 
         return self.cached(
-            ("louvain", seed, resolution),
-            lambda: louvain_communities(self.graph, resolution=resolution, rng=seed),
+            ("louvain", seed, resolution, method),
+            lambda: louvain_communities(
+                self.graph, resolution=resolution, rng=seed, method=method
+            ),
         )
 
     def lcc_subgraph(self) -> Graph:

@@ -17,11 +17,25 @@ code did (e.g. one ``integers(..., size=(batch, 2))`` call per batch) yields a
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Iterator, Tuple
 
 import numpy as np
 
 from repro.utils.arrays import first_of_run
+
+
+def block_ranges(total: int, block_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield consecutive ``[lo, hi)`` ranges covering ``0 .. total``.
+
+    The streaming primitive shared by the sparse-scale engines (PrivGraph's
+    blocked Gumbel-max selection, the blocked Kronecker sampler): work is cut
+    into bounded row blocks so peak memory is O(block) while row-major RNG
+    draws remain stream-identical to one monolithic draw.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    for lo in range(0, int(total), int(block_size)):
+        yield lo, min(lo + int(block_size), int(total))
 
 #: A proposer returns (codes, valid): ``codes[i]`` is the encoded pair of
 #: attempt i of the batch and ``valid[i]`` whether it passes the cheap local
@@ -35,6 +49,7 @@ def rejection_sample_codes(
     propose: Proposer,
     existing: np.ndarray | None = None,
     min_batch: int = 256,
+    max_batch: int | None = None,
 ) -> Tuple[np.ndarray, int]:
     """Accept up to ``target`` distinct codes not present in ``existing``.
 
@@ -50,6 +65,12 @@ def rejection_sample_codes(
         Sorted array of codes that must be rejected (already-present edges).
     min_batch:
         Lower bound on the batch size, so tiny targets still amortise.
+    max_batch:
+        Optional upper bound on the batch size, so huge targets (the
+        ≥500k-node scale runs) propose in bounded blocks instead of one
+        2 × target allocation.  Splitting a batch leaves the candidate
+        sequence — and therefore the accepted set — unchanged for proposers
+        whose RNG draws are row-major.
 
     Returns
     -------
@@ -65,6 +86,8 @@ def rejection_sample_codes(
             max(2 * (int(target) - accepted.size), min_batch),
             int(max_attempts) - attempts,
         )
+        if max_batch is not None:
+            batch = min(batch, int(max_batch))
         codes, valid = propose(batch)
         attempts += batch
         candidates = codes[valid]
@@ -182,5 +205,5 @@ def grouped_rejection_sample_codes(
     return accepted, accepted_groups
 
 
-__all__ = ["rejection_sample_codes", "grouped_rejection_sample_codes",
-           "Proposer", "GroupedProposer"]
+__all__ = ["block_ranges", "rejection_sample_codes",
+           "grouped_rejection_sample_codes", "Proposer", "GroupedProposer"]
