@@ -79,6 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=1,
                             help="worker processes for grid cells; results are "
                                  "identical for any worker count")
+    run_parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                            help="extra attempts granted to each (cell, repetition) "
+                                 "unit lost to a worker crash, reaped by the "
+                                 "timeout watchdog, or failing with an exception; "
+                                 "retries are bit-identical thanks to keyed "
+                                 "seeding (default: 2)")
+    run_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                            help="wall-clock deadline per (cell, repetition) unit; "
+                                 "with --workers > 1 a watchdog terminates stuck "
+                                 "workers past it (default: no deadline)")
+    run_parser.add_argument("--inject-fault", nargs="+", default=None,
+                            metavar="KIND@UNIT[:always]",
+                            help="deterministic chaos directives (crash@N, raise@N, "
+                                 "hang@N) for testing the fault-tolerant execution "
+                                 "layer; see docs/fault_tolerance.md")
     run_parser.add_argument("--scale", type=float, default=0.02)
     run_parser.add_argument("--seed", type=int, default=2024)
     run_parser.add_argument("--no-strict", action="store_true",
@@ -192,17 +207,26 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    spec = BenchmarkSpec(
-        algorithms=tuple(args.algorithms),
-        datasets=tuple(args.datasets),
-        epsilons=tuple(args.epsilons),
-        queries=tuple(args.queries),
-        repetitions=args.repetitions,
-        scale=args.scale,
-        seed=args.seed,
-        strict=not args.no_strict,
-        workers=args.workers,
-    )
+    from repro.core.spec import SpecValidationError
+
+    try:
+        spec = BenchmarkSpec(
+            algorithms=tuple(args.algorithms),
+            datasets=tuple(args.datasets),
+            epsilons=tuple(args.epsilons),
+            queries=tuple(args.queries),
+            repetitions=args.repetitions,
+            scale=args.scale,
+            seed=args.seed,
+            strict=not args.no_strict,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            unit_timeout=args.timeout,
+            faults=tuple(args.inject_fault or ()),
+        )
+    except SpecValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH", file=sys.stderr)
         return 2
@@ -224,7 +248,11 @@ def _command_run(args: argparse.Namespace) -> int:
 
     journal = None
     if args.checkpoint:
-        from repro.core.persistence import CheckpointJournal, JournalMismatchError
+        from repro.core.persistence import (
+            CheckpointJournal,
+            JournalCorruptionError,
+            JournalMismatchError,
+        )
 
         checkpoint_path = Path(args.checkpoint)
         if checkpoint_path.exists() and not args.resume:
@@ -236,7 +264,7 @@ def _command_run(args: argparse.Namespace) -> int:
             return 2
         try:
             journal = CheckpointJournal.open(checkpoint_path, spec, resume=args.resume)
-        except JournalMismatchError as exc:
+        except (JournalMismatchError, JournalCorruptionError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if journal.completed:

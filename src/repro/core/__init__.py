@@ -13,7 +13,9 @@
 * :mod:`repro.core.store` — pluggable results storage backends (JSON file,
   SQLite registry database) behind one :class:`ResultsStore` interface;
 * :mod:`repro.core.guidelines` — the mechanism-selection guidance of the
-  paper's final section, derived from benchmark results.
+  paper's final section, derived from benchmark results;
+* :mod:`repro.core.faults` — deterministic fault injection (crash / hang /
+  raise directives) for exercising the runner's recovery paths.
 """
 
 from repro.core.spec import BenchmarkSpec, SpecValidationError
@@ -22,7 +24,10 @@ from repro.core.runner import (
     CellExecutionError,
     CellResult,
     BenchmarkResults,
+    ExecutionDiagnostics,
+    UnitTimeoutError,
 )
+from repro.core.faults import FaultDirective, FaultPlan, FaultSpecError, parse_faults
 from repro.core.aggregate import (
     best_count_by_dataset,
     best_count_by_query,
@@ -34,6 +39,7 @@ from repro.core.guidelines import recommend_algorithm
 from repro.core.persistence import (
     CheckpointJournal,
     DuplicateCellWarning,
+    JournalCorruptionError,
     JournalMismatchError,
     UnsupportedFormatVersionError,
     export_results_csv,
@@ -64,7 +70,14 @@ __all__ = [
     "CellExecutionError",
     "CellResult",
     "BenchmarkResults",
+    "ExecutionDiagnostics",
+    "UnitTimeoutError",
+    "FaultDirective",
+    "FaultPlan",
+    "FaultSpecError",
+    "parse_faults",
     "CheckpointJournal",
+    "JournalCorruptionError",
     "JournalMismatchError",
     "UnsupportedFormatVersionError",
     "DuplicateCellWarning",

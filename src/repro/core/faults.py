@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the benchmark execution layer.
+
+Long grid runs must survive worker deaths, hung samplers and transient
+exceptions — but the recovery paths in :mod:`repro.core.runner` are only
+trustworthy if they can be exercised *deterministically*.  This module
+provides that harness: a fault **directive** names a failure kind and the
+execution unit (the Nth ``(cell, repetition)`` pair in the runner's canonical
+submission order) at which it fires:
+
+* ``crash@N`` — the worker process executing unit N dies hard
+  (:func:`os._exit`), breaking the process pool exactly like an OOM kill or
+  a segfault; with ``--workers 1`` it is simulated by raising
+  :class:`InjectedWorkerCrash`, which the serial executor treats as a
+  recoverable crash;
+* ``raise@N`` — unit N raises :class:`InjectedFaultError` from inside the
+  generation step, exercising the ordinary failure/retry path;
+* ``hang@N`` — unit N blocks for :data:`HANG_SECONDS`, exercising the
+  timeout watchdog; with ``--workers 1`` it is simulated by raising
+  :class:`InjectedWorkerHang` (a real in-process hang cannot be preempted).
+
+A directive normally fires **once**: the runner consumes it at submission
+time, so the recovery retry of the same unit runs clean — which is what
+makes a fault-injected run complete with results bit-identical to an
+uninterrupted one (the keyed per-repetition seeding does the rest).  Append
+``:always`` (e.g. ``hang@0:always``) for a directive that fires on every
+attempt, which is how retry-budget *exhaustion* is exercised.
+
+Directives come from ``BenchmarkSpec.faults`` (CLI ``--inject-fault``) or the
+``REPRO_FAULTS`` environment variable (comma-separated); both feed
+:meth:`FaultPlan.from_spec`.  None of them participates in the spec
+fingerprint — fault injection, like ``workers``, must never change what a
+run's results *are*, only how the run gets there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+#: Environment variable holding extra fault directives (comma-separated).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: How long an injected hang blocks (far beyond any sane ``unit_timeout``;
+#: the watchdog is expected to reap the worker long before this expires).
+HANG_SECONDS = 3600.0
+
+#: The process exit code of an injected worker crash (visible in logs when
+#: the executor reports the dead worker).
+CRASH_EXIT_CODE = 43
+
+_KINDS = ("crash", "raise", "hang")
+
+
+class FaultSpecError(ValueError):
+    """A fault directive string does not parse."""
+
+
+class InjectedWorkerCrash(BaseException):
+    """A simulated worker crash (serial mode only).
+
+    Deliberately a :class:`BaseException`: the runner's ordinary failure
+    handling catches :class:`Exception`, and a crash must reach the crash
+    *recovery* path instead of being recorded as a unit failure.
+    """
+
+
+class InjectedWorkerHang(BaseException):
+    """A simulated hung unit (serial mode only; see :class:`InjectedWorkerCrash`)."""
+
+
+class InjectedFaultError(RuntimeError):
+    """The deterministic exception of a ``raise@N`` directive."""
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One parsed fault directive: fire ``kind`` at execution unit ``unit``."""
+
+    kind: str
+    unit: int
+    always: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.kind}@{self.unit}" + (":always" if self.always else "")
+
+
+def parse_fault(text: str) -> FaultDirective:
+    """Parse ``KIND@UNIT[:always]`` into a :class:`FaultDirective`."""
+    body, _, modifier = text.strip().partition(":")
+    if modifier not in ("", "always"):
+        raise FaultSpecError(
+            f"bad fault modifier {modifier!r} in {text!r}: only ':always' is supported"
+        )
+    kind, separator, unit_text = body.partition("@")
+    if not separator or kind not in _KINDS or not unit_text:
+        raise FaultSpecError(
+            f"bad fault directive {text!r}: expected KIND@UNIT[:always] with "
+            f"KIND one of {', '.join(_KINDS)} (e.g. 'crash@3', 'hang@0:always')"
+        )
+    try:
+        unit = int(unit_text)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad fault unit {unit_text!r} in {text!r}: must be an integer"
+        ) from None
+    if unit < 0:
+        raise FaultSpecError(f"bad fault unit {unit} in {text!r}: must be >= 0")
+    return FaultDirective(kind=kind, unit=unit, always=modifier == "always")
+
+
+def parse_faults(texts: Iterable[str]) -> Tuple[FaultDirective, ...]:
+    """Parse a sequence of directive strings (used by spec validation)."""
+    return tuple(parse_fault(text) for text in texts)
+
+
+def faults_from_env(environ: Optional[Mapping[str, str]] = None) -> Tuple[str, ...]:
+    """The raw directive strings of :data:`FAULTS_ENV_VAR` (comma-separated)."""
+    mapping = os.environ if environ is None else environ
+    raw = mapping.get(FAULTS_ENV_VAR, "")
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+class FaultPlan:
+    """The fault directives of one run, consumed unit by unit.
+
+    The runner calls :meth:`take` every time it submits a unit of work; a
+    directive registered for that unit is returned exactly once (unless it
+    was declared ``:always``), so recovery resubmissions of the same unit run
+    clean.  One directive per unit: registering two for the same unit is a
+    :class:`FaultSpecError` (the second would be unreachable).
+    """
+
+    def __init__(self, directives: Sequence[FaultDirective] = ()) -> None:
+        self._by_unit: Dict[int, FaultDirective] = {}
+        for directive in directives:
+            if directive.unit in self._by_unit:
+                raise FaultSpecError(
+                    f"conflicting fault directives for unit {directive.unit}: "
+                    f"{self._by_unit[directive.unit]} and {directive}"
+                )
+            self._by_unit[directive.unit] = directive
+        self._consumed: Set[int] = set()
+
+    @classmethod
+    def from_spec(cls, spec: "object",
+                  environ: Optional[Mapping[str, str]] = None) -> "FaultPlan":
+        """The combined plan of ``spec.faults`` plus :data:`FAULTS_ENV_VAR`."""
+        texts = tuple(getattr(spec, "faults", ())) + faults_from_env(environ)
+        return cls(parse_faults(texts))
+
+    def __bool__(self) -> bool:
+        return bool(self._by_unit)
+
+    @property
+    def directives(self) -> Tuple[FaultDirective, ...]:
+        """The registered directives, in unit order."""
+        return tuple(self._by_unit[unit] for unit in sorted(self._by_unit))
+
+    def has_kind(self, kind: str) -> bool:
+        """True when any registered directive is of ``kind``."""
+        return any(directive.kind == kind for directive in self._by_unit.values())
+
+    def take(self, unit: int) -> Optional[FaultDirective]:
+        """The directive to attach to this submission of ``unit``, if any.
+
+        Marks one-shot directives consumed, so the recovery retry of a
+        crashed/hung/raised unit executes without the fault.
+        """
+        directive = self._by_unit.get(unit)
+        if directive is None or (unit in self._consumed and not directive.always):
+            return None
+        self._consumed.add(unit)
+        return directive
+
+
+def trigger_fault(directive: FaultDirective, allow_process_exit: bool) -> None:
+    """Execute a fault directive at its injection point.
+
+    ``allow_process_exit`` is True inside a pool worker process, where a
+    ``crash`` genuinely kills the process (and a ``hang`` genuinely blocks,
+    to be reaped by the watchdog).  In-process execution (``--workers 1``)
+    raises the simulated counterparts instead, which the serial executor
+    routes through the same recovery accounting.
+    """
+    if directive.kind == "crash":
+        if allow_process_exit:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedWorkerCrash(f"injected worker crash at unit {directive.unit}")
+    if directive.kind == "hang":
+        if allow_process_exit:
+            deadline = time.monotonic() + HANG_SECONDS
+            while time.monotonic() < deadline:  # pragma: no cover - reaped by watchdog
+                time.sleep(0.05)
+            return
+        raise InjectedWorkerHang(f"injected hang at unit {directive.unit}")
+    if directive.kind == "raise":
+        raise InjectedFaultError(f"injected fault at unit {directive.unit}")
+    raise FaultSpecError(f"unknown fault kind {directive.kind!r}")  # pragma: no cover
+
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "HANG_SECONDS",
+    "CRASH_EXIT_CODE",
+    "FaultSpecError",
+    "FaultDirective",
+    "FaultPlan",
+    "InjectedWorkerCrash",
+    "InjectedWorkerHang",
+    "InjectedFaultError",
+    "parse_fault",
+    "parse_faults",
+    "faults_from_env",
+    "trigger_fault",
+]

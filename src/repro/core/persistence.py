@@ -75,6 +75,30 @@ class JournalMismatchError(ValueError):
     """The journal was written by a spec with a different fingerprint."""
 
 
+class JournalCorruptionError(ValueError):
+    """An *interior* journal line is not valid JSON.
+
+    A partial trailing line is expected — a killed run can die mid-append —
+    and silently tolerated on resume.  A broken line with intact records
+    *after* it cannot come from a crash (appends are sequential and fsynced);
+    it means the file was hand-edited or damaged, and resuming would silently
+    drop every cell recorded after the corruption.  The error names the
+    1-based line number so the user can truncate the file there (keeping
+    everything before it) or restart without ``--resume``.
+    """
+
+    def __init__(self, path: PathLike, line_number: int) -> None:
+        self.path = Path(path)
+        self.line_number = line_number
+        super().__init__(
+            f"checkpoint journal {path} is corrupted at line {line_number}: "
+            "the line is not valid JSON but intact records follow it. "
+            f"Truncate the file to the first {line_number - 1} line(s) to "
+            "keep the cells recorded before the corruption, or delete it "
+            "and rerun without --resume"
+        )
+
+
 class UnsupportedFormatVersionError(ValueError):
     """A results payload carries a format version this build cannot read."""
 
@@ -111,6 +135,9 @@ def spec_to_dict(spec: BenchmarkSpec) -> dict:
         "seed": spec.seed,
         "strict": spec.strict,
         "workers": spec.workers,
+        "max_retries": spec.max_retries,
+        "unit_timeout": spec.unit_timeout,
+        "faults": list(spec.faults),
     }
 
 
@@ -126,6 +153,12 @@ def spec_from_dict(payload: dict) -> BenchmarkSpec:
         seed=int(payload["seed"]),
         strict=bool(payload.get("strict", True)),
         workers=int(payload.get("workers", 1)),
+        max_retries=int(payload.get("max_retries", 2)),
+        unit_timeout=(
+            None if payload.get("unit_timeout") is None
+            else float(payload["unit_timeout"])
+        ),
+        faults=tuple(payload.get("faults", ())),
     )
 
 
@@ -350,12 +383,18 @@ class CheckpointJournal:
                 f"current spec {fingerprint!r}); refusing to resume"
             )
         completed: Dict[TaskKey, List[CellResult]] = {}
-        for line in lines[1:]:
+        body = lines[1:]
+        for offset, line in enumerate(body):
             if not line.strip():
                 continue
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError:
+                if any(later.strip() for later in body[offset + 1:]):
+                    # Intact records after the broken line: crashes append
+                    # sequentially, so this is hand-editing or damage, and
+                    # resuming past it would silently drop those records.
+                    raise JournalCorruptionError(path, offset + 2) from None
                 # A kill mid-append leaves a partial final line; everything
                 # before it is intact, so resume from there.
                 break
@@ -524,6 +563,7 @@ __all__ = [
     "JOURNAL_FORMAT_VERSION",
     "MANIFEST_VERSION",
     "JournalMismatchError",
+    "JournalCorruptionError",
     "UnsupportedFormatVersionError",
     "DuplicateCellWarning",
     "CheckpointJournal",

@@ -7,8 +7,14 @@ driver executes many small :func:`~repro.core.runner.run_benchmark` calls
 This module keeps one executor alive and hands it to every runner:
 
 * :func:`get_shared_pool` returns the living pool when its worker count
-  matches, and transparently replaces it when the requested worker count
-  changes or the pool has broken (a worker died);
+  matches and it still accepts work, and transparently replaces it when the
+  requested worker count changes, the pool has broken (a worker died) or it
+  was shut down behind our back;
+* :func:`replace_shared_pool` forcibly rebuilds the pool — the crash-recovery
+  path of the runner, after a ``BrokenProcessPool`` or a watchdog reap;
+* :func:`terminate_shared_pool_workers` kills the pool's worker processes —
+  the only way to get rid of a worker stuck in a hung task, since
+  ``ProcessPoolExecutor`` cannot cancel running work;
 * :func:`shutdown_shared_pool` tears it down explicitly (also registered via
   :mod:`atexit`, so interpreter exit never hangs on live workers).
 
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 import atexit
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Optional
 
 _lock = threading.Lock()
@@ -29,30 +35,85 @@ _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers: int = 0
 
 
-def _is_broken(pool: ProcessPoolExecutor) -> bool:
-    """True when the executor can no longer accept work (a worker died)."""
-    return bool(getattr(pool, "_broken", False))
+def _accepts_work(pool: ProcessPoolExecutor) -> bool:
+    """True when the executor still accepts submissions.
+
+    Probed through the public path — an actual (trivial) submission — rather
+    than by peeking at private executor attributes: a broken pool raises
+    :class:`BrokenExecutor` and a shut-down one raises ``RuntimeError``
+    ("cannot schedule new futures after shutdown"), both caught here.  The
+    probe task is ``int`` (returns 0), so a healthy pool pays one no-op.
+    """
+    try:
+        pool.submit(int)
+    except (BrokenExecutor, RuntimeError):
+        return False
+    return True
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    _pool = ProcessPoolExecutor(max_workers=workers)
+    _pool_workers = workers
+    return _pool
 
 
 def get_shared_pool(workers: int) -> ProcessPoolExecutor:
     """Return the shared executor with ``workers`` workers, (re)creating it on demand.
 
     The same executor object is returned for repeated calls with the same
-    worker count; asking for a different count replaces the pool (the old
-    one is shut down without waiting for queued work — callers own their
-    futures and collect them before changing worker counts).
+    worker count; asking for a different count — or asking while the pool no
+    longer accepts work — replaces the pool (the old one is shut down without
+    waiting for queued work — callers own their futures and collect them
+    before changing worker counts).
     """
-    global _pool, _pool_workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     with _lock:
-        if _pool is not None and _pool_workers == workers and not _is_broken(_pool):
+        if _pool is not None and _pool_workers == workers and _accepts_work(_pool):
             return _pool
-        if _pool is not None:
-            _pool.shutdown(wait=False, cancel_futures=True)
-        _pool = ProcessPoolExecutor(max_workers=workers)
-        _pool_workers = workers
-        return _pool
+        return _make_pool(workers)
+
+
+def replace_shared_pool(workers: int) -> ProcessPoolExecutor:
+    """Unconditionally rebuild the shared pool with ``workers`` workers.
+
+    Used by crash recovery: after a ``BrokenProcessPool`` (or after
+    :func:`terminate_shared_pool_workers` reaped a stuck worker) the runner
+    needs a fresh pool *now*, without relying on the health probe noticing
+    that the old one is doomed.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with _lock:
+        return _make_pool(workers)
+
+
+def terminate_shared_pool_workers() -> int:
+    """Forcibly terminate the shared pool's worker processes; returns the count.
+
+    This is the stuck-task escape hatch: ``ProcessPoolExecutor`` has no
+    public way to cancel a *running* task, so a hung worker can only be
+    removed by killing its process.  There is likewise no public handle on
+    the worker processes, so this reaches for the executor's internal
+    process table (guarded ``getattr`` — a stdlib that renames it degrades to
+    a no-op rather than an attribute error).  The pool is left broken; call
+    :func:`replace_shared_pool` afterwards.
+    """
+    with _lock:
+        if _pool is None:
+            return 0
+        processes = getattr(_pool, "_processes", None) or {}
+        victims = [process for process in list(processes.values()) if process.is_alive()]
+        for process in victims:
+            process.terminate()
+        for process in victims:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM normally suffices
+                process.kill()
+        return len(victims)
 
 
 def shutdown_shared_pool(wait: bool = True) -> None:
@@ -68,4 +129,9 @@ def shutdown_shared_pool(wait: bool = True) -> None:
 atexit.register(shutdown_shared_pool, wait=False)
 
 
-__all__ = ["get_shared_pool", "shutdown_shared_pool"]
+__all__ = [
+    "get_shared_pool",
+    "replace_shared_pool",
+    "terminate_shared_pool_workers",
+    "shutdown_shared_pool",
+]

@@ -123,6 +123,14 @@ def render_summary(results: BenchmarkResults) -> str:
             f"failed cells: {len(failed)} (excluded from the tables above; "
             "see the journal/JSON records for messages)"
         )
+    if results.diagnostics:
+        # Only an eventful run prints this line (an uneventful run's
+        # diagnostics dict is empty; see ExecutionDiagnostics.as_dict).
+        counters = ", ".join(
+            f"{name.replace('_', ' ')}: {value}"
+            for name, value in results.diagnostics.items()
+        )
+        lines.append(f"fault tolerance: {counters}")
     lines.append(_table(header, rows))
     return "\n".join(lines)
 

@@ -30,12 +30,20 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.faults import (
+    FaultDirective,
+    FaultPlan,
+    InjectedWorkerCrash,
+    InjectedWorkerHang,
+    trigger_fault,
+)
 from repro.core.spec import BenchmarkSpec
 from repro.graphs.graph import Graph
 from repro.queries.base import GraphQuery
@@ -50,9 +58,50 @@ logger = logging.getLogger(__name__)
 #: A grid task: one ``(algorithm, dataset, ε)`` cell of the benchmark grid.
 TaskKey = Tuple[str, str, float]
 
+#: An execution unit: one ``(grid task, repetition)`` pair — the runner's
+#: atom of work, retry accounting and fault injection.
+UnitKey = Tuple[TaskKey, int]
+
 
 class CellExecutionError(RuntimeError):
     """Raised in strict mode when a repetition of a grid cell fails."""
+
+
+class UnitTimeoutError(CellExecutionError):
+    """Raised in strict mode when a repetition exhausts its retry budget on
+    unit-timeout reaps (the watchdog kept finding it stuck past
+    ``spec.unit_timeout``)."""
+
+
+@dataclass
+class ExecutionDiagnostics:
+    """Fault-tolerance accounting of one run (surfaced in summary/manifest).
+
+    ``retries`` counts resubmissions charged against unit retry budgets (for
+    any reason: an exception, a crash loss, a timeout reap);
+    ``worker_crashes_recovered`` counts pool rebuilds after a worker death;
+    ``timeouts_reaped`` counts units terminated by the watchdog;
+    ``units_failed`` counts units that exhausted their budget and were
+    recorded as explicit failures.
+    """
+
+    retries: int = 0
+    worker_crashes_recovered: int = 0
+    timeouts_reaped: int = 0
+    units_failed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The non-zero counters (an uneventful run reports nothing)."""
+        return {
+            name: value
+            for name, value in (
+                ("retries", self.retries),
+                ("worker_crashes_recovered", self.worker_crashes_recovered),
+                ("timeouts_reaped", self.timeouts_reaped),
+                ("units_failed", self.units_failed),
+            )
+            if value
+        }
 
 
 @dataclass(frozen=True)
@@ -91,6 +140,11 @@ class BenchmarkResults:
 
     spec: BenchmarkSpec
     cells: List[CellResult] = field(default_factory=list)
+    #: Fault-tolerance counters of the run that produced these cells (see
+    #: :class:`ExecutionDiagnostics.as_dict`; empty for an uneventful run and
+    #: for results loaded back from disk).  Excluded from equality: recovery
+    #: bookkeeping never makes two result sets different.
+    diagnostics: Dict[str, int] = field(default_factory=dict, compare=False)
     _index: Optional[Dict[str, Dict[object, Set[int]]]] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -175,8 +229,11 @@ class BenchmarkResults:
         Carries the spec fingerprint, the results-protocol version of the
         code that produced the cells, and coverage counts — everything a
         results registry needs to decide whether this run may be merged with
-        others (see :mod:`repro.registry`).  Deterministic by construction;
-        the persistence layer adds the timestamp when writing the sidecar.
+        others (see :mod:`repro.registry`).  Deterministic by construction —
+        except ``diagnostics``, which records how eventful the *execution*
+        was (retries, crashes recovered, timeouts reaped) and may therefore
+        differ between two otherwise identical runs; the persistence layer
+        adds the timestamp when writing the sidecar.
         """
         from repro.core.spec import RESULTS_PROTOCOL_VERSION
 
@@ -188,6 +245,7 @@ class BenchmarkResults:
             "grid_cells_total": len(self.spec.grid_tasks()) * len(self.spec.queries),
             "algorithms": list(self.algorithms()),
             "datasets": list(self.datasets()),
+            "diagnostics": dict(self.diagnostics),
         }
 
 
@@ -213,29 +271,42 @@ class RepetitionResult:
     ``errors`` maps query name → error for a successful repetition;
     ``failure`` carries the error message of a failed generation (non-strict
     runs only — in strict mode the failure propagates as
-    :class:`CellExecutionError` instead).
+    :class:`CellExecutionError` instead) and ``failure_kind`` types it:
+    ``"error"`` (the unit's own code raised), ``"crash"`` (lost to worker
+    deaths until the retry budget ran out) or ``"timeout"`` (reaped by the
+    watchdog until the budget ran out).
     """
 
     repetition: int
     errors: Optional[Dict[str, float]]
     generation_seconds: float
     failure: str = ""
+    failure_kind: str = ""
 
 
 def _execute_repetition(algorithm_name: str, dataset_name: str, graph: Graph,
                         epsilon: float, query_names: Sequence[str],
                         true_values: Dict[str, object], repetition: int,
-                        master_seed: int, strict: bool = True) -> RepetitionResult:
+                        master_seed: int, strict: bool = True,
+                        fault: Optional[FaultDirective] = None,
+                        allow_process_exit: bool = False) -> RepetitionResult:
     """Run one repetition of one grid cell; the parallel runner's unit of work.
 
     The noise stream is keyed by the full cell coordinates plus the
     repetition index (:func:`repetition_seed_sequence`), so executing
     repetitions in any order — or on any worker — draws identical noise.
+    ``fault`` is an optional chaos directive (:mod:`repro.core.faults`):
+    ``crash``/``hang`` fire before any work happens (outside the failure
+    handling — a crash must reach the *recovery* path, not be recorded as an
+    ordinary failure), while ``raise`` fires inside it, exercising exactly
+    the path a genuinely failing algorithm takes.
     """
     from repro.algorithms.registry import get_algorithm
     from repro.metrics.registry import get_metric
     from repro.queries.registry import get_query
 
+    if fault is not None and fault.kind != "raise":
+        trigger_fault(fault, allow_process_exit=allow_process_exit)
     queries = [get_query(name) for name in query_names]
     algorithm = get_algorithm(algorithm_name)
     seed = repetition_seed_sequence(
@@ -243,6 +314,8 @@ def _execute_repetition(algorithm_name: str, dataset_name: str, graph: Graph,
     )
     start = time.perf_counter()
     try:
+        if fault is not None and fault.kind == "raise":
+            trigger_fault(fault, allow_process_exit=allow_process_exit)
         synthetic = algorithm.generate_graph(graph, epsilon, rng=np.random.default_rng(seed))
     except Exception as exc:
         if strict:
@@ -257,6 +330,7 @@ def _execute_repetition(algorithm_name: str, dataset_name: str, graph: Graph,
         return RepetitionResult(
             repetition=repetition, errors=None, generation_seconds=0.0,
             failure=f"repetition {repetition}: {type(exc).__name__}: {exc}",
+            failure_kind="error",
         )
     generation_seconds = time.perf_counter() - start
     context = EvaluationContext(synthetic)
@@ -343,13 +417,16 @@ def _execute_repetition_remote(cache_key: Tuple[str, str],
                                payload: Optional[Tuple[Graph, Dict[str, object]]],
                                algorithm_name: str, dataset_name: str, epsilon: float,
                                query_names: Sequence[str], repetition: int,
-                               master_seed: int, strict: bool) -> RepetitionResult:
+                               master_seed: int, strict: bool,
+                               fault: Optional[FaultDirective] = None) -> RepetitionResult:
     """Worker-side wrapper around :func:`_execute_repetition` with a data cache.
 
     ``payload`` carries the (graph, true values) pair when the submitter
     chose to ship it; otherwise the worker serves it from its cache and
     raises :class:`_WorkerDataMiss` when it has never seen the dataset — the
-    runner resubmits that unit with the payload attached.
+    runner resubmits that unit with the payload attached.  ``fault`` is the
+    unit's chaos directive, if any; in a worker process a ``crash`` may
+    genuinely kill the process (``allow_process_exit=True``).
     """
     if payload is not None:
         fingerprint = cache_key[0]
@@ -363,20 +440,102 @@ def _execute_repetition_remote(cache_key: Tuple[str, str],
     return _execute_repetition(
         algorithm_name, dataset_name, graph, epsilon, query_names,
         true_values, repetition, master_seed, strict,
+        fault=fault, allow_process_exit=True,
+    )
+
+
+def _crash_failure(repetition: int) -> RepetitionResult:
+    """The typed failure record of a unit that exhausted its budget on crashes."""
+    return RepetitionResult(
+        repetition=repetition, errors=None, generation_seconds=0.0,
+        failure=(f"repetition {repetition}: worker crash: the process pool broke "
+                 "while this unit was in flight (retry budget exhausted)"),
+        failure_kind="crash",
+    )
+
+
+def _timeout_failure(repetition: int, unit_timeout: Optional[float]) -> RepetitionResult:
+    """The typed failure record of a unit that exhausted its budget on timeouts."""
+    deadline = "the unit deadline" if unit_timeout is None else f"the {unit_timeout:g}s unit deadline"
+    return RepetitionResult(
+        repetition=repetition, errors=None, generation_seconds=0.0,
+        failure=(f"repetition {repetition}: timeout: exceeded {deadline}; "
+                 "stuck worker terminated (retry budget exhausted)"),
+        failure_kind="timeout",
     )
 
 
 def _execute_cell(algorithm_name: str, dataset_name: str, graph: Graph, epsilon: float,
                   query_names: Sequence[str], true_values: Dict[str, object],
-                  repetitions: int, master_seed: int, strict: bool = True) -> List[CellResult]:
-    """Run one grid cell serially: every repetition, then the aggregation."""
-    results = [
-        _execute_repetition(
-            algorithm_name, dataset_name, graph, epsilon, query_names,
-            true_values, repetition, master_seed, strict,
-        )
-        for repetition in range(repetitions)
-    ]
+                  repetitions: int, master_seed: int, strict: bool = True,
+                  max_retries: int = 0, plan: Optional[FaultPlan] = None,
+                  unit_base: int = 0, unit_timeout: Optional[float] = None,
+                  diagnostics: Optional[ExecutionDiagnostics] = None) -> List[CellResult]:
+    """Run one grid cell serially: every repetition (with retries), then the aggregation.
+
+    The in-process twin of the parallel execution loop: every repetition is
+    one unit with a ``max_retries`` budget; injected crashes and hangs
+    (:class:`~repro.core.faults.InjectedWorkerCrash` /
+    :class:`~repro.core.faults.InjectedWorkerHang` — a single process has no
+    pool to break or watchdog to reap, so :func:`trigger_fault` simulates
+    both) are charged against the same budget as real exceptions, and
+    exhausting it yields the same typed failure records / strict-mode
+    errors as the parallel path.  ``unit_base`` is the plan index of this
+    cell's first repetition.
+    """
+    if diagnostics is None:
+        diagnostics = ExecutionDiagnostics()
+    results: List[RepetitionResult] = []
+    for repetition in range(repetitions):
+        unit = unit_base + repetition
+        attempts = 0
+        while True:
+            fault = plan.take(unit) if plan else None
+            kind: Optional[str] = None
+            try:
+                result = _execute_repetition(
+                    algorithm_name, dataset_name, graph, epsilon, query_names,
+                    true_values, repetition, master_seed, strict, fault=fault,
+                )
+            except InjectedWorkerCrash:
+                diagnostics.worker_crashes_recovered += 1
+                kind = "crash"
+            except InjectedWorkerHang:
+                diagnostics.timeouts_reaped += 1
+                kind = "timeout"
+            except CellExecutionError:
+                attempts += 1
+                if attempts <= max_retries:
+                    diagnostics.retries += 1
+                    continue
+                raise
+            else:
+                if result.errors is None:
+                    attempts += 1
+                    if attempts <= max_retries:
+                        diagnostics.retries += 1
+                        continue
+                    diagnostics.units_failed += 1
+                results.append(result)
+                break
+            # A simulated crash/hang: charge the budget, retry or give up.
+            attempts += 1
+            if attempts <= max_retries:
+                diagnostics.retries += 1
+                continue
+            diagnostics.units_failed += 1
+            if strict:
+                error_cls = UnitTimeoutError if kind == "timeout" else CellExecutionError
+                raise error_cls(
+                    f"unit lost to repeated worker {'hangs' if kind == 'timeout' else 'crashes'}: "
+                    f"algorithm={algorithm_name} dataset={dataset_name} "
+                    f"epsilon={epsilon} repetition={repetition}"
+                )
+            results.append(
+                _timeout_failure(repetition, unit_timeout) if kind == "timeout"
+                else _crash_failure(repetition)
+            )
+            break
     return _assemble_cell(algorithm_name, dataset_name, epsilon, query_names, results)
 
 
@@ -446,17 +605,19 @@ class BenchmarkRunner:
         pending = [task for task in tasks if task not in cached]
 
         per_task: Dict[TaskKey, List[CellResult]] = {}
+        diagnostics = ExecutionDiagnostics()
         if pending:
-            per_task.update(self._execute_pending(pending, workers))
+            per_task.update(self._execute_pending(pending, workers, diagnostics))
         # Assemble in canonical grid order (cached and fresh interleaved), so
         # a resumed, sharded or parallel run lays out cells exactly like an
         # uninterrupted serial run.
         for task in tasks:
             results.cells.extend(per_task[task] if task in per_task else cached[task])
+        results.diagnostics = diagnostics.as_dict()
         return results
 
-    def _execute_pending(self, pending: List[TaskKey],
-                         workers: int) -> Dict[TaskKey, List[CellResult]]:
+    def _execute_pending(self, pending: List[TaskKey], workers: int,
+                         diagnostics: ExecutionDiagnostics) -> Dict[TaskKey, List[CellResult]]:
         """Run the not-yet-journaled tasks and flush/report each on completion."""
         # Load only the datasets that still have cells to execute, and compute
         # their true query values once each (they do not depend on M or ε).
@@ -479,88 +640,321 @@ class BenchmarkRunner:
             if self.progress is not None:
                 self.progress(*task)
 
+        plan = FaultPlan.from_spec(self.spec)
+        if plan.has_kind("hang") and self.spec.unit_timeout is None and workers > 1:
+            logger.warning(
+                "fault plan injects a hang but no unit_timeout is set; "
+                "the run will block until the hang expires"
+            )
+
         if workers == 1:
-            for task in pending:
+            repetitions = self.spec.repetitions
+            for position, task in enumerate(pending):
                 algorithm_name, dataset_name, epsilon = task
                 finish(task, _execute_cell(
                     algorithm_name, dataset_name, graphs[dataset_name], epsilon,
                     query_names, true_values[dataset_name],
-                    self.spec.repetitions, self.spec.seed, self.spec.strict,
+                    repetitions, self.spec.seed, self.spec.strict,
+                    max_retries=self.spec.max_retries,
+                    plan=plan if plan else None,
+                    unit_base=position * repetitions,
+                    unit_timeout=self.spec.unit_timeout,
+                    diagnostics=diagnostics,
                 ))
             return per_task
 
-        # Repetition-level parallelism on the shared module-level pool: every
-        # (cell, repetition) pair is an independent unit of work thanks to the
-        # keyed seeding, so a single cell saturates many cores.  The pool is
-        # reused across run_benchmark calls (see repro.core.pool).  Dataset
-        # payloads (graph + true values) ship with the first unit per dataset
-        # and live in a worker-side cache afterwards; a worker that never
-        # received one raises _WorkerDataMiss and that unit is resubmitted
-        # with the payload attached — so each worker receives each dataset at
-        # most once instead of once per repetition.
-        from repro.core.pool import get_shared_pool
+        self._execute_parallel(
+            pending, workers, graphs, query_names, true_values, plan,
+            diagnostics, finish,
+        )
+        return per_task
 
-        pool = get_shared_pool(workers)
-        repetitions = self.spec.repetitions
-        fingerprint = self.spec.fingerprint()
+    def _execute_parallel(self, pending: List[TaskKey], workers: int,
+                          graphs: Dict[str, Graph], query_names: List[str],
+                          true_values: Dict[str, Dict[str, object]],
+                          plan: FaultPlan, diagnostics: ExecutionDiagnostics,
+                          finish: Callable[[TaskKey, List[CellResult]], None]) -> None:
+        """The fault-tolerant repetition-parallel execution loop.
+
+        Every ``(cell, repetition)`` pair is an independent unit of work on
+        the shared module-level pool (keyed seeding makes results identical
+        for any worker count; the pool is reused across run_benchmark calls,
+        see :mod:`repro.core.pool`).  Dataset payloads (graph + true values)
+        ship with the first unit per dataset and live in a worker-side cache
+        afterwards; a worker that never received one raises
+        :class:`_WorkerDataMiss` and that unit is resubmitted with the
+        payload attached.
+
+        Fault tolerance, on top of that:
+
+        * a **worker death** (``BrokenProcessPool`` surfacing on any future)
+          rebuilds the pool, clears the payload bookkeeping and recovers
+          every in-flight unit.  Which unit killed the worker is unknowable
+          post-hoc, so *every* lost unit is charged one strike against its
+          ``max_retries`` budget — convergent, because innocent units
+          succeed on their (bit-identical) retry;
+        * a **watchdog** (active when ``spec.unit_timeout`` is set) tracks
+          how long each future has been running via the public
+          ``Future.running()`` API and, past the deadline, terminates the
+          pool's workers — ``ProcessPoolExecutor`` cannot cancel running
+          tasks — and rebuilds.  Only the stuck units are charged a strike;
+          bystander units lost to the reap are resubmitted for free;
+        * a unit that **exhausts its budget** (for any reason: exception,
+          crash loss, timeout reap) becomes an explicit typed failure record
+          in non-strict mode and raises :class:`CellExecutionError` (or
+          :class:`UnitTimeoutError`) in strict mode.
+
+        Cells are assembled — and journaled/reported via ``finish`` — the
+        moment their last repetition lands, so a killed run loses at most
+        the cells still in flight; ``run()`` re-orders into canonical
+        layout and :func:`_assemble_cell` sorts by repetition index, so
+        completion order never leaks into results.
+        """
+        from repro.core.pool import (
+            get_shared_pool,
+            replace_shared_pool,
+            terminate_shared_pool_workers,
+        )
+
+        spec = self.spec
+        repetitions = spec.repetitions
+        max_retries = spec.max_retries
+        unit_timeout = spec.unit_timeout
+        strict = spec.strict
+        fingerprint = spec.fingerprint()
         payloads = {
             dataset_name: (graphs[dataset_name], true_values[dataset_name])
             for dataset_name in graphs
         }
 
-        def submit(task: TaskKey, repetition: int, with_payload: bool):
-            algorithm_name, dataset_name, epsilon = task
-            return pool.submit(
-                _execute_repetition_remote,
-                (fingerprint, dataset_name),
-                payloads[dataset_name] if with_payload else None,
-                algorithm_name, dataset_name, epsilon, query_names,
-                repetition, self.spec.seed, self.spec.strict,
-            )
+        # The canonical submission order defines each unit's index — the
+        # coordinate fault directives are keyed by; identical to the serial
+        # executor's unit numbering.
+        units: List[UnitKey] = [
+            (task, repetition)
+            for task in pending
+            for repetition in range(repetitions)
+        ]
+        unit_index: Dict[UnitKey, int] = {unit: i for i, unit in enumerate(units)}
+        attempts: Dict[UnitKey, int] = {unit: 0 for unit in units}
 
-        future_to_unit: Dict[object, Tuple[TaskKey, int]] = {}
+        pool = get_shared_pool(workers)
         shipped: Set[str] = set()
-        for task in pending:
-            dataset_name = task[1]
-            for repetition in range(repetitions):
-                future = submit(task, repetition, dataset_name not in shipped)
-                shipped.add(dataset_name)
-                future_to_unit[future] = (task, repetition)
-
+        future_to_unit: Dict[Future, UnitKey] = {}
+        inflight_fault: Dict[Future, Optional[FaultDirective]] = {}
+        outstanding: Set[Future] = set()
+        running_since: Dict[Future, float] = {}
         collected: Dict[TaskKey, List[RepetitionResult]] = {task: [] for task in pending}
-        outstanding = set(future_to_unit)
+
+        def submit(unit: UnitKey, force_payload: bool = False,
+                   fault: Optional[FaultDirective] = None) -> None:
+            nonlocal pool
+            task, repetition = unit
+            algorithm_name, dataset_name, epsilon = task
+            if fault is None:
+                fault = plan.take(unit_index[unit]) if plan else None
+
+            def args(with_payload: bool):
+                return (
+                    (fingerprint, dataset_name),
+                    payloads[dataset_name] if with_payload else None,
+                    algorithm_name, dataset_name, epsilon, query_names,
+                    repetition, spec.seed, strict, fault,
+                )
+
+            try:
+                future = pool.submit(
+                    _execute_repetition_remote,
+                    *args(force_payload or dataset_name not in shipped),
+                )
+            except RuntimeError:
+                # The pool broke or was shut down behind our back (a
+                # BrokenExecutor is a RuntimeError too): replace it
+                # transparently and resubmit — with the payload, since the
+                # fresh workers have empty caches.
+                pool = replace_shared_pool(workers)
+                shipped.clear()
+                future = pool.submit(_execute_repetition_remote, *args(True))
+            shipped.add(dataset_name)
+            future_to_unit[future] = unit
+            inflight_fault[future] = fault
+            outstanding.add(future)
+
+        def maybe_finish(task: TaskKey) -> None:
+            if len(collected[task]) == repetitions:
+                algorithm_name, dataset_name, epsilon = task
+                finish(task, _assemble_cell(
+                    algorithm_name, dataset_name, epsilon, query_names,
+                    collected.pop(task),
+                ))
+
+        def handle_outcome(unit: UnitKey, future: Future) -> str:
+            """Process one resolved future; returns ``"handled"`` or ``"lost"``.
+
+            ``"lost"`` means the unit produced no outcome of its own (the
+            pool broke under it, or it was cancelled) and must go through
+            crash recovery.
+            """
+            task, repetition = unit
+            fault = inflight_fault.pop(future, None)
+            try:
+                result = future.result()
+            except _WorkerDataMiss:
+                # Free resubmission (not the unit's doing) — re-carrying the
+                # fault directive, which cannot have fired: the worker raised
+                # on its cache lookup before reaching the execution step.
+                submit(unit, force_payload=True, fault=fault)
+                return "handled"
+            except (BrokenProcessPool, CancelledError):
+                return "lost"
+            except Exception:
+                # Strict-mode CellExecutionError from the worker — or an
+                # unexpected wrapper-level error: charge the budget.
+                attempts[unit] += 1
+                if attempts[unit] <= max_retries:
+                    diagnostics.retries += 1
+                    submit(unit)
+                    return "handled"
+                raise
+            if result.errors is None:
+                # A non-strict failure record: retry while budget remains
+                # (a transient failure may clear), then keep the record.
+                attempts[unit] += 1
+                if attempts[unit] <= max_retries:
+                    diagnostics.retries += 1
+                    submit(unit)
+                    return "handled"
+                diagnostics.units_failed += 1
+            collected[task].append(result)
+            maybe_finish(task)
+            return "handled"
+
+        def drain() -> List[UnitKey]:
+            """Harvest or cancel every outstanding future; return the lost units.
+
+            Called with the broken pool already replaced, so resubmissions
+            issued by :func:`handle_outcome` land on the fresh pool.  The
+            snapshot is taken — and the live sets cleared — *before*
+            iterating, so those resubmissions survive the drain.
+            """
+            snapshot = list(outstanding)
+            outstanding.clear()
+            running_since.clear()
+            lost: List[UnitKey] = []
+            for future in snapshot:
+                unit = future_to_unit.pop(future)
+                if future.done() and handle_outcome(unit, future) == "handled":
+                    continue
+                inflight_fault.pop(future, None)
+                future.cancel()
+                lost.append(unit)
+            return lost
+
+        def charge_lost(lost: List[UnitKey], kind: str) -> None:
+            """Charge a strike per lost unit: resubmit, or record exhaustion."""
+            for unit in lost:
+                attempts[unit] += 1
+                if attempts[unit] <= max_retries:
+                    diagnostics.retries += 1
+                    submit(unit)
+                    continue
+                task, repetition = unit
+                diagnostics.units_failed += 1
+                if strict:
+                    algorithm_name, dataset_name, epsilon = task
+                    error_cls = UnitTimeoutError if kind == "timeout" else CellExecutionError
+                    raise error_cls(
+                        f"unit lost to repeated worker "
+                        f"{'hangs' if kind == 'timeout' else 'crashes'}: "
+                        f"algorithm={algorithm_name} dataset={dataset_name} "
+                        f"epsilon={epsilon} repetition={repetition}"
+                    )
+                collected[task].append(
+                    _timeout_failure(repetition, unit_timeout) if kind == "timeout"
+                    else _crash_failure(repetition)
+                )
+                maybe_finish(task)
+
+        for unit in units:
+            submit(unit)
+
         try:
-            # Collect as repetitions finish; a cell is assembled — and
-            # journaled/reported — the moment its last repetition lands, so a
-            # killed run loses at most the cells still in flight.  run()
-            # re-orders into canonical layout; _assemble_cell sorts by
-            # repetition index, so completion order never leaks into results.
             while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                poll: Optional[float] = None
+                if unit_timeout is not None:
+                    # Track when each future started running (workers pick up
+                    # new units only after completing one, which wakes wait(),
+                    # so sampling at wakeups observes every start promptly).
+                    now = time.monotonic()
+                    for future in outstanding:
+                        if future not in running_since and future.running():
+                            running_since[future] = now
+                    poll = max(0.05, unit_timeout / 4)
+                    if running_since:
+                        remaining = unit_timeout - (now - min(running_since.values()))
+                        poll = min(poll, max(0.05, remaining))
+                done, _ = wait(outstanding, timeout=poll, return_when=FIRST_COMPLETED)
+
+                lost: List[UnitKey] = []
                 for future in done:
-                    task, repetition = future_to_unit.pop(future)
-                    try:
-                        result = future.result()
-                    except _WorkerDataMiss:
-                        retry = submit(task, repetition, with_payload=True)
-                        future_to_unit[retry] = (task, repetition)
-                        outstanding.add(retry)
-                        continue
-                    collected[task].append(result)
-                    if len(collected[task]) == repetitions:
-                        algorithm_name, dataset_name, epsilon = task
-                        finish(task, _assemble_cell(
-                            algorithm_name, dataset_name, epsilon, query_names,
-                            collected.pop(task),
-                        ))
+                    outstanding.discard(future)
+                    running_since.pop(future, None)
+                    unit = future_to_unit.pop(future)
+                    if handle_outcome(unit, future) == "lost":
+                        lost.append(unit)
+                if lost:
+                    # A worker died (OOM kill, segfault, injected crash):
+                    # rebuild the pool and recover every in-flight unit.
+                    diagnostics.worker_crashes_recovered += 1
+                    pool = replace_shared_pool(workers)
+                    shipped.clear()
+                    lost.extend(drain())
+                    logger.warning(
+                        "worker crash: pool rebuilt, recovering %d in-flight unit(s)",
+                        len(lost),
+                    )
+                    charge_lost(lost, kind="crash")
+                    continue
+
+                if unit_timeout is None:
+                    continue
+                now = time.monotonic()
+                stuck = [
+                    future for future in outstanding
+                    if future in running_since
+                    and now - running_since[future] >= unit_timeout
+                    and future.running()
+                ]
+                if not stuck:
+                    continue
+                # Stuck past the deadline: ProcessPoolExecutor cannot cancel
+                # running tasks, so terminate the workers and rebuild.
+                stuck_units = {future_to_unit[future] for future in stuck}
+                diagnostics.timeouts_reaped += len(stuck)
+                logger.warning(
+                    "timeout watchdog: %d unit(s) stuck past %.3gs; "
+                    "terminating workers and rebuilding the pool",
+                    len(stuck), unit_timeout,
+                )
+                terminate_shared_pool_workers()
+                pool = replace_shared_pool(workers)
+                shipped.clear()
+                reaped = drain()
+                # Bystanders lost to the reap resubmit without a strike; only
+                # the stuck units are charged.
+                for unit in reaped:
+                    if unit not in stuck_units:
+                        submit(unit)
+                charge_lost(
+                    [unit for unit in reaped if unit in stuck_units], kind="timeout"
+                )
         except BaseException:
-            # Strict-mode repetition failure (or a crashed worker): drop the
+            # Strict-mode failure (or an unexpected error): drop the
             # remaining queued units so the shared pool comes back clean for
             # the next run, then propagate.
-            for future in future_to_unit:
+            for future in outstanding:
                 future.cancel()
             raise
-        return per_task
 
 
 def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = None,
@@ -576,10 +970,13 @@ def run_benchmark(spec: BenchmarkSpec, progress: Optional[ProgressCallback] = No
 __all__ = [
     "CellResult",
     "CellExecutionError",
+    "UnitTimeoutError",
+    "ExecutionDiagnostics",
     "BenchmarkResults",
     "BenchmarkRunner",
     "RepetitionResult",
     "TaskKey",
+    "UnitKey",
     "run_benchmark",
     "repetition_seed_sequence",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import GraphGenerator
 from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm
@@ -68,6 +68,26 @@ class BenchmarkSpec:
     workers:
         Number of worker processes the runner uses for grid cells; 1 runs
         everything in-process.  Results are identical for any value.
+    max_retries:
+        How many *additional* attempts each execution unit — one
+        ``(cell, repetition)`` pair — is granted after its first: units lost
+        to a worker crash, reaped by the timeout watchdog or failing with an
+        exception are resubmitted until the budget runs out.  The keyed
+        seeding makes every retry bit-identical to the original attempt, so
+        recovery never changes results.  A unit that exhausts the budget
+        becomes an explicit failed record in non-strict mode and raises
+        :class:`~repro.core.runner.CellExecutionError` in strict mode.
+    unit_timeout:
+        Optional wall-clock deadline (seconds) per execution unit.  With
+        ``workers > 1`` a watchdog terminates workers stuck past the
+        deadline and resubmits the lost units (see
+        :mod:`repro.core.runner`); ``None`` disables the watchdog.
+    faults:
+        Deterministic fault-injection directives (``crash@N`` / ``raise@N``
+        / ``hang@N[:always]``; see :mod:`repro.core.faults`).  Test/chaos
+        tooling only — injected faults must never change what the results
+        are, and therefore (like ``workers``, ``max_retries`` and
+        ``unit_timeout``) never participate in the fingerprint.
     """
 
     algorithms: Sequence[str] = PGB_ALGORITHM_NAMES
@@ -79,12 +99,16 @@ class BenchmarkSpec:
     seed: int = 2024
     strict: bool = True
     workers: int = 1
+    max_retries: int = 2
+    unit_timeout: Optional[float] = None
+    faults: Sequence[str] = ()
 
     def __post_init__(self) -> None:
         self.algorithms = tuple(self.algorithms)
         self.datasets = tuple(self.datasets)
         self.epsilons = tuple(float(eps) for eps in self.epsilons)
         self.queries = tuple(self.queries)
+        self.faults = tuple(self.faults)
         self.validate()
 
     # -- resolution ---------------------------------------------------------
@@ -131,10 +155,13 @@ class BenchmarkSpec:
 
         Two specs with the same fingerprint produce bit-identical cells, so a
         checkpoint journal or shard output may only be resumed/merged against
-        a spec with a matching fingerprint.  ``workers`` is deliberately
-        excluded: the keyed seeding makes results independent of the worker
-        count, so a journal written with ``--workers 4`` can be resumed with
-        any other value.  :data:`RESULTS_PROTOCOL_VERSION` is included, so
+        a spec with a matching fingerprint.  ``workers`` — and the
+        fault-tolerance knobs ``max_retries``, ``unit_timeout`` and
+        ``faults`` — are deliberately excluded: the keyed seeding makes
+        results independent of the worker count and of how many times a unit
+        had to be retried, so a journal written with ``--workers 4`` (or
+        under fault injection) can be resumed with any other execution
+        configuration.  :data:`RESULTS_PROTOCOL_VERSION` is included, so
         journals written by a codebase whose algorithms produced different
         cell values refuse to resume instead of mixing engines silently.
         """
@@ -182,6 +209,17 @@ class BenchmarkSpec:
             raise SpecValidationError("scale must be > 0")
         if self.workers < 1:
             raise SpecValidationError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise SpecValidationError("max_retries must be >= 0")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise SpecValidationError("unit_timeout must be > 0 (or None to disable)")
+        if self.faults:
+            from repro.core.faults import FaultPlan, FaultSpecError, parse_faults
+
+            try:
+                FaultPlan(parse_faults(self.faults))
+            except FaultSpecError as exc:
+                raise SpecValidationError(str(exc)) from exc
 
         instances = self.make_algorithms()
         models = {algorithm.privacy_model for algorithm in instances}

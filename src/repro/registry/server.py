@@ -66,6 +66,12 @@ class RegistryAPIHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-registry/1"
 
+    #: Socket timeout (seconds) per request: a client that stalls mid-request
+    #: (slow-loris style) times out instead of pinning a handler thread
+    #: forever.  ``BaseHTTPRequestHandler`` applies it to the connection and
+    #: closes cleanly on ``socket.timeout``.
+    timeout = 30
+
     # -- plumbing ------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
         pass  # keep test output and CLI output clean; `serve` prints its own line
@@ -132,6 +138,15 @@ class RegistryAPIHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, str(exc))
         except (RegistryError, ValueError) as exc:
             self._send_error_json(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return  # the client went away mid-response; nothing to send to
+        except Exception as exc:
+            # An unexpected handler bug must answer JSON like every other
+            # path, not the stdlib's HTML traceback page.  Safe to send:
+            # payloads above are fully built before send_response is called.
+            self._send_error_json(
+                500, f"internal error: {type(exc).__name__}: {exc}"
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
         self._send_error_json(

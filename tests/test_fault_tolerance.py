@@ -1,0 +1,448 @@
+"""The fault-tolerant execution layer (ISSUE 6).
+
+The tentpole contract: a run with deterministically injected worker crashes,
+hangs or exceptions completes with results *bit-identical* to an
+uninterrupted run — at any worker count — because the keyed per-repetition
+seeding makes every recovery retry reproduce the original attempt exactly.
+Units that exhaust their retry budget degrade into explicit typed failure
+records (non-strict) or raise (strict) instead of aborting the grid, and the
+satellites harden the journal (typed interior-corruption errors), the shared
+pool (public-path health probe) and the registry API (JSON 500s).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import pool as pool_module
+from repro.core.faults import (
+    FaultDirective,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFaultError,
+    InjectedWorkerCrash,
+    InjectedWorkerHang,
+    faults_from_env,
+    parse_fault,
+    trigger_fault,
+)
+from repro.core.persistence import (
+    CheckpointJournal,
+    JournalCorruptionError,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.core.report import render_summary
+from repro.core.runner import (
+    BenchmarkResults,
+    CellExecutionError,
+    UnitTimeoutError,
+    run_benchmark,
+)
+from repro.core.spec import BenchmarkSpec, SpecValidationError
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf",),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=2,
+        scale=0.03,
+        seed=77,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    """Everything except wall-clock timing, which legitimately varies."""
+    return [
+        (c.algorithm, c.dataset, c.epsilon, c.query, c.query_code,
+         c.error, c.error_std, c.repetitions, c.failed)
+        for c in cells
+    ]
+
+
+class TestFaultParsing:
+    def test_parse_fault_kinds(self):
+        assert parse_fault("crash@3") == FaultDirective("crash", 3)
+        assert parse_fault("raise@0") == FaultDirective("raise", 0)
+        assert parse_fault("hang@7:always") == FaultDirective("hang", 7, always=True)
+
+    @pytest.mark.parametrize("text", [
+        "boom@1", "crash", "crash@", "crash@x", "crash@-1",
+        "crash@1:sometimes", "@3",
+    ])
+    def test_bad_directives_rejected(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_fault(text)
+
+    def test_directive_round_trips_through_str(self):
+        for text in ("crash@3", "hang@0:always"):
+            assert str(parse_fault(text)) == text
+
+    def test_faults_from_env(self):
+        assert faults_from_env({"REPRO_FAULTS": "crash@1, hang@2:always"}) == \
+            ("crash@1", "hang@2:always")
+        assert faults_from_env({}) == ()
+
+    def test_spec_validation_rejects_bad_faults(self):
+        with pytest.raises(SpecValidationError):
+            _spec(faults=("explode@1",))
+        with pytest.raises(SpecValidationError):
+            _spec(faults=("crash@1", "hang@1"))  # conflicting unit
+
+    def test_spec_validation_rejects_bad_knobs(self):
+        with pytest.raises(SpecValidationError):
+            _spec(max_retries=-1)
+        with pytest.raises(SpecValidationError):
+            _spec(unit_timeout=0.0)
+
+
+class TestFaultPlan:
+    def test_take_is_one_shot(self):
+        plan = FaultPlan([FaultDirective("crash", 2)])
+        assert plan.take(1) is None
+        assert plan.take(2) == FaultDirective("crash", 2)
+        assert plan.take(2) is None  # consumed: the recovery retry runs clean
+
+    def test_always_directives_fire_every_attempt(self):
+        plan = FaultPlan([FaultDirective("raise", 0, always=True)])
+        assert plan.take(0) is not None
+        assert plan.take(0) is not None
+
+    def test_conflicting_units_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan([FaultDirective("crash", 1), FaultDirective("hang", 1)])
+
+    def test_from_spec_merges_env(self):
+        plan = FaultPlan.from_spec(
+            _spec(faults=("crash@0",)), environ={"REPRO_FAULTS": "hang@5"}
+        )
+        assert plan.has_kind("crash") and plan.has_kind("hang")
+        assert [d.unit for d in plan.directives] == [0, 5]
+
+    def test_trigger_simulations(self):
+        with pytest.raises(InjectedWorkerCrash):
+            trigger_fault(FaultDirective("crash", 0), allow_process_exit=False)
+        with pytest.raises(InjectedWorkerHang):
+            trigger_fault(FaultDirective("hang", 0), allow_process_exit=False)
+        with pytest.raises(InjectedFaultError):
+            trigger_fault(FaultDirective("raise", 0), allow_process_exit=False)
+
+    def test_simulated_crash_and_hang_are_not_plain_exceptions(self):
+        # The runner's ordinary failure handling catches Exception; crashes
+        # and hangs must bypass it to reach the recovery accounting.
+        assert not issubclass(InjectedWorkerCrash, Exception)
+        assert not issubclass(InjectedWorkerHang, Exception)
+
+
+class TestCrashRecovery:
+    """Injected worker crashes recover to bit-identical results (acceptance)."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_crash_injected_run_is_bit_identical(self, workers):
+        clean = run_benchmark(_spec())
+        faulted = run_benchmark(_spec(faults=("crash@1",), workers=workers))
+        assert _comparable(faulted.cells) == _comparable(clean.cells)
+        assert faulted.diagnostics["worker_crashes_recovered"] >= 1
+        assert faulted.diagnostics["retries"] >= 1
+        assert "units_failed" not in faulted.diagnostics
+
+    def test_raise_injected_run_is_bit_identical(self):
+        clean = run_benchmark(_spec())
+        faulted = run_benchmark(_spec(faults=("raise@2",), strict=False))
+        assert _comparable(faulted.cells) == _comparable(clean.cells)
+        assert faulted.diagnostics["retries"] == 1
+
+    def test_uneventful_run_reports_no_diagnostics(self):
+        assert run_benchmark(_spec()).diagnostics == {}
+
+
+class TestTimeoutWatchdog:
+    def test_hang_is_reaped_and_run_completes_bit_identical(self):
+        """Acceptance: an injected hang is reaped within the deadline and the
+        remaining grid completes; the retried unit converges on the clean
+        result, so no failed cell remains."""
+        clean = run_benchmark(_spec())
+        faulted = run_benchmark(
+            _spec(faults=("hang@0",), unit_timeout=1.5, workers=2)
+        )
+        assert _comparable(faulted.cells) == _comparable(clean.cells)
+        assert faulted.diagnostics["timeouts_reaped"] >= 1
+
+    def test_persistent_hang_becomes_typed_failed_cell_non_strict(self):
+        """A unit that hangs on every attempt exhausts its budget and is
+        recorded as a timeout failure without aborting the remaining grid."""
+        results = run_benchmark(_spec(
+            faults=("hang@0:always",), unit_timeout=1.0, workers=2,
+            strict=False, max_retries=0, repetitions=1,
+        ))
+        failed = [cell for cell in results.cells if cell.failed]
+        survived = [cell for cell in results.cells if not cell.failed]
+        assert failed and all("timeout" in cell.failure for cell in failed)
+        assert survived  # the rest of the grid still ran
+        assert results.diagnostics["units_failed"] >= 1
+
+    def test_serial_hang_strict_raises_typed_timeout_error(self):
+        with pytest.raises(UnitTimeoutError):
+            run_benchmark(_spec(faults=("hang@0:always",), max_retries=0))
+
+    def test_unit_timeout_error_is_a_cell_execution_error(self):
+        assert issubclass(UnitTimeoutError, CellExecutionError)
+
+
+class TestRetryExhaustion:
+    def test_non_strict_exhaustion_yields_failed_cells(self):
+        results = run_benchmark(_spec(
+            faults=("raise@0:always",), strict=False, max_retries=1,
+            repetitions=1,
+        ))
+        failed = [cell for cell in results.cells if cell.failed]
+        assert failed and all("injected fault" in cell.failure for cell in failed)
+        # one strike charged per granted retry, then the unit failed for good
+        assert results.diagnostics == {"retries": 1, "units_failed": 1}
+        # the other epsilon's cells completed normally
+        assert any(not cell.failed for cell in results.cells)
+
+    def test_strict_exhaustion_raises(self):
+        with pytest.raises(CellExecutionError):
+            run_benchmark(_spec(faults=("raise@0:always",), max_retries=1))
+
+    def test_serial_crash_exhaustion_yields_typed_crash_failure(self):
+        results = run_benchmark(_spec(
+            faults=("crash@0:always",), strict=False, max_retries=1,
+            repetitions=1,
+        ))
+        failed = [cell for cell in results.cells if cell.failed]
+        assert failed and all("worker crash" in cell.failure for cell in failed)
+
+    def test_zero_retries_means_first_failure_is_final(self):
+        results = run_benchmark(_spec(
+            faults=("raise@0",), strict=False, max_retries=0, repetitions=1,
+        ))
+        assert any(cell.failed for cell in results.cells)
+        assert results.diagnostics == {"units_failed": 1}
+
+
+class TestFaultedResumeRoundTrip:
+    def test_kill_then_resume_with_faults_is_bit_identical(self, tmp_path):
+        """A crash-faulted, journaled run that is killed resumes to results
+        bit-identical to the uninterrupted no-fault run (acceptance)."""
+        clean = run_benchmark(_spec())
+        path = tmp_path / "journal.jsonl"
+        spec = _spec(faults=("crash@1",), workers=2)
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+        # Simulate a kill: keep the header plus the first completed cell.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n", encoding="utf-8")
+
+        resume_spec = _spec(faults=("crash@1",), workers=2)
+        journal = CheckpointJournal.resume(path, resume_spec)
+        assert len(journal.completed) == 1
+        resumed = run_benchmark(resume_spec, journal=journal, workers=2)
+        assert _comparable(resumed.cells) == _comparable(clean.cells)
+
+    def test_fingerprint_excludes_fault_tolerance_knobs(self):
+        base = _spec().fingerprint()
+        assert _spec(faults=("crash@1",)).fingerprint() == base
+        assert _spec(max_retries=9).fingerprint() == base
+        assert _spec(unit_timeout=5.0).fingerprint() == base
+        assert _spec(workers=4).fingerprint() == base
+        assert _spec(seed=78).fingerprint() != base
+
+    def test_spec_round_trips_with_new_fields(self):
+        spec = _spec(faults=("raise@3",), max_retries=5, unit_timeout=2.5)
+        loaded = spec_from_dict(spec_to_dict(spec))
+        assert loaded.faults == ("raise@3",)
+        assert loaded.max_retries == 5
+        assert loaded.unit_timeout == 2.5
+
+    def test_old_spec_payloads_get_defaults(self):
+        payload = spec_to_dict(_spec())
+        for key in ("max_retries", "unit_timeout", "faults"):
+            del payload[key]
+        loaded = spec_from_dict(payload)
+        assert loaded.max_retries == 2
+        assert loaded.unit_timeout is None
+        assert loaded.faults == ()
+
+
+class TestJournalCorruption:
+    def _journal_with_cells(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        spec = _spec(repetitions=1)
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+        return path, spec
+
+    def test_interior_corruption_raises_typed_error(self, tmp_path):
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) >= 3  # header + at least two task records
+        lines[1] = '{"record": "task", TRUNCATED'
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            CheckpointJournal.resume(path, spec)
+        assert excinfo.value.line_number == 2
+        assert "truncate" in str(excinfo.value).lower()
+
+    def test_partial_trailing_line_still_tolerated(self, tmp_path):
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        intact = len(lines) - 1
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # kill landed mid-append
+        path.write_text("\n".join(lines), encoding="utf-8")
+        journal = CheckpointJournal.resume(path, spec)
+        assert len(journal.completed) == intact - 1  # header excluded
+
+    def test_cli_resume_reports_corruption(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "not json at all"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        code = main([
+            "run", "--algorithms", "tmf", "--datasets", "ba",
+            "--epsilons", "0.5", "2.0",
+            "--queries", "num_edges", "average_degree",
+            "--repetitions", "1", "--scale", "0.03", "--seed", "77",
+            "--checkpoint", str(path), "--resume",
+        ])
+        assert code == 2
+        assert "corrupted at line 2" in capsys.readouterr().err
+
+
+class TestPoolHealthProbe:
+    def test_shutdown_pool_is_replaced_transparently(self):
+        try:
+            first = pool_module.get_shared_pool(2)
+            first.shutdown(wait=True)  # behind the manager's back
+            second = pool_module.get_shared_pool(2)
+            assert second is not first
+            assert second.submit(int).result() == 0
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_replace_shared_pool_always_rebuilds(self):
+        try:
+            first = pool_module.get_shared_pool(2)
+            second = pool_module.replace_shared_pool(2)
+            assert second is not first
+            assert second.submit(int).result() == 0
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_terminate_workers_then_replace(self):
+        try:
+            pool = pool_module.get_shared_pool(2)
+            pool.submit(int).result()  # make sure workers actually spawned
+            assert pool_module.terminate_shared_pool_workers() >= 1
+            fresh = pool_module.replace_shared_pool(2)
+            assert fresh.submit(int).result() == 0
+        finally:
+            pool_module.shutdown_shared_pool()
+
+    def test_terminate_with_no_pool_is_a_noop(self):
+        pool_module.shutdown_shared_pool()
+        assert pool_module.terminate_shared_pool_workers() == 0
+
+
+class TestDiagnosticsSurfacing:
+    def test_summary_shows_fault_tolerance_line_only_when_eventful(self):
+        eventful = run_benchmark(_spec(faults=("raise@0",), strict=False))
+        assert "fault tolerance:" in render_summary(eventful)
+        assert "retries: 1" in render_summary(eventful)
+        uneventful = run_benchmark(_spec())
+        assert "fault tolerance:" not in render_summary(uneventful)
+
+    def test_manifest_carries_diagnostics(self):
+        results = run_benchmark(_spec(faults=("raise@0",), strict=False))
+        assert results.manifest()["diagnostics"] == {"retries": 1}
+        assert run_benchmark(_spec()).manifest()["diagnostics"] == {}
+
+    def test_diagnostics_do_not_break_results_equality(self):
+        results = run_benchmark(_spec(repetitions=1))
+        eventful = BenchmarkResults(spec=results.spec, cells=list(results.cells))
+        eventful.diagnostics = {"retries": 3}
+        assert eventful == BenchmarkResults(spec=results.spec,
+                                            cells=list(results.cells))
+
+
+class TestCliFaultFlags:
+    def test_run_parser_accepts_fault_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "run", "--max-retries", "5", "--timeout", "3.5",
+            "--inject-fault", "crash@1", "hang@2:always",
+        ])
+        assert args.max_retries == 5
+        assert args.timeout == 3.5
+        assert args.inject_fault == ["crash@1", "hang@2:always"]
+
+    def test_bad_inject_fault_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--algorithms", "tmf", "--datasets", "ba",
+            "--epsilons", "0.5", "--queries", "num_edges",
+            "--scale", "0.03", "--inject-fault", "explode@1",
+        ])
+        assert code == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_cli_crash_injection_completes(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--algorithms", "tmf", "--datasets", "ba",
+            "--epsilons", "0.5", "--queries", "num_edges",
+            "--repetitions", "2", "--scale", "0.03", "--seed", "77",
+            "--inject-fault", "crash@0",
+        ])
+        assert code == 0
+        assert "fault tolerance:" in capsys.readouterr().out
+
+
+class TestServerHardening:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.registry import ResultsRegistry
+        from repro.registry.server import create_server
+
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(run_benchmark(_spec(repetitions=1)), submitter="t")
+        server = create_server(registry, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_unexpected_exception_returns_json_500(self, server, monkeypatch):
+        from repro.registry import ResultsRegistry
+
+        def boom(self):
+            raise KeyError("handler bug")
+
+        monkeypatch.setattr(ResultsRegistry, "submissions", boom)
+        port = server.server_address[1]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/api/health")
+        assert excinfo.value.code == 500
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "internal error" in payload["error"]
+        assert "KeyError" in payload["error"]
+
+    def test_handler_has_socket_timeout(self):
+        from repro.registry.server import RegistryAPIHandler
+
+        assert RegistryAPIHandler.timeout == 30
