@@ -103,17 +103,18 @@ class DER(GraphGenerator):
             # Enough levels to reach regions of roughly min_region × min_region.
             depth = max(int(math.ceil(math.log2(max(n / self.min_region, 1)))), 1)
         depth = max(min(depth, 8), 1)
-        per_level_epsilon = budget.epsilon / depth
 
         edge_arr = graph.edge_array()
         edge_u = edge_arr[:, 0]
         edge_v = edge_arr[:, 1]
 
+        level_epsilons = budget.split_even(
+            depth, labels=[f"level_{level}" for level in range(depth)]
+        )
         mechanism_levels = [
-            LaplaceMechanism(epsilon=per_level_epsilon, sensitivity=1.0) for _ in range(depth)
+            LaplaceMechanism(epsilon=level_epsilon, sensitivity=1.0)
+            for level_epsilon in level_epsilons
         ]
-        for level in range(depth):
-            budget.spend(per_level_epsilon, label=f"level_{level}")
 
         # Explore: descend the quadtree, stopping early in regions whose noisy
         # count is (near) zero — that is the "exploration" part of DER.

@@ -1,0 +1,23 @@
+"""Static analysis for the reproduction's own invariants.
+
+An AST rule engine (stdlib :mod:`ast`, no third-party dependency) with five
+built-in families — DET (determinism), DPB (privacy-budget hygiene), FPR
+(fingerprint classification), EXC (exception hygiene) and PRIV (private-name
+crossings).  Run it as ``repro lint`` or ``python -m repro.analysis``; see
+``docs/static_analysis.md`` for the rule catalogue and suppression syntax.
+"""
+
+from repro.analysis.engine import ModuleContext, Rule, lint_paths, lint_source
+from repro.analysis.findings import Finding, LintReport, SuppressionUse
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "SuppressionUse",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,154 @@
+"""Command-line front end: ``repro lint`` and ``python -m repro.analysis``.
+
+Exit codes: 0 — clean; 1 — active findings (or, under ``--strict``,
+suppression comments missing from the committed baseline); 2 — usage error
+(bad path, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Rule, lint_paths, package_path
+from repro.analysis.findings import LintReport, SuppressionUse
+from repro.analysis.rules import default_rules
+
+#: Where justified suppressions live; ``--strict`` rejects any suppression
+#: comment not covered here.  Committed empty on purpose: the repo carries no
+#: suppressions today, and adding one means editing this file in the same PR.
+DEFAULT_BASELINE = "tools/lint_suppressions.json"
+
+#: Paths linted when none are given: the package itself.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` options (used by ``repro lint`` too)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="human-readable findings or the JSON report consumed by CI",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="additionally fail on suppression comments absent from the "
+             "baseline file",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"justified-suppression baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="FAMILY",
+        help="run only these rule families/codes (repeatable), e.g. "
+             "--select DET --select PRIV002",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule families and exit",
+    )
+
+
+def _selected_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    rules = default_rules()
+    if not select:
+        return rules
+    wanted = {token.strip().upper() for token in select}
+    chosen = [rule for rule in rules
+              if rule.family in wanted
+              or any(token.startswith(rule.family) for token in wanted)]
+    return chosen
+
+
+def _load_baseline(path: str) -> Set[Tuple[str, str]]:
+    """The baseline as ``(package_path, rule_token)`` pairs."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    allowed: Set[Tuple[str, str]] = set()
+    for entry in data.get("suppressions", []):
+        for rule in entry.get("rules", []):
+            allowed.add((entry["path"], rule))
+    return allowed
+
+
+def _unbaselined(report: LintReport,
+                 allowed: Set[Tuple[str, str]]) -> List[SuppressionUse]:
+    missing: List[SuppressionUse] = []
+    for use in report.suppressions:
+        relpath = package_path(use.path)
+        if any((relpath, rule) not in allowed for rule in use.rules):
+            missing.append(use)
+    return missing
+
+
+def _print_human(report: LintReport, rogue: List[SuppressionUse],
+                 strict: bool) -> None:
+    for finding in report.active:
+        print(finding.render())
+        if finding.snippet:
+            print(f"    {finding.snippet}")
+    if strict:
+        for use in rogue:
+            kind = "noqa-file" if use.file_level else "noqa"
+            print(f"{use.path}:{use.line}:0: SUPPRESS000 `{kind}"
+                  f"[{', '.join(use.rules)}]` is not in the committed "
+                  "baseline")
+    active = len(report.active)
+    masked = len(report.masked)
+    summary = ", ".join(f"{family}: {count}"
+                        for family, count in report.family_counts().items())
+    tail = f" ({summary})" if summary else ""
+    masked_note = f", {masked} suppressed" if masked else ""
+    print(f"{report.files_checked} files checked, "
+          f"{active} finding{'s' if active != 1 else ''}{tail}{masked_note}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.family}: {rule.description}")
+        return 0
+    rules = _selected_rules(args.select)
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        allowed = _load_baseline(args.baseline) if args.strict else set()
+    except (OSError, ValueError) as exc:
+        print(f"repro lint: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    rogue = _unbaselined(report, allowed) if args.strict else []
+    if args.format == "json":
+        payload = report.as_dict()
+        if args.strict:
+            payload["unbaselined_suppressions"] = [u.as_dict() for u in rogue]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_human(report, rogue, args.strict)
+    failed = bool(report.active) or (args.strict and bool(rogue))
+    return 1 if failed else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="AST lint for the repo's determinism, privacy-budget and "
+                    "fingerprint invariants",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+__all__ = ["add_lint_arguments", "run_lint", "main", "DEFAULT_BASELINE"]

@@ -1,0 +1,301 @@
+"""The rule engine: module contexts, the :class:`Rule` plugin base class,
+suppression parsing and the lint driver.
+
+Design, in one paragraph: a :class:`ModuleContext` is built once per file
+(source, AST, an import-alias table and the parsed suppression comments);
+every registered :class:`Rule` receives the context and yields typed
+:class:`~repro.analysis.findings.Finding` objects; the driver applies
+per-line / per-file ``# repro: noqa[RULE]`` suppressions and assembles a
+:class:`~repro.analysis.findings.LintReport`.  Rules are pure functions of
+the context — no rule mutates shared state, so adding a rule is one module
+under :mod:`repro.analysis.rules` (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, LintReport, SuppressionUse
+
+#: Suppression comments, matched against real COMMENT tokens only (so a
+#: docstring *mentioning* the syntax is not a suppression) and anchored at
+#: the start of the comment.  Inline form suppresses on its own line,
+#: ``-file`` form suppresses for the whole module.
+_SUPPRESS_RE = re.compile(r"^#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+_SUPPRESS_FILE_RE = re.compile(r"^#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
+
+
+def package_path(path: str) -> str:
+    """The path of ``path`` relative to the ``repro`` package, POSIX-style.
+
+    ``/root/repo/src/repro/algorithms/der.py`` → ``repro/algorithms/der.py``.
+    Rules scope themselves by this (e.g. DET applies only to the
+    result-affecting subpackages), so the linter behaves identically whether
+    it is pointed at ``src/repro``, a single file, or an installed tree.
+    Paths with no ``repro`` component are returned unchanged — corpus tests
+    pass virtual paths like ``repro/algorithms/bad.py`` directly.
+    """
+    parts = Path(path).as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return Path(path).as_posix()
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one Python module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Path relative to the ``repro`` package root (see :func:`package_path`).
+    relpath: str = ""
+    lines: List[str] = field(default_factory=list)
+    #: 1-based line → rule/family tokens suppressed on that line.
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Rule/family tokens suppressed for the whole file.
+    file_suppressions: Set[str] = field(default_factory=set)
+    #: Every suppression comment found (for ``--strict`` auditing).
+    suppression_uses: List[SuppressionUse] = field(default_factory=list)
+    #: Local name → dotted module/attribute path, from import statements.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        context = cls(path=path, source=source, tree=tree,
+                      relpath=package_path(path), lines=source.splitlines())
+        context._parse_suppressions()
+        context._collect_imports()
+        return context
+
+    # -- construction helpers ----------------------------------------------
+    def _parse_suppressions(self) -> None:
+        """Collect suppression comments from real COMMENT tokens.
+
+        Tokenising (rather than grepping lines) means docstrings and string
+        literals that merely *mention* the syntax are never treated as
+        suppressions — which is also what lets the linter's own documentation
+        stay suppression-free.
+        """
+        for token in tokenize.generate_tokens(io.StringIO(self.source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            lineno = token.start[0]
+            file_match = _SUPPRESS_FILE_RE.match(token.string)
+            if file_match:
+                tokens = _split_tokens(file_match.group(1))
+                self.file_suppressions.update(tokens)
+                self.suppression_uses.append(
+                    SuppressionUse(self.path, lineno, tuple(sorted(tokens)),
+                                   file_level=True)
+                )
+                continue
+            match = _SUPPRESS_RE.match(token.string)
+            if match:
+                tokens = _split_tokens(match.group(1))
+                self.line_suppressions.setdefault(lineno, set()).update(tokens)
+                self.suppression_uses.append(
+                    SuppressionUse(self.path, lineno, tuple(sorted(tokens)))
+                )
+
+    def _collect_imports(self) -> None:
+        """Build the local-name → dotted-path table used by :meth:`resolve`."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the top name ``numpy``.
+                        top = alias.name.split(".")[0]
+                        self.imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: resolution not needed here
+                    module = "." * node.level + (node.module or "")
+                else:
+                    module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{module}.{alias.name}" if module else alias.name
+
+    # -- rule utilities -----------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted module path, if importable.
+
+        ``np.random.rand`` → ``"numpy.random.rand"`` (given ``import numpy as
+        np``); a chain rooted in a local variable returns ``None``, so rules
+        never mistake ``generator.random()`` for the stdlib ``random`` module.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        tokens = set(self.file_suppressions)
+        tokens |= self.line_suppressions.get(finding.line, set())
+        return finding.rule in tokens or finding.family in tokens
+
+
+def _split_tokens(raw: str) -> Set[str]:
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+class Rule(abc.ABC):
+    """Base class of a rule family plugin.
+
+    A rule family owns a prefix (``family``, e.g. ``"DET"``) and emits
+    findings whose codes start with that prefix.  ``applies_to`` scopes the
+    family by package path; ``check`` yields the findings.
+    """
+
+    #: Family prefix, e.g. ``"DET"``; finding codes are ``f"{family}{nnn}"``.
+    family: str = "RULE"
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Whether this family runs on ``context`` at all (default: yes)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation found in ``context``."""
+
+    def finding(self, context: ModuleContext, code: str, node: ast.AST,
+                message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=f"{self.family}{code}",
+            family=self.family,
+            path=context.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=context.snippet(lineno),
+        )
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``*.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _run_rules_on_context(context: ModuleContext,
+                          rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            if context.is_suppressed(finding):
+                finding = dataclasses.replace(finding, suppressed=True)
+            findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint a source string as if it lived at ``path`` (corpus-test entry).
+
+    A syntax error becomes a single ``PARSE000`` finding rather than an
+    exception, mirroring how :func:`lint_paths` treats unparsable files.
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    try:
+        context = ModuleContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [Finding(rule="PARSE000", family="PARSE", path=path,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}")]
+    return _run_rules_on_context(context, rules)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint every Python file under ``paths`` and return the full report."""
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        path_text = str(file_path)
+        try:
+            context = ModuleContext.from_source(source, path_text)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(rule="PARSE000", family="PARSE", path=path_text,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}")
+            )
+            report.files_checked += 1
+            continue
+        report.extend(_run_rules_on_context(context, rules))
+        report.suppressions.extend(context.suppression_uses)
+        report.files_checked += 1
+    return report
+
+
+def collect_assigned_names(target: ast.AST) -> Iterable[str]:
+    """Every plain name bound by an assignment/loop target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from collect_assigned_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from collect_assigned_names(target.value)
+
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "package_path",
+    "iter_python_files",
+    "lint_source",
+    "lint_paths",
+    "collect_assigned_names",
+]

@@ -1,0 +1,139 @@
+"""Typed lint findings.
+
+A :class:`Finding` is one rule violation at one source location.  Findings are
+plain frozen dataclasses so rules stay side-effect free and the CLI can sort,
+serialise (``--format json``) and diff them without touching rule internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Full rule code, e.g. ``"DET001"``.
+    family:
+        Rule family prefix, e.g. ``"DET"`` — the granularity at which
+        suppressions and ``--select`` operate.
+    path:
+        Path of the offending file as given to the linter.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation.
+    snippet:
+        The stripped source line, for context in reports.
+    suppressed:
+        True when a ``# repro: noqa[...]`` comment covers this finding; kept
+        (rather than dropped) so ``--strict`` can audit suppression usage.
+    """
+
+    rule: str
+    family: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+
+    @property
+    def location(self) -> Tuple[str, int, int]:
+        """``(path, line, col)`` — the sort key of a report."""
+        return (self.path, self.line, self.col)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form used by ``--format json``."""
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        """The classic one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class SuppressionUse:
+    """One ``# repro: noqa[...]`` comment found in a linted file.
+
+    Tracked independently of findings so ``--strict`` can refuse suppressions
+    that are not justified in the committed baseline — even ones that
+    currently mask nothing.
+    """
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    file_level: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "file_level": self.file_level,
+        }
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: findings, suppressions and file count."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[SuppressionUse] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not masked by a suppression comment, sorted by location."""
+        return sorted(
+            (finding for finding in self.findings if not finding.suppressed),
+            key=lambda finding: (finding.location, finding.rule),
+        )
+
+    @property
+    def masked(self) -> List[Finding]:
+        """Findings masked by a suppression comment, sorted by location."""
+        return sorted(
+            (finding for finding in self.findings if finding.suppressed),
+            key=lambda finding: (finding.location, finding.rule),
+        )
+
+    def family_counts(self) -> Dict[str, int]:
+        """Active finding count per rule family (for the summary line)."""
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.family] = counts.get(finding.family, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form used by ``--format json`` and CI annotations."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [finding.as_dict() for finding in self.active],
+            "suppressed": [finding.as_dict() for finding in self.masked],
+            "suppressions": [use.as_dict() for use in self.suppressions],
+            "summary": self.family_counts(),
+        }
+
+
+__all__ = ["Finding", "SuppressionUse", "LintReport"]

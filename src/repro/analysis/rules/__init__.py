@@ -1,0 +1,31 @@
+"""The built-in rule families.
+
+``default_rules()`` is the single registration point: a new family is one
+module in this package plus one entry here (see docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.det import DetRule
+from repro.analysis.rules.dpb import DpbRule
+from repro.analysis.rules.exc import ExcRule
+from repro.analysis.rules.fpr import FprRule
+from repro.analysis.rules.priv import PrivRule
+
+
+def default_rules() -> List[Rule]:
+    """One fresh instance of every built-in rule family."""
+    return [DetRule(), DpbRule(), FprRule(), ExcRule(), PrivRule()]
+
+
+__all__ = [
+    "DetRule",
+    "DpbRule",
+    "ExcRule",
+    "FprRule",
+    "PrivRule",
+    "default_rules",
+]

@@ -1,0 +1,129 @@
+"""DET — determinism: no ambient randomness or wall-clock in result paths.
+
+Bit-identical runs at any worker count hinge on every random draw flowing
+from the spec seed through keyed ``SeedSequence`` spawning (``utils/rng.py``).
+A single ``np.random.rand`` or ``time.time()`` in an algorithm breaks that
+silently: the run still "works", it just stops being reproducible.  DET bans
+the ambient entropy sources from the result-affecting subpackages; RNG must
+arrive as a threaded ``numpy.random.Generator`` / ``SeedSequence`` parameter.
+
+Codes
+-----
+- ``DET001`` — legacy global-state ``numpy.random`` function (``rand``,
+  ``seed``, ``shuffle``, ...).  The ``Generator``/``SeedSequence`` family and
+  ``default_rng`` are allowed — they are explicit-state constructors.
+- ``DET002`` — the stdlib ``random`` module (import or use).
+- ``DET003`` — ``os.urandom`` (kernel entropy, unseedable).
+- ``DET004`` — wall-clock reads: ``time.time``/``time_ns``,
+  ``datetime.now``/``utcnow``, ``date.today``.  Monotonic timers
+  (``perf_counter``) are fine — they measure duration, not identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Subpackages whose output feeds results (and therefore fingerprints).
+RESULT_AFFECTING: Tuple[str, ...] = (
+    "repro/algorithms/",
+    "repro/generators/",
+    "repro/community/",
+    "repro/metrics/",
+    "repro/queries/",
+)
+
+#: Modules exempt even if they ever move under a scoped directory: the RNG
+#: threading helpers are the one sanctioned place that touches seeding APIs.
+ALLOWLIST: Tuple[str, ...] = ("repro/utils/rng.py",)
+
+#: ``numpy.random`` members that are explicit-state and therefore allowed.
+_NUMPY_ALLOWED = frozenset({
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+})
+
+#: Exact dotted names that read the wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+
+class DetRule(Rule):
+    family = "DET"
+    description = ("no ambient RNG (legacy numpy.random, stdlib random, "
+                   "os.urandom) or wall-clock in result-affecting modules")
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.relpath in ALLOWLIST:
+            return False
+        return context.relpath.startswith(RESULT_AFFECTING)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            context, "002", node,
+                            "stdlib `random` imported in a result-affecting "
+                            "module; thread a numpy Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.finding(
+                        context, "002", node,
+                        "stdlib `random` imported in a result-affecting "
+                        "module; thread a numpy Generator instead",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                yield from self._check_reference(context, node)
+
+    def _check_reference(self, context: ModuleContext,
+                         node: ast.AST) -> Iterator[Finding]:
+        dotted = context.resolve(node)
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            member = dotted.split(".")[2]
+            if member not in _NUMPY_ALLOWED:
+                yield self.finding(
+                    context, "001", node,
+                    f"legacy global-state `{dotted}`; draw from a threaded "
+                    "Generator parameter instead",
+                )
+        elif dotted.startswith("random.") and not dotted.startswith("random._"):
+            yield self.finding(
+                context, "002", node,
+                f"stdlib `{dotted}` draws from hidden global state; thread a "
+                "numpy Generator instead",
+            )
+        elif dotted == "os.urandom":
+            yield self.finding(
+                context, "003", node,
+                "`os.urandom` is unseedable kernel entropy; derive bytes from "
+                "the threaded SeedSequence instead",
+            )
+        elif dotted in _WALL_CLOCK:
+            yield self.finding(
+                context, "004", node,
+                f"wall-clock `{dotted}` makes results time-dependent; take "
+                "timestamps outside result paths",
+            )
+
+
+__all__ = ["DetRule", "RESULT_AFFECTING", "ALLOWLIST"]

@@ -1,0 +1,173 @@
+"""DPB — privacy-budget hygiene: mechanisms take ε from the ledger, not math.
+
+The paper's M4 principle (and the whole point of ``PrivacyBudget``) is that
+every ε-split is explicit and ledger-audited.  A mechanism built from raw
+arithmetic — ``LaplaceMechanism(epsilon=budget.epsilon / depth)`` — spends
+privacy the ledger never saw, and keeping a separate ``budget.spend`` call
+"in sync" by hand is exactly the bug class this rule removes: the two drift
+the first time someone edits one and not the other.
+
+``DPB001`` fires on any mechanism construction inside ``repro/algorithms/``
+whose ``epsilon`` argument is not the *direct* result of a budget operation
+(``spend`` / ``spend_fraction`` / ``spend_all_remaining`` / ``split`` /
+``split_even``) in the same function.  "Direct result" is tracked through
+assignments, tuple unpacking, ``for``-loop and comprehension targets, and
+subscripts of a tracked name — so both of these pass::
+
+    eps = budget.spend_fraction(0.5, label="edges")
+    mech = LaplaceMechanism(epsilon=eps, sensitivity=1.0)
+
+    levels = budget.split_even(depth, labels=labels)
+    mechs = [LaplaceMechanism(epsilon=e, sensitivity=1.0) for e in levels]
+
+while post-spend arithmetic (``epsilon=eps / 2``) still fails: halve the
+spend, not the spent value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Union
+
+from repro.analysis.engine import ModuleContext, Rule, collect_assigned_names
+from repro.analysis.findings import Finding
+
+#: Mechanism classes whose ``epsilon`` must come from the ledger.
+MECHANISM_CLASSES = frozenset({
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "GaussianMechanism",
+    "ExponentialMechanism",
+    "RandomizedResponse",
+})
+
+#: ``PrivacyBudget`` methods whose return value is ledger-recorded ε.
+BUDGET_METHODS = frozenset({
+    "spend",
+    "spend_fraction",
+    "spend_all_remaining",
+    "split",
+    "split_even",
+})
+
+_ScopeRoot = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _walk_scope(root: _ScopeRoot) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_budget_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in BUDGET_METHODS)
+
+
+class DpbRule(Rule):
+    family = "DPB"
+    description = ("mechanism ε must be the direct result of a PrivacyBudget "
+                   "spend/split in the same function")
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.relpath.startswith("repro/algorithms/")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        scopes: List[_ScopeRoot] = [context.tree]
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(context, scope)
+
+    def _check_scope(self, context: ModuleContext,
+                     scope: _ScopeRoot) -> Iterator[Finding]:
+        derived = self._derived_names(scope)
+        for node in _walk_scope(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._mechanism_name(node.func)
+            if name is None:
+                continue
+            epsilon = self._epsilon_argument(node)
+            if epsilon is None or not self._is_derived(epsilon, derived):
+                yield self.finding(
+                    context, "001", node,
+                    f"`{name}` built from raw ε arithmetic; pass the result "
+                    "of a PrivacyBudget spend/split from this function so the "
+                    "ledger records the split",
+                )
+
+    @staticmethod
+    def _mechanism_name(func: ast.AST) -> "str | None":
+        if isinstance(func, ast.Name) and func.id in MECHANISM_CLASSES:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in MECHANISM_CLASSES:
+            return func.attr
+        return None
+
+    @staticmethod
+    def _epsilon_argument(call: ast.Call) -> "ast.AST | None":
+        for keyword in call.keywords:
+            if keyword.arg == "epsilon":
+                return keyword.value
+        if call.args:
+            return call.args[0]
+        return None
+
+    @staticmethod
+    def _is_derived(node: ast.AST, derived: Set[str]) -> bool:
+        if _is_budget_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in derived
+        if isinstance(node, ast.Subscript):
+            return DpbRule._is_derived(node.value, derived)
+        return False
+
+    def _derived_names(self, scope: _ScopeRoot) -> Set[str]:
+        """Names bound (directly or via iteration) to budget-spend results.
+
+        Runs to a fixpoint so chains like spend → list → loop target resolve
+        regardless of statement order inside the scope.
+        """
+        derived: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in _walk_scope(scope):
+                if isinstance(node, ast.Assign):
+                    if node.value is not None and self._is_derived(node.value, derived):
+                        for target in node.targets:
+                            for name in collect_assigned_names(target):
+                                if name not in derived:
+                                    derived.add(name)
+                                    changed = True
+                elif isinstance(node, ast.AnnAssign):
+                    if node.value is not None and self._is_derived(node.value, derived):
+                        for name in collect_assigned_names(node.target):
+                            if name not in derived:
+                                derived.add(name)
+                                changed = True
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if self._is_derived(node.iter, derived):
+                        for name in collect_assigned_names(node.target):
+                            if name not in derived:
+                                derived.add(name)
+                                changed = True
+                elif isinstance(node, ast.comprehension):
+                    if self._is_derived(node.iter, derived):
+                        for name in collect_assigned_names(node.target):
+                            if name not in derived:
+                                derived.add(name)
+                                changed = True
+        return derived
+
+
+__all__ = ["DpbRule", "MECHANISM_CLASSES", "BUDGET_METHODS"]

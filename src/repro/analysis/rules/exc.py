@@ -1,0 +1,113 @@
+"""EXC — exception hygiene around the fault-injection escape hatch.
+
+The chaos layer's fault directives (``InjectedWorkerCrash``,
+``InjectedWorkerHang``) derive from ``BaseException`` precisely so that the
+runner's legitimate ``except Exception`` retry paths cannot swallow them.
+That design only holds if nothing in the unit-execution path catches
+``BaseException`` (or uses a bare ``except:``, which is the same thing)
+without unconditionally re-raising.
+
+Codes
+-----
+- ``EXC001`` — bare ``except:`` (anywhere in the package; it can swallow
+  ``KeyboardInterrupt`` and the fault directives alike).
+- ``EXC002`` — ``except BaseException`` without a ``raise`` in the handler,
+  in ``core/runner.py`` / ``core/pool.py`` — the unit paths that must let
+  fault directives escape.
+- ``EXC003`` — catching a fault directive class and *silently discarding*
+  it (a handler body of only ``pass``/``...``/``continue``), in the same two
+  modules.  Catching a directive to charge it against the retry budget is
+  the designed recovery point (the serial twin of the pool's crash
+  recovery); catching it and doing nothing re-creates the bug the
+  directives exist to surface.
+
+Note ``except Exception`` is deliberately *allowed*: directives being
+``BaseException`` subclasses is exactly what makes it safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Modules on the unit-execution path where a swallowed directive breaks
+#: crash/hang recovery (see docs/fault_tolerance.md).
+UNIT_PATH_MODULES: Tuple[str, ...] = ("repro/core/runner.py", "repro/core/pool.py")
+
+#: The BaseException-derived fault directive classes from core/faults.py.
+FAULT_DIRECTIVES = frozenset({"InjectedWorkerCrash", "InjectedWorkerHang"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    nodes: List[ast.AST] = []
+    if isinstance(handler.type, ast.Tuple):
+        nodes.extend(handler.type.elts)
+    elif handler.type is not None:
+        nodes.append(handler.type)
+    names: List[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _silently_discards(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the exception."""
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class ExcRule(Rule):
+    family = "EXC"
+    description = ("no bare except; no swallowed BaseException/fault "
+                   "directives on the unit-execution path")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        unit_path = context.relpath in UNIT_PATH_MODULES
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context, "001", node,
+                    "bare `except:` catches BaseException and can swallow "
+                    "fault directives and KeyboardInterrupt; name the "
+                    "exception types",
+                )
+                continue
+            if not unit_path:
+                continue
+            caught = _caught_names(node)
+            if "BaseException" in caught and not _reraises(node):
+                yield self.finding(
+                    context, "002", node,
+                    "`except BaseException` without re-raise on the unit path "
+                    "swallows injected fault directives; re-raise or narrow "
+                    "the catch",
+                )
+            directives = sorted(FAULT_DIRECTIVES.intersection(caught))
+            if directives and _silently_discards(node):
+                yield self.finding(
+                    context, "003", node,
+                    f"fault directive `{directives[0]}` caught and silently "
+                    "discarded; recover it (charge the retry budget) or let "
+                    "it escape",
+                )
+
+
+__all__ = ["ExcRule", "UNIT_PATH_MODULES", "FAULT_DIRECTIVES"]

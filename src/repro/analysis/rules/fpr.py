@@ -1,0 +1,128 @@
+"""FPR — fingerprint classification: every spec field is accounted for.
+
+``BenchmarkSpec.fingerprint()`` decides which runs are "the same experiment"
+— journals resume against it and the registry refuses mismatched
+submissions.  A new spec field that silently stays out of the fingerprint
+means two *different* experiments can merge; a field that is execution-only
+(``workers``, timeouts, fault injection) must be *declared* so, in the
+``EXECUTION_ONLY_FIELDS`` constant next to the class, so the omission is a
+reviewed decision instead of an accident.
+
+Codes
+-----
+- ``FPR001`` — spec field neither fingerprinted nor listed in
+  ``EXECUTION_ONLY_FIELDS`` (anchored at the field's declaration).
+- ``FPR002`` — stale ``EXECUTION_ONLY_FIELDS`` entry naming no spec field.
+- ``FPR003`` — field both fingerprinted and declared execution-only: the two
+  claims contradict; pick one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: The module that owns the spec/fingerprint pair.
+SPEC_MODULE = "repro/core/spec.py"
+SPEC_CLASS = "BenchmarkSpec"
+EXCLUSION_CONSTANT = "EXECUTION_ONLY_FIELDS"
+
+
+class FprRule(Rule):
+    family = "FPR"
+    description = ("every BenchmarkSpec field must be fingerprinted or "
+                   "declared execution-only")
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.relpath == SPEC_MODULE
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        spec = self._find_spec_class(context.tree)
+        if spec is None:
+            return
+        fields = self._spec_fields(spec)
+        fingerprinted = self._fingerprint_keys(spec)
+        exclusion_node, excluded = self._exclusions(context.tree)
+
+        field_names = {name for name, _ in fields}
+        for name, node in fields:
+            if name not in fingerprinted and name not in excluded:
+                yield self.finding(
+                    context, "001", node,
+                    f"spec field `{name}` is neither fingerprinted nor listed "
+                    f"in {EXCLUSION_CONSTANT}; classify it",
+                )
+            elif name in fingerprinted and name in excluded:
+                anchor = exclusion_node if exclusion_node is not None else node
+                yield self.finding(
+                    context, "003", anchor,
+                    f"spec field `{name}` is both fingerprinted and declared "
+                    "execution-only; the classifications contradict",
+                )
+        if exclusion_node is not None:
+            for name in sorted(excluded - field_names):
+                yield self.finding(
+                    context, "002", exclusion_node,
+                    f"{EXCLUSION_CONSTANT} entry `{name}` names no "
+                    f"{SPEC_CLASS} field; remove the stale entry",
+                )
+
+    @staticmethod
+    def _find_spec_class(tree: ast.Module) -> Optional[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == SPEC_CLASS:
+                return node
+        return None
+
+    @staticmethod
+    def _spec_fields(spec: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+        fields: List[Tuple[str, ast.AnnAssign]] = []
+        for statement in spec.body:
+            if (isinstance(statement, ast.AnnAssign)
+                    and isinstance(statement.target, ast.Name)):
+                annotation = ast.dump(statement.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                fields.append((statement.target.id, statement))
+        return fields
+
+    @staticmethod
+    def _fingerprint_keys(spec: ast.ClassDef) -> Set[str]:
+        keys: Set[str] = set()
+        for statement in spec.body:
+            if (isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and statement.name == "fingerprint"):
+                for node in ast.walk(statement):
+                    if isinstance(node, ast.Dict):
+                        for key in node.keys:
+                            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                                keys.add(key.value)
+        return keys
+
+    @staticmethod
+    def _exclusions(tree: ast.Module) -> Tuple[Optional[ast.stmt], Set[str]]:
+        for statement in tree.body:
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+                value = statement.value
+            else:
+                continue
+            if not any(isinstance(target, ast.Name) and target.id == EXCLUSION_CONSTANT
+                       for target in targets):
+                continue
+            names: Set[str] = set()
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        names.add(element.value)
+            return statement, names
+        return None, set()
+
+
+__all__ = ["FprRule", "SPEC_MODULE", "SPEC_CLASS", "EXCLUSION_CONSTANT"]

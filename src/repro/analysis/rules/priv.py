@@ -1,0 +1,79 @@
+"""PRIV — no cross-module use of ``_underscore`` internals.
+
+PR 6's ``pool._broken`` bug is the template: code in one module reached into
+another module's private state, the private side changed shape, and the
+reader had no signal that a contract was being crossed.  A leading
+underscore is a promise that the name may change without notice — honouring
+it across module boundaries is what keeps refactors local.
+
+Codes
+-----
+- ``PRIV001`` — ``from somewhere import _name``: importing a private name
+  from another module.  Make the name public (rename) or move the caller.
+- ``PRIV002`` — attribute access ``module._name`` where ``module`` resolves
+  through an import: same contract violation, spelled dotted.
+
+Dunder names (``__init__``-style) are exempt — they are protocol, not
+privacy.  Access through a *local variable* (``obj._attr``) is out of reach
+statically, since the object's defining module is unknown; the rule catches
+the import-rooted cases, which is where every real instance in this repo
+has lived.  The one sanctioned exception is ``os._exit`` in the fault
+injector: crashing a worker without cleanup is its documented purpose.
+``getattr(obj, "_name", default)`` probes stay visible to reviewers as the
+deliberate escape hatch (they carry a default; plain attribute access does
+not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Dotted names allowed despite the underscore: `os._exit` is the documented
+#: hard-kill primitive of the fault injector (skips atexit/finally by design).
+ALLOWED_DOTTED = frozenset({"os._exit"})
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+class PrivRule(Rule):
+    family = "PRIV"
+    description = "no cross-module access to _underscore internals"
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.relpath.startswith("repro/")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if _is_private(alias.name):
+                        source = ("." * node.level) + (node.module or "")
+                        yield self.finding(
+                            context, "001", node,
+                            f"private `{alias.name}` imported from "
+                            f"`{source}`; make it public or move the caller "
+                            "into that module",
+                        )
+            elif isinstance(node, ast.Attribute) and _is_private(node.attr):
+                base = context.resolve(node.value)
+                if base is None:
+                    continue
+                dotted = f"{base}.{node.attr}"
+                if dotted in ALLOWED_DOTTED:
+                    continue
+                yield self.finding(
+                    context, "002", node,
+                    f"cross-module access to private `{dotted}`; depend on "
+                    "the module's public surface instead",
+                )
+
+
+__all__ = ["PrivRule", "ALLOWED_DOTTED"]

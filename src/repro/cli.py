@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import PGB_ALGORITHM_NAMES, get_algorithm, list_algorithms
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core.profiling import profile_algorithms, profiles_as_tables
 from repro.core.guidelines import recommend_algorithm
 from repro.core.report import (
@@ -177,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     recommend_parser.add_argument("--epsilon", type=float, required=True)
     recommend_parser.add_argument("--query", default=None,
                                   help="optional priority query (e.g. degree_distribution)")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism / privacy-budget / fingerprint "
+             "invariants (see docs/static_analysis.md)",
+    )
+    add_lint_arguments(lint_parser)
 
     generate_parser = subparsers.add_parser("generate", help="generate one synthetic graph")
     generate_parser.add_argument("--dataset", required=True)
@@ -555,6 +563,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_profile(args)
     if args.command == "recommend":
         return _command_recommend(args)
+    if args.command == "lint":
+        return run_lint(args)
     if args.command == "generate":
         return _command_generate(args)
     parser.error(f"unknown command {args.command!r}")

@@ -48,7 +48,7 @@ PathLike = Union[str, Path]
 #: Version 2 added the ``failed``/``failure`` cell fields (version-1 files
 #: load fine: the fields default to "not failed").
 FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Version of the checkpoint-journal layout (header line + one task per line).
 JOURNAL_FORMAT_VERSION = 1
@@ -104,8 +104,8 @@ class UnsupportedFormatVersionError(ValueError):
 
     def __init__(self, version: object) -> None:
         self.version = version
-        self.supported = _SUPPORTED_VERSIONS
-        supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
+        self.supported = SUPPORTED_VERSIONS
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         super().__init__(
             f"unsupported results format version {version!r}: this build reads "
             f"versions {supported}; re-export the results with a matching repro "
@@ -196,7 +196,7 @@ def results_to_dict(results: BenchmarkResults) -> dict:
 def results_from_dict(payload: dict) -> BenchmarkResults:
     """Rebuild a :class:`BenchmarkResults` from :func:`results_to_dict` output."""
     version = payload.get("format_version")
-    if version not in _SUPPORTED_VERSIONS:
+    if version not in SUPPORTED_VERSIONS:
         raise UnsupportedFormatVersionError(version)
     spec = spec_from_dict(payload["spec"])
     cells = [cell_from_dict(cell_payload) for cell_payload in payload["cells"]]
@@ -430,7 +430,7 @@ class CheckpointJournal:
 
 # -- shard merging -----------------------------------------------------------
 
-def _cells_agree(first: CellResult, second: CellResult) -> bool:
+def cells_agree(first: CellResult, second: CellResult) -> bool:
     """Deterministic fields equal (NaN == NaN; wall-clock timing ignored)."""
     def close(a: float, b: float) -> bool:
         return (math.isnan(a) and math.isnan(b)) or a == b
@@ -503,7 +503,7 @@ def merge_results_with_stats(
         for cell in results.cells:
             key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
             if key in chosen:
-                if not _cells_agree(chosen[key], cell):
+                if not cells_agree(chosen[key], cell):
                     raise ValueError(
                         f"conflicting duplicate cell {key}: the inputs do not "
                         "come from the same deterministic run"
@@ -583,5 +583,7 @@ __all__ = [
     "load_manifest_json",
     "export_results_csv",
     "merge_results",
+    "cells_agree",
+    "SUPPORTED_VERSIONS",
     "merge_results_with_stats",
 ]

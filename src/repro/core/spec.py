@@ -38,6 +38,19 @@ PGB_EPSILONS: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
 #: refused loudly instead of silently mixing old and new cell values.
 RESULTS_PROTOCOL_VERSION = 2
 
+#: Spec fields that shape *how* a run executes but never *what* it computes:
+#: results are bit-identical for any worker count, retry budget, watchdog
+#: deadline or injected-fault plan, so these stay out of the fingerprint on
+#: purpose.  Every other field must appear in :meth:`BenchmarkSpec.fingerprint`
+#: — the ``repro lint`` FPR rule fails any field missing from both sets, which
+#: turns the classification of each new field into a reviewed decision.
+EXECUTION_ONLY_FIELDS: Tuple[str, ...] = (
+    "workers",
+    "max_retries",
+    "unit_timeout",
+    "faults",
+)
+
 
 class SpecValidationError(ValueError):
     """Raised when a benchmark specification violates a design principle."""
@@ -287,4 +300,4 @@ class BenchmarkSpec:
 
 
 __all__ = ["BenchmarkSpec", "SpecValidationError", "PGB_EPSILONS",
-           "RESULTS_PROTOCOL_VERSION"]
+           "RESULTS_PROTOCOL_VERSION", "EXECUTION_ONLY_FIELDS"]

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple, Union
 from repro.core.persistence import (
     FORMAT_VERSION,
     UnsupportedFormatVersionError,
-    _SUPPORTED_VERSIONS,
+    SUPPORTED_VERSIONS,
     cell_from_dict,
     load_results_json,
     save_results_json,
@@ -129,7 +129,7 @@ def _utc_now_iso() -> str:
 
 def _cell_to_row(cell: CellResult) -> Tuple:
     # sqlite3 has no NaN representation (it binds to NULL); that is exactly
-    # the mapping we want, and _row_to_cell turns NULL back into NaN.
+    # the mapping we want, and row_to_cell turns NULL back into NaN.
     return (
         cell.algorithm, cell.dataset, float(cell.epsilon), cell.query,
         cell.query_code,
@@ -140,7 +140,7 @@ def _cell_to_row(cell: CellResult) -> Tuple:
     )
 
 
-def _row_to_cell(row: sqlite3.Row) -> CellResult:
+def row_to_cell(row: sqlite3.Row) -> CellResult:
     return CellResult(
         algorithm=row["algorithm"],
         dataset=row["dataset"],
@@ -196,11 +196,11 @@ def load_submission(connection: sqlite3.Connection, submission_id: int) -> Bench
     ).fetchone()
     if row is None:
         raise StoreError(f"no submission with id {submission_id}")
-    if row["format_version"] not in _SUPPORTED_VERSIONS:
+    if row["format_version"] not in SUPPORTED_VERSIONS:
         raise UnsupportedFormatVersionError(row["format_version"])
     spec = spec_from_dict(json.loads(row["spec_json"]))
     cells = [
-        _row_to_cell(cell_row)
+        row_to_cell(cell_row)
         for cell_row in connection.execute(
             "SELECT * FROM cells WHERE submission_id = ? ORDER BY position",
             (submission_id,),
@@ -358,4 +358,5 @@ __all__ = [
     "connect",
     "insert_submission",
     "load_submission",
+    "row_to_cell",
 ]

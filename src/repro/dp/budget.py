@@ -133,6 +133,23 @@ class PrivacyBudget:
             amounts.append(self.spend(self.epsilon * fraction, label=label))
         return amounts
 
+    def split_even(self, parts: int, labels: Sequence[str] | None = None) -> List[float]:
+        """Split the *total* ε into ``parts`` equal stages.
+
+        Each stage receives exactly ``epsilon / parts`` — the literal float
+        division, not ``epsilon * (1 / parts)``, which can differ in the last
+        ulp and would change every noise draw scaled by the stage ε.
+        Records every stage in the ledger, like :meth:`split`.
+        """
+        if parts < 1:
+            raise ValueError("parts must be at least 1")
+        if labels is None:
+            labels = [f"stage_{index}" for index in range(parts)]
+        if len(labels) != parts:
+            raise ValueError("labels must have exactly `parts` entries")
+        amount = self.epsilon / parts
+        return [self.spend(amount, label=label) for label in labels]
+
     def assert_fully_spent(self, tolerance: float = 1e-6) -> None:
         """Raise if the algorithm left budget unused (tests call this)."""
         if abs(self.remaining_epsilon) > tolerance:

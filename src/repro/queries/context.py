@@ -72,9 +72,9 @@ class EvaluationContext:
 
     def lcc_subgraph(self) -> Graph:
         """Induced subgraph of the largest connected component (sorted node ids)."""
-        from repro.queries.path import _component_subgraph
+        from repro.queries.path import component_subgraph
 
-        return self.cached("lcc_subgraph", lambda: _component_subgraph(self.graph))
+        return self.cached("lcc_subgraph", lambda: component_subgraph(self.graph))
 
     def pairwise_distances(self, max_sources: int) -> np.ndarray:
         """Positive pairwise distances from the sampled BFS sources inside the LCC.
@@ -84,13 +84,13 @@ class EvaluationContext:
         component extraction and source sampling are the path module's own
         helpers, so the two code paths cannot drift apart.
         """
-        from repro.queries.path import _sample_sources
+        from repro.queries.path import sample_sources
 
         def compute() -> np.ndarray:
             component = self.lcc_subgraph()
             if component.num_nodes < 2:
                 return np.array([], dtype=np.int64)
-            sources = _sample_sources(component.num_nodes, max_sources)
+            sources = sample_sources(component.num_nodes, max_sources)
             distances = bfs_distances_multi(component, sources)
             return distances[distances > 0]
 

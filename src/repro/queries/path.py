@@ -23,14 +23,14 @@ from repro.graphs.properties import bfs_distances_multi, largest_connected_compo
 from repro.queries.base import GraphQuery, QueryCategory
 
 
-def _component_subgraph(graph: Graph) -> Graph:
+def component_subgraph(graph: Graph) -> Graph:
     component = largest_connected_component(graph)
     if len(component) < 2:
         return Graph(0)
     return graph.subgraph(sorted(component))
 
 
-def _sample_sources(num_nodes: int, max_sources: int) -> np.ndarray:
+def sample_sources(num_nodes: int, max_sources: int) -> np.ndarray:
     if num_nodes <= max_sources:
         return np.arange(num_nodes)
     return np.linspace(0, num_nodes - 1, max_sources).astype(np.int64)
@@ -48,10 +48,10 @@ class _PathQueryBase(GraphQuery):
 
     def _distances(self, graph: Graph) -> np.ndarray:
         """All pairwise distances from the sampled sources inside the LCC."""
-        component = _component_subgraph(graph)
+        component = component_subgraph(graph)
         if component.num_nodes < 2:
             return np.array([], dtype=np.int64)
-        sources = _sample_sources(component.num_nodes, self.max_sources)
+        sources = sample_sources(component.num_nodes, self.max_sources)
         distances = bfs_distances_multi(component, sources)
         return distances[distances > 0]
 
@@ -113,4 +113,10 @@ class DistanceDistributionQuery(_PathQueryBase):
         return histogram / histogram.sum()
 
 
-__all__ = ["DiameterQuery", "AverageShortestPathQuery", "DistanceDistributionQuery"]
+__all__ = [
+    "DiameterQuery",
+    "AverageShortestPathQuery",
+    "DistanceDistributionQuery",
+    "component_subgraph",
+    "sample_sources",
+]

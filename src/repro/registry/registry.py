@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
-from repro.core.persistence import _cells_agree, merge_results, spec_from_dict
+from repro.core.persistence import cells_agree, merge_results, spec_from_dict
 from repro.core.runner import BenchmarkResults, CellResult
 from repro.core.spec import RESULTS_PROTOCOL_VERSION, BenchmarkSpec
 from repro.core.store import connect, insert_submission, load_submission
@@ -119,14 +119,14 @@ class ResultsRegistry:
         full-table scan per submission.  Any representative will do:
         agreement among registered duplicates is a submit-time invariant.
         """
-        from repro.core.store import _row_to_cell
+        from repro.core.store import row_to_cell
 
         row = connection.execute(
             'SELECT * FROM cells WHERE dataset = ? AND algorithm = ? AND '
             '"query" = ? AND epsilon = ? LIMIT 1',
             (cell.dataset, cell.algorithm, cell.query, float(cell.epsilon)),
         ).fetchone()
-        return None if row is None else _row_to_cell(row)
+        return None if row is None else row_to_cell(row)
 
     # -- submissions ---------------------------------------------------------
     def submit(self, results: BenchmarkResults, submitter: str = "anonymous",
@@ -192,7 +192,7 @@ class ResultsRegistry:
 
             for cell in results.cells:
                 existing = self._registered_cell_at(connection, cell)
-                if existing is not None and not _cells_agree(existing, cell):
+                if existing is not None and not cells_agree(existing, cell):
                     key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
                     raise RegistryConflictError(
                         f"submission conflicts with registered cell {key}: the "
@@ -290,7 +290,7 @@ class ResultsRegistry:
         ``(dataset, algorithm, query, epsilon)`` index — duplicates collapsed
         to one representative, ordered by coordinates.
         """
-        from repro.core.store import _row_to_cell
+        from repro.core.store import row_to_cell
 
         clauses: List[str] = []
         parameters: List[object] = []
@@ -316,7 +316,7 @@ class ResultsRegistry:
         cells: List[CellResult] = []
         seen: set = set()
         for row in rows:
-            cell = _row_to_cell(row)
+            cell = row_to_cell(row)
             key = (cell.algorithm, cell.dataset, cell.epsilon, cell.query)
             if key in seen:
                 continue

@@ -1,0 +1,576 @@
+"""`repro lint` self-tests: a known-bad corpus per rule family, suppression
+semantics, the CLI surface, and the self-clean guarantee (the linter's own
+package — and the whole tree — lint clean with zero suppressions)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import default_rules, lint_paths, lint_source
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import ModuleContext, package_path
+from repro.cli import main as repro_main
+
+
+def lint(source, path):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def codes(findings):
+    return [(finding.rule, finding.line) for finding in findings if not finding.suppressed]
+
+
+# -- DET: determinism --------------------------------------------------------
+
+class TestDetRule:
+    def test_legacy_numpy_random_flagged(self):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def generate(n):
+                return np.random.rand(n)
+            """,
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DET001", 4)]
+
+    def test_np_random_seed_flagged(self):
+        findings = lint(
+            "import numpy as np\nnp.random.seed(0)\n",
+            "repro/generators/bad.py",
+        )
+        assert codes(findings) == [("DET001", 2)]
+
+    def test_stdlib_random_import_and_use_flagged(self):
+        findings = lint(
+            """\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            "repro/community/bad.py",
+        )
+        assert codes(findings) == [("DET002", 1), ("DET002", 4)]
+
+    def test_from_random_import_flagged(self):
+        findings = lint(
+            "from random import shuffle\n",
+            "repro/metrics/bad.py",
+        )
+        assert codes(findings) == [("DET002", 1)]
+
+    def test_os_urandom_flagged(self):
+        findings = lint(
+            "import os\ntoken = os.urandom(8)\n",
+            "repro/queries/bad.py",
+        )
+        assert codes(findings) == [("DET003", 2)]
+
+    def test_wall_clock_flagged(self):
+        findings = lint(
+            """\
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DET004", 5), ("DET004", 5)]
+
+    def test_threaded_generator_is_clean(self):
+        findings = lint(
+            """\
+            import numpy as np
+            from repro.utils.rng import ensure_rng
+
+            def generate(n, rng: np.random.Generator):
+                generator = ensure_rng(rng)
+                return generator.random(n)
+
+            def seeded(seed):
+                return np.random.default_rng(np.random.SeedSequence(seed))
+            """,
+            "repro/algorithms/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_local_variable_named_random_is_clean(self):
+        findings = lint(
+            """\
+            def draw(rng):
+                random = rng
+                return random.normal()
+            """,
+            "repro/algorithms/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_only_result_affecting_modules_in_scope(self):
+        source = "import random\nrandom.random()\n"
+        assert codes(lint(source, "repro/core/runner_helper.py")) == []
+        assert codes(lint(source, "repro/utils/rng.py")) == []
+        assert codes(lint(source, "repro/algorithms/bad.py")) != []
+
+
+# -- DPB: privacy-budget hygiene ---------------------------------------------
+
+class TestDpbRule:
+    def test_raw_epsilon_arithmetic_flagged(self):
+        findings = lint(
+            """\
+            from repro.dp.mechanisms import LaplaceMechanism
+
+            def generate(graph, budget, rng):
+                per_level = budget.epsilon / 4
+                mechs = [LaplaceMechanism(epsilon=per_level, sensitivity=1.0)
+                         for _ in range(4)]
+                for level in range(4):
+                    budget.spend(per_level, label=f"level_{level}")
+                return mechs
+            """,
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DPB001", 5)]
+
+    def test_spend_result_is_clean(self):
+        findings = lint(
+            """\
+            from repro.dp.mechanisms import LaplaceMechanism
+
+            def generate(graph, budget, rng):
+                eps = budget.spend_fraction(0.5, label="edges")
+                return LaplaceMechanism(epsilon=eps, sensitivity=1.0)
+            """,
+            "repro/algorithms/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_split_even_comprehension_is_clean(self):
+        findings = lint(
+            """\
+            from repro.dp.mechanisms import LaplaceMechanism
+
+            def generate(graph, budget, rng):
+                levels = budget.split_even(4, labels=[f"l{i}" for i in range(4)])
+                return [LaplaceMechanism(epsilon=eps, sensitivity=1.0)
+                        for eps in levels]
+            """,
+            "repro/algorithms/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_split_subscript_and_unpacking_are_clean(self):
+        findings = lint(
+            """\
+            from repro.dp.mechanisms import LaplaceMechanism, RandomizedResponse
+
+            def generate(graph, budget, rng):
+                parts = budget.split([0.5, 0.5], labels=["a", "b"])
+                first = LaplaceMechanism(epsilon=parts[0], sensitivity=1.0)
+                eps_a, eps_b = budget.split([0.5, 0.5], labels=["c", "d"])
+                second = RandomizedResponse(epsilon=eps_b)
+                return first, second
+            """,
+            "repro/algorithms/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_post_spend_arithmetic_still_flagged(self):
+        findings = lint(
+            """\
+            from repro.dp.mechanisms import LaplaceMechanism
+
+            def generate(graph, budget, rng):
+                eps = budget.spend_all_remaining(label="all")
+                return LaplaceMechanism(epsilon=eps / 2, sensitivity=1.0)
+            """,
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DPB001", 5)]
+
+    def test_only_algorithms_package_in_scope(self):
+        source = (
+            "from repro.dp.mechanisms import LaplaceMechanism\n"
+            "mech = LaplaceMechanism(epsilon=0.5, sensitivity=1.0)\n"
+        )
+        assert codes(lint(source, "repro/dp/helpers.py")) == []
+        assert codes(lint(source, "repro/algorithms/bad.py")) == [("DPB001", 2)]
+
+
+# -- FPR: fingerprint classification -----------------------------------------
+
+FPR_TEMPLATE = """\
+EXECUTION_ONLY_FIELDS = ({exclusions})
+
+
+class BenchmarkSpec:
+    seed: int = 0
+    workers: int = 1
+    {extra_field}
+
+    def fingerprint(self):
+        material = {{
+            "seed": self.seed,
+            {extra_key}
+        }}
+        return material
+"""
+
+
+def fpr_source(exclusions='"workers",', extra_field="", extra_key=""):
+    return FPR_TEMPLATE.format(
+        exclusions=exclusions, extra_field=extra_field, extra_key=extra_key
+    )
+
+
+class TestFprRule:
+    def test_classified_fields_are_clean(self):
+        assert codes(lint(fpr_source(), "repro/core/spec.py")) == []
+
+    def test_unclassified_field_flagged_at_declaration(self):
+        findings = lint(
+            fpr_source(extra_field="timeout: float = 1.0"),
+            "repro/core/spec.py",
+        )
+        assert codes(findings) == [("FPR001", 7)]
+
+    def test_stale_exclusion_flagged(self):
+        findings = lint(
+            fpr_source(exclusions='"workers", "retired_knob",'),
+            "repro/core/spec.py",
+        )
+        assert codes(findings) == [("FPR002", 1)]
+
+    def test_contradictory_classification_flagged(self):
+        findings = lint(
+            fpr_source(exclusions='"workers", "seed",'),
+            "repro/core/spec.py",
+        )
+        assert codes(findings) == [("FPR003", 1)]
+
+    def test_only_spec_module_in_scope(self):
+        source = fpr_source(extra_field="timeout: float = 1.0")
+        assert codes(lint(source, "repro/core/other.py")) == []
+
+    def test_real_spec_module_is_classified(self):
+        report = lint_paths(["src/repro/core/spec.py"])
+        assert codes(report.findings) == []
+
+
+# -- EXC: exception hygiene ---------------------------------------------------
+
+class TestExcRule:
+    def test_bare_except_flagged_everywhere(self):
+        source = """\
+        def load(path):
+            try:
+                return open(path)
+            except:
+                return None
+        """
+        assert codes(lint(source, "repro/metrics/bad.py")) == [("EXC001", 4)]
+
+    def test_base_exception_without_reraise_flagged_on_unit_path(self):
+        findings = lint(
+            """\
+            def run_unit(unit):
+                try:
+                    return unit()
+                except BaseException:
+                    return None
+            """,
+            "repro/core/runner.py",
+        )
+        assert codes(findings) == [("EXC002", 4)]
+
+    def test_base_exception_with_reraise_is_clean(self):
+        findings = lint(
+            """\
+            def run_unit(unit):
+                try:
+                    return unit()
+                except BaseException:
+                    unit.cleanup()
+                    raise
+            """,
+            "repro/core/pool.py",
+        )
+        assert codes(findings) == []
+
+    def test_silently_discarded_directive_flagged(self):
+        findings = lint(
+            """\
+            from repro.core.faults import InjectedWorkerCrash
+
+            def run_unit(unit):
+                try:
+                    return unit()
+                except InjectedWorkerCrash:
+                    pass
+            """,
+            "repro/core/runner.py",
+        )
+        assert codes(findings) == [("EXC003", 6)]
+
+    def test_recovered_directive_is_clean(self):
+        findings = lint(
+            """\
+            from repro.core.faults import InjectedWorkerCrash
+
+            def run_unit(unit, diagnostics):
+                try:
+                    return unit()
+                except InjectedWorkerCrash:
+                    diagnostics.worker_crashes_recovered += 1
+                    return None
+            """,
+            "repro/core/runner.py",
+        )
+        assert codes(findings) == []
+
+    def test_except_exception_is_allowed(self):
+        findings = lint(
+            """\
+            def run_unit(unit):
+                try:
+                    return unit()
+                except Exception:
+                    return None
+            """,
+            "repro/core/runner.py",
+        )
+        assert codes(findings) == []
+
+    def test_unit_path_rules_scoped_to_runner_and_pool(self):
+        source = """\
+        def f(g):
+            try:
+                return g()
+            except BaseException:
+                return None
+        """
+        assert codes(lint(source, "repro/metrics/bad.py")) == []
+
+
+# -- PRIV: private-name crossings ---------------------------------------------
+
+class TestPrivRule:
+    def test_private_import_flagged(self):
+        findings = lint(
+            "from repro.core.persistence import _cells_agree\n",
+            "repro/registry/bad.py",
+        )
+        assert codes(findings) == [("PRIV001", 1)]
+
+    def test_private_relative_import_flagged(self):
+        findings = lint(
+            "from ._helpers import _secret\n",
+            "repro/queries/bad.py",
+        )
+        assert codes(findings) == [("PRIV001", 1)]
+
+    def test_private_attribute_on_imported_module_flagged(self):
+        findings = lint(
+            """\
+            from repro.core import pool
+
+            def broken():
+                return pool._broken
+            """,
+            "repro/core/bad.py",
+        )
+        assert codes(findings) == [("PRIV002", 4)]
+
+    def test_os_exit_is_the_sanctioned_exception(self):
+        findings = lint(
+            "import os\nos._exit(1)\n",
+            "repro/core/faults.py",
+        )
+        assert codes(findings) == []
+
+    def test_local_object_and_dunder_access_are_clean(self):
+        findings = lint(
+            """\
+            import os
+
+            def f(obj):
+                obj._internal = 1
+                return obj._internal, os.__name__
+            """,
+            "repro/core/good.py",
+        )
+        assert codes(findings) == []
+
+    def test_public_import_is_clean(self):
+        findings = lint(
+            "from repro.core.persistence import cells_agree\n",
+            "repro/registry/good.py",
+        )
+        assert codes(findings) == []
+
+
+# -- suppression semantics ----------------------------------------------------
+
+class TestSuppressions:
+    BAD = "import numpy as np\nx = np.random.rand(3)  {comment}\n"
+
+    def test_line_suppression_masks_by_code(self):
+        findings = lint(
+            self.BAD.format(comment="# repro: noqa[DET001]"),
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == []
+        assert [finding.rule for finding in findings if finding.suppressed] == ["DET001"]
+
+    def test_line_suppression_masks_by_family(self):
+        findings = lint(
+            self.BAD.format(comment="# repro: noqa[DET]"),
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == []
+
+    def test_wrong_rule_does_not_mask(self):
+        findings = lint(
+            self.BAD.format(comment="# repro: noqa[PRIV]"),
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DET001", 2)]
+
+    def test_suppression_only_covers_its_line(self):
+        findings = lint(
+            "import numpy as np  # repro: noqa[DET]\nx = np.random.rand(3)\n",
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == [("DET001", 2)]
+
+    def test_file_suppression_masks_whole_module(self):
+        findings = lint(
+            "# repro: noqa-file[DET]\nimport random\nimport numpy as np\n"
+            "x = np.random.rand(3)\n",
+            "repro/algorithms/bad.py",
+        )
+        assert codes(findings) == []
+        assert len([finding for finding in findings if finding.suppressed]) == 2
+
+    def test_mention_in_docstring_is_not_a_suppression(self):
+        context = ModuleContext.from_source(
+            '"""Use `# repro: noqa[DET001]` to suppress."""\nx = 1\n',
+            "repro/algorithms/doc.py",
+        )
+        assert context.suppression_uses == []
+
+
+# -- engine behaviour ---------------------------------------------------------
+
+class TestEngine:
+    def test_package_path_strips_leading_directories(self):
+        assert package_path("/root/repo/src/repro/algorithms/der.py") == (
+            "repro/algorithms/der.py"
+        )
+        assert package_path("repro/core/spec.py") == "repro/core/spec.py"
+        assert package_path("/tmp/elsewhere/thing.py") == "/tmp/elsewhere/thing.py"
+
+    def test_import_alias_resolution(self):
+        context = ModuleContext.from_source(
+            "import numpy as np\nfrom repro.core import pool as p\n",
+            "repro/x.py",
+        )
+        assert context.imports["np"] == "numpy"
+        assert context.imports["p"] == "repro.core.pool"
+
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def broken(:\n", "repro/algorithms/bad.py")
+        assert [finding.rule for finding in findings] == ["PARSE000"]
+
+    def test_default_rules_cover_all_five_families(self):
+        assert {rule.family for rule in default_rules()} == {
+            "DET", "DPB", "FPR", "EXC", "PRIV",
+        }
+
+
+# -- self-clean + acceptance --------------------------------------------------
+
+class TestSelfClean:
+    def test_linter_lints_itself_clean_without_suppressions(self):
+        report = lint_paths(["src/repro/analysis"])
+        assert codes(report.findings) == []
+        assert report.suppressions == []
+
+    def test_whole_tree_is_clean_with_zero_suppressions(self):
+        report = lint_paths(["src/repro"])
+        assert codes(report.findings) == []
+        assert report.suppressions == []
+        assert report.files_checked > 80
+
+
+# -- CLI ----------------------------------------------------------------------
+
+class TestLintCli:
+    def test_module_entry_clean_tree_exits_zero(self):
+        assert lint_main(["--strict", "src/repro"]) == 0
+
+    def test_repro_lint_subcommand(self, capsys):
+        assert repro_main(["lint", "src/repro/analysis"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_set_exit_code_one(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and str(bad) in out
+
+    def test_missing_path_exits_two(self):
+        assert lint_main(["does/not/exist.txt"]) == 2
+
+    def test_json_format_reports_findings(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert lint_main(["--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"] == {"DET": 1}
+        (finding,) = payload["findings"]
+        assert (finding["rule"], finding["line"]) == ("DET001", 2)
+
+    def test_select_limits_to_chosen_families(self, tmp_path):
+        bad = tmp_path / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nfrom repro.core.pool import _broken\n")
+        assert lint_main(["--select", "PRIV", str(bad)]) == 1
+        assert lint_main(["--select", "EXC", str(bad)]) == 0
+
+    def test_strict_rejects_unbaselined_suppression(self, tmp_path, capsys):
+        shady = tmp_path / "repro" / "algorithms" / "shady.py"
+        shady.parent.mkdir(parents=True)
+        shady.write_text("import random  # repro: noqa[DET]\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"suppressions": []}')
+        assert lint_main(["--strict", "--baseline", str(baseline), str(shady)]) == 1
+        assert "not in the committed baseline" in capsys.readouterr().out
+
+    def test_strict_accepts_baselined_suppression(self, tmp_path):
+        shady = tmp_path / "repro" / "algorithms" / "shady.py"
+        shady.parent.mkdir(parents=True)
+        shady.write_text("import random  # repro: noqa[DET]\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "suppressions": [
+                {"path": "repro/algorithms/shady.py", "rules": ["DET"],
+                 "reason": "test fixture"},
+            ],
+        }))
+        assert lint_main(["--strict", "--baseline", str(baseline), str(shady)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("DET", "DPB", "FPR", "EXC", "PRIV"):
+            assert f"{family}:" in out
