@@ -34,8 +34,16 @@ from repro.analysis.engine import ModuleContext, Rule
 from repro.analysis.findings import Finding
 
 #: Modules on the unit-execution path where a swallowed directive breaks
-#: crash/hang recovery (see docs/fault_tolerance.md).
-UNIT_PATH_MODULES: Tuple[str, ...] = ("repro/core/runner.py", "repro/core/pool.py")
+#: crash/hang recovery (see docs/fault_tolerance.md).  The registry service
+#: modules are held to the same standard: the submission server and client
+#: sit on the crash-recovery path of the service chaos harness, and a
+#: swallowed BaseException there hides an injected service fault.
+UNIT_PATH_MODULES: Tuple[str, ...] = (
+    "repro/core/runner.py",
+    "repro/core/pool.py",
+    "repro/registry/server.py",
+    "repro/registry/client.py",
+)
 
 #: The BaseException-derived fault directive classes from core/faults.py.
 FAULT_DIRECTIVES = frozenset({"InjectedWorkerCrash", "InjectedWorkerHang"})

@@ -11,8 +11,12 @@ Mirrors the public benchmark platform's workflows from the terminal::
     python -m repro merge 'shard*.json' --output-json full.json
     python -m repro export full.json --output-csv full.csv
     python -m repro submit shard0.json shard1.json --registry registry.db
+    python -m repro submit shard0.json --url http://bench.example:8080 \
+                        --token-file my.token       # retrying remote submit
     python -m repro leaderboard --registry registry.db
     python -m repro serve --registry registry.db --port 8080
+    python -m repro serve --registry registry.db --tokens-file tokens.txt
+    python -m repro journal repair run.jsonl      # truncate a damaged journal
     python -m repro profile --datasets ba facebook --scale 0.03
     python -m repro recommend --nodes 5000 --acc 0.4 --epsilon 1.0
     python -m repro generate --dataset facebook --algorithm privgraph --epsilon 1 \
@@ -141,14 +145,30 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write one CSV row per benchmark cell here")
 
     submit_parser = subparsers.add_parser(
-        "submit", help="submit result files into a results registry database")
+        "submit", help="submit result files into a results registry database "
+                       "or to a remote registry server")
     submit_parser.add_argument("inputs", nargs="+",
                                help="result JSON/.json.gz files (globs expanded); a "
                                     "PATH.manifest.json sidecar is validated when present")
-    submit_parser.add_argument("--registry", required=True, metavar="PATH",
+    submit_target = submit_parser.add_mutually_exclusive_group(required=True)
+    submit_target.add_argument("--registry", metavar="PATH",
                                help="registry SQLite database (created if missing)")
+    submit_target.add_argument("--url", metavar="URL",
+                               help="base URL of a registry server (repro serve "
+                                    "--tokens-file …); submissions are retried with "
+                                    "backoff and are idempotent across retries")
     submit_parser.add_argument("--submitter", default="anonymous",
-                               help="who is submitting (recorded as provenance)")
+                               help="who is submitting (recorded as provenance; "
+                                    "with --url the server derives it from the token)")
+    submit_parser.add_argument("--token", default=None,
+                               help="bearer token for --url submissions")
+    submit_parser.add_argument("--token-file", default=None, metavar="PATH",
+                               help="file whose first non-comment line starts with "
+                                    "the bearer token for --url submissions")
+    submit_parser.add_argument("--max-attempts", type=int, default=None,
+                               metavar="N",
+                               help="retry budget for --url submissions "
+                                    "(default 6 total attempts)")
 
     leaderboard_parser = subparsers.add_parser(
         "leaderboard", help="render the merged leaderboard of a results registry")
@@ -158,11 +178,28 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="omit the submissions provenance table")
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve a registry's leaderboard over a read-only JSON API")
+        "serve", help="serve a registry's leaderboard over a JSON API "
+                      "(writable with --tokens-file)")
     serve_parser.add_argument("--registry", required=True, metavar="PATH",
-                              help="registry SQLite database")
+                              help="registry SQLite database (created if missing "
+                                   "when --tokens-file enables the write path)")
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8000)
+    serve_parser.add_argument("--tokens-file", default=None, metavar="PATH",
+                              help="bearer-tokens file ('TOKEN [NAME]' per line, "
+                                   "# comments); enables POST /api/submissions")
+
+    journal_parser = subparsers.add_parser(
+        "journal", help="inspect and repair checkpoint journals")
+    journal_subparsers = journal_parser.add_subparsers(
+        dest="journal_command", required=True)
+    journal_repair_parser = journal_subparsers.add_parser(
+        "repair", help="truncate a damaged journal to its intact prefix "
+                       "(the original is kept as PATH.bak)")
+    journal_repair_parser.add_argument("path",
+                                       help="checkpoint journal (JSONL) to repair")
+    journal_repair_parser.add_argument("--no-backup", action="store_true",
+                                       help="repair in place without writing PATH.bak")
 
     profile_parser = subparsers.add_parser("profile", help="measure time and memory per algorithm")
     profile_parser.add_argument("--algorithms", nargs="+", default=list(PGB_ALGORITHM_NAMES))
@@ -433,6 +470,61 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_token(args: argparse.Namespace) -> Optional[str]:
+    """The bearer token for --url submissions, from --token or --token-file."""
+    if args.token:
+        return args.token
+    if args.token_file:
+        for line in Path(args.token_file).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                return line.split()[0]
+        return None
+    return None
+
+
+def _submit_remote(args: argparse.Namespace, paths) -> int:
+    from repro.core.persistence import (
+        load_manifest_json,
+        load_results_json,
+        manifest_path_for,
+    )
+    from repro.registry.client import (
+        DEFAULT_MAX_ATTEMPTS,
+        SubmissionFailed,
+        submit_results,
+    )
+
+    token = _read_token(args)
+    if not token:
+        print("error: --url submissions need --token or --token-file",
+              file=sys.stderr)
+        return 2
+    max_attempts = args.max_attempts or DEFAULT_MAX_ATTEMPTS
+    for path in paths:
+        try:
+            results = load_results_json(path)
+            manifest = None
+            manifest_path = manifest_path_for(path)
+            if manifest_path.exists():
+                manifest = load_manifest_json(manifest_path)
+            outcome = submit_results(
+                args.url, results, token, manifest=manifest,
+                source=str(path), max_attempts=max_attempts,
+            )
+        except SubmissionFailed as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        replay = " (already submitted; replay acknowledged)" if outcome.duplicate else ""
+        retried = f" after {outcome.attempts} attempts" if outcome.attempts > 1 else ""
+        print(f"accepted {path} as submission #{outcome.submission_id} "
+              f"({outcome.num_cells} cells){replay}{retried}")
+    return 0
+
+
 def _command_submit(args: argparse.Namespace) -> int:
     from repro.core.persistence import (
         expand_result_paths,
@@ -442,12 +534,14 @@ def _command_submit(args: argparse.Namespace) -> int:
     )
     from repro.registry import RegistryError, ResultsRegistry
 
-    registry = ResultsRegistry(args.registry)
     try:
         paths = expand_result_paths(args.inputs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.url:
+        return _submit_remote(args, paths)
+    registry = ResultsRegistry(args.registry)
     for path in paths:
         try:
             results = load_results_json(path)
@@ -462,8 +556,9 @@ def _command_submit(args: argparse.Namespace) -> int:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
         validated = " (manifest validated)" if manifest is not None else ""
+        replay = " (already submitted; replay acknowledged)" if record.duplicate else ""
         print(f"accepted {path} as submission #{record.submission_id} "
-              f"({record.num_cells} cells){validated}")
+              f"({record.num_cells} cells){validated}{replay}")
     have, total = registry.coverage()
     print(f"registry {args.registry}: {len(registry.submissions())} submissions, "
           f"{have} of {total} grid cells covered")
@@ -487,20 +582,64 @@ def _command_leaderboard(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.core.store import StoreError
-    from repro.registry import RegistryError, ResultsRegistry, serve_forever
+    from repro.registry import (
+        RegistryEmptyError,
+        RegistryError,
+        ResultsRegistry,
+        load_tokens,
+        serve_forever,
+    )
 
+    tokens = None
+    if args.tokens_file:
+        try:
+            tokens = load_tokens(args.tokens_file)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     registry = ResultsRegistry(args.registry)
     try:
         have, total = registry.coverage()
+    except RegistryEmptyError as exc:
+        # An empty registry is fine when the write path is enabled: the
+        # first POST /api/submissions pins the spec and fills it.
+        if tokens is None:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        have, total = 0, 0
     except (RegistryError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"serving registry {args.registry} ({have} of {total} grid cells) "
-          f"on http://{args.host}:{args.port} — endpoints: /api/health, "
-          "/api/spec, /api/submissions, /api/leaderboard, /api/results, "
-          "/api/cells (Ctrl-C to stop)")
-    serve_forever(registry, host=args.host, port=args.port)
+    mode = (f"writable by {len(tokens)} token(s)" if tokens else "read-only")
+    print(f"serving registry {args.registry} ({have} of {total} grid cells, "
+          f"{mode}) on http://{args.host}:{args.port} — endpoints: "
+          "/api/health, /api/spec, /api/submissions, /api/leaderboard, "
+          "/api/results, /api/cells (Ctrl-C to stop)")
+    serve_forever(registry, host=args.host, port=args.port, tokens=tokens)
     return 0
+
+
+def _command_journal(args: argparse.Namespace) -> int:
+    from repro.core.persistence import repair_journal
+
+    if args.journal_command == "repair":
+        try:
+            report = repair_journal(args.path, backup=not args.no_backup)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not report.repaired:
+            print(f"{report.path}: already intact "
+                  f"({report.kept_lines} line(s)); nothing to repair")
+            return 0
+        backup = (f"; original saved as {report.backup_path}"
+                  if report.backup_path else "")
+        print(f"{report.path}: kept {report.kept_lines} intact line(s), "
+              f"dropped {report.dropped_lines}{backup}")
+        return 0
+    print(f"error: unknown journal command {args.journal_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -559,6 +698,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_leaderboard(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "journal":
+        return _command_journal(args)
     if args.command == "profile":
         return _command_profile(args)
     if args.command == "recommend":

@@ -54,8 +54,10 @@ from repro.core.store import (
     JsonResultsStore,
     ResultsStore,
     SqliteResultsStore,
+    StoreBusyError,
     StoreError,
     open_store,
+    submission_digest,
 )
 from repro.core.theory import (
     expected_edge_count_relative_error,
@@ -88,7 +90,9 @@ __all__ = [
     "JsonResultsStore",
     "SqliteResultsStore",
     "StoreError",
+    "StoreBusyError",
     "open_store",
+    "submission_digest",
     "render_benchmark_tables",
     "render_leaderboard",
     "best_count_by_dataset",

@@ -30,11 +30,18 @@ Directives come from ``BenchmarkSpec.faults`` (CLI ``--inject-fault``) or the
 :meth:`FaultPlan.from_spec`.  None of them participates in the spec
 fingerprint — fault injection, like ``workers``, must never change what a
 run's results *are*, only how the run gets there.
+
+The same discipline extends to the *service* layer: ``busy@N`` /
+``disconnect@N`` / ``crash-commit@N`` directives (via ``REPRO_SERVICE_FAULTS``,
+see :class:`ServiceFaultPlan`) deterministically fail the Nth write request of
+the registry HTTP server, so the retrying submission client and the store's
+idempotency keys can be chaos-tested end to end.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
@@ -175,6 +182,126 @@ class FaultPlan:
         return directive
 
 
+# -- service-side faults -----------------------------------------------------
+#
+# The runner directives above exercise the *execution* layer; the directives
+# below exercise the *service* layer — the registry HTTP write path.  A
+# service directive names a failure kind and the Nth **write request** (the
+# arrival index of POST /api/submissions at the server, starting at 0) at
+# which it fires:
+#
+# * ``busy@N``         — request N is answered 503 (code ``busy``), the way a
+#                        lock-saturated store refuses a writer;
+# * ``disconnect@N``   — the connection of request N is severed before the
+#                        request is processed: the client sees a reset and
+#                        cannot know whether the server ever saw the payload;
+# * ``crash-commit@N`` — request N is fully processed and **committed**, then
+#                        the connection is severed before the acknowledgement
+#                        is sent — the torn ack of a server crashing at the
+#                        commit point, and the nastiest case for idempotency
+#                        (a naive retry would double-count the submission).
+#
+# Directives come from the REPRO_SERVICE_FAULTS environment variable
+# (comma-separated), mirroring how runner faults arrive via REPRO_FAULTS.
+# Each fires exactly once: a retry of the affected submission is a *new*
+# arrival and runs clean.  Like runner faults, service faults must never
+# change what the registry ends up containing — only how it gets there.
+
+#: Environment variable holding service-side fault directives.
+SERVICE_FAULTS_ENV_VAR = "REPRO_SERVICE_FAULTS"
+
+_SERVICE_KINDS = ("busy", "disconnect", "crash-commit")
+
+
+@dataclass(frozen=True)
+class ServiceFaultDirective:
+    """One parsed service fault: fire ``kind`` at write-request ``request``."""
+
+    kind: str
+    request: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}@{self.request}"
+
+
+def parse_service_fault(text: str) -> ServiceFaultDirective:
+    """Parse ``KIND@REQUEST`` into a :class:`ServiceFaultDirective`."""
+    kind, separator, request_text = text.strip().partition("@")
+    if not separator or kind not in _SERVICE_KINDS or not request_text:
+        raise FaultSpecError(
+            f"bad service fault directive {text!r}: expected KIND@REQUEST with "
+            f"KIND one of {', '.join(_SERVICE_KINDS)} (e.g. 'busy@0', "
+            "'crash-commit@3')"
+        )
+    try:
+        request = int(request_text)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad service fault request {request_text!r} in {text!r}: must be "
+            "an integer"
+        ) from None
+    if request < 0:
+        raise FaultSpecError(
+            f"bad service fault request {request} in {text!r}: must be >= 0"
+        )
+    return ServiceFaultDirective(kind=kind, request=request)
+
+
+def service_faults_from_env(
+        environ: Optional[Mapping[str, str]] = None) -> Tuple[str, ...]:
+    """The raw directive strings of :data:`SERVICE_FAULTS_ENV_VAR`."""
+    mapping = os.environ if environ is None else environ
+    raw = mapping.get(SERVICE_FAULTS_ENV_VAR, "")
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+class ServiceFaultPlan:
+    """The service-side fault directives of one server, consumed per request.
+
+    Thread-safe: handler threads call :meth:`next_request` concurrently, and
+    each call claims the next arrival index exactly once.  One directive per
+    request index, mirroring :class:`FaultPlan`.
+    """
+
+    def __init__(self, directives: Sequence[ServiceFaultDirective] = ()) -> None:
+        self._by_request: Dict[int, ServiceFaultDirective] = {}
+        for directive in directives:
+            if directive.request in self._by_request:
+                raise FaultSpecError(
+                    f"conflicting service fault directives for request "
+                    f"{directive.request}: "
+                    f"{self._by_request[directive.request]} and {directive}"
+                )
+            self._by_request[directive.request] = directive
+        self._arrivals = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None
+                 ) -> "ServiceFaultPlan":
+        """The plan described by :data:`SERVICE_FAULTS_ENV_VAR` (may be empty)."""
+        return cls(tuple(
+            parse_service_fault(text) for text in service_faults_from_env(environ)
+        ))
+
+    def __bool__(self) -> bool:
+        return bool(self._by_request)
+
+    @property
+    def directives(self) -> Tuple[ServiceFaultDirective, ...]:
+        """The registered directives, in request order."""
+        return tuple(
+            self._by_request[request] for request in sorted(self._by_request)
+        )
+
+    def next_request(self) -> Optional[ServiceFaultDirective]:
+        """Claim the next write-request arrival; its directive, if any."""
+        with self._lock:
+            index = self._arrivals
+            self._arrivals += 1
+        return self._by_request.get(index)
+
+
 def trigger_fault(directive: FaultDirective, allow_process_exit: bool) -> None:
     """Execute a fault directive at its injection point.
 
@@ -202,6 +329,11 @@ def trigger_fault(directive: FaultDirective, allow_process_exit: bool) -> None:
 
 __all__ = [
     "FAULTS_ENV_VAR",
+    "SERVICE_FAULTS_ENV_VAR",
+    "ServiceFaultDirective",
+    "ServiceFaultPlan",
+    "parse_service_fault",
+    "service_faults_from_env",
     "HANG_SECONDS",
     "CRASH_EXIT_CODE",
     "FaultSpecError",

@@ -93,9 +93,9 @@ class JournalCorruptionError(ValueError):
         super().__init__(
             f"checkpoint journal {path} is corrupted at line {line_number}: "
             "the line is not valid JSON but intact records follow it. "
-            f"Truncate the file to the first {line_number - 1} line(s) to "
-            "keep the cells recorded before the corruption, or delete it "
-            "and rerun without --resume"
+            f"Run `repro journal repair {path}` to truncate the file to the "
+            f"first {line_number - 1} line(s) (keeping the cells recorded "
+            "before the corruption), or delete it and rerun without --resume"
         )
 
 
@@ -428,6 +428,95 @@ class CheckpointJournal:
         self.completed[(task[0], task[1], float(task[2]))] = list(cells)
 
 
+@dataclass(frozen=True)
+class JournalRepairReport:
+    """What :func:`repair_journal` did to a journal file.
+
+    ``repaired`` is False when the journal was already fully intact and the
+    file was left untouched (``backup_path`` is None in that case).
+    """
+
+    path: Path
+    repaired: bool
+    kept_lines: int
+    dropped_lines: int
+    backup_path: Optional[Path] = None
+
+
+def repair_journal(path: PathLike, backup: bool = True) -> JournalRepairReport:
+    """Deterministically truncate a damaged journal to its intact prefix.
+
+    The recovery procedure :class:`JournalCorruptionError` describes, done
+    mechanically: scan the body for the first line that is not valid JSON and
+    drop it together with everything after it — whether it is a partial
+    trailing line (a crash mid-append) or interior damage (hand-editing, disk
+    corruption).  Appends are sequential and fsynced, so every line *before*
+    the first broken one is a complete, trustworthy record; nothing after it
+    can be safely attributed.  The original file is preserved at
+    ``<path>.bak`` (unless ``backup`` is off) and the truncated journal is
+    written atomically (temp file + ``os.replace``), so a crash mid-repair
+    never leaves a third, half-repaired state.
+
+    Raises :class:`ValueError` when the header line itself is unreadable —
+    with no trustworthy header there is no prefix worth keeping, and the only
+    honest repair is deleting the file and rerunning without ``--resume``.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError(f"checkpoint journal {path} is empty (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"checkpoint journal {path} has an unreadable header line and "
+            "cannot be repaired; delete it and rerun without --resume"
+        ) from exc
+    if not isinstance(header, dict) or header.get("record") != "header":
+        raise ValueError(
+            f"checkpoint journal {path} does not start with a header record "
+            "and cannot be repaired; delete it and rerun without --resume"
+        )
+
+    keep = 1  # the header
+    for line in lines[1:]:
+        if line.strip():
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                break
+        keep += 1
+
+    # splitlines() hides a missing trailing newline; a journal whose last
+    # line is intact JSON but unterminated was still cut mid-append and gets
+    # rewritten with proper termination.
+    fully_intact = keep == len(lines) and (not text or text.endswith("\n"))
+    if fully_intact:
+        return JournalRepairReport(
+            path=path, repaired=False, kept_lines=len(lines), dropped_lines=0
+        )
+
+    backup_path: Optional[Path] = None
+    if backup:
+        backup_path = path.with_name(path.name + ".bak")
+        backup_path.write_text(text, encoding="utf-8")
+    temp_path = path.with_name(path.name + ".repair-tmp")
+    with temp_path.open("w", encoding="utf-8") as handle:
+        for line in lines[:keep]:
+            handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    return JournalRepairReport(
+        path=path,
+        repaired=True,
+        kept_lines=keep,
+        dropped_lines=len(lines) - keep,
+        backup_path=backup_path,
+    )
+
+
 # -- shard merging -----------------------------------------------------------
 
 def cells_agree(first: CellResult, second: CellResult) -> bool:
@@ -567,6 +656,8 @@ __all__ = [
     "UnsupportedFormatVersionError",
     "DuplicateCellWarning",
     "CheckpointJournal",
+    "JournalRepairReport",
+    "repair_journal",
     "MergeInputStats",
     "MergeStats",
     "spec_to_dict",

@@ -19,6 +19,7 @@ whose suffix decides (``.json`` / ``.json.gz`` → JSON, ``.db`` / ``.sqlite``
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 from abc import ABC, abstractmethod
@@ -41,8 +42,19 @@ from repro.core.spec import RESULTS_PROTOCOL_VERSION
 
 PathLike = Union[str, Path]
 
-#: Version of the SQLite schema; checked on every open.
-SQLITE_SCHEMA_VERSION = 1
+#: Version of the SQLite schema; checked on every open.  Version 2 added the
+#: ``digest`` idempotency-key column (version-1 databases are migrated in
+#: place by :func:`connect`).
+SQLITE_SCHEMA_VERSION = 2
+
+#: How long (milliseconds) a connection waits for a competing writer's lock
+#: before giving up with :class:`StoreBusyError`.  Concurrent submitters
+#: serialize on the write transaction instead of failing instantly.
+BUSY_TIMEOUT_MS = 30_000
+
+#: Version folded into every submission digest; bump it if the digest
+#: recipe itself ever changes (old digests then simply stop matching).
+DIGEST_VERSION = 1
 
 _CELL_COLUMNS = (
     "algorithm", "dataset", "epsilon", "query", "query_code", "error",
@@ -63,7 +75,8 @@ CREATE TABLE IF NOT EXISTS submissions (
     submitted_at     TEXT    NOT NULL,
     source           TEXT    NOT NULL,
     spec_json        TEXT    NOT NULL,
-    num_cells        INTEGER NOT NULL
+    num_cells        INTEGER NOT NULL,
+    digest           TEXT    NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS cells (
     submission_id      INTEGER NOT NULL REFERENCES submissions(id) ON DELETE CASCADE,
@@ -87,20 +100,68 @@ CREATE INDEX IF NOT EXISTS idx_submissions_fingerprint
     ON submissions (fingerprint);
 """
 
+#: The digest index is partial: rows written before schema v2 (and plain
+#: store saves that predate digests) carry ``''`` and must not collide.
+_DIGEST_INDEX = """
+CREATE UNIQUE INDEX IF NOT EXISTS idx_submissions_digest
+    ON submissions (digest) WHERE digest != '';
+"""
+
 
 class StoreError(ValueError):
     """A results store could not be opened, read or written."""
 
 
-def connect(path: PathLike) -> sqlite3.Connection:
-    """Open (creating if needed) a results database and verify its schema."""
+class StoreBusyError(StoreError):
+    """A competing writer held the database lock past the busy timeout.
+
+    Transient by construction: the losing writer retried for
+    :data:`BUSY_TIMEOUT_MS` first.  Callers (the HTTP server, the submission
+    client) treat it as retryable, never as a refusal.
+    """
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def connect(path: PathLike,
+            busy_timeout_ms: int = BUSY_TIMEOUT_MS) -> sqlite3.Connection:
+    """Open (creating if needed) a results database and verify its schema.
+
+    Every connection is configured for crash-safe concurrent writes:
+
+    * **WAL journal** — readers never block the writer and a process killed
+      mid-commit leaves either the whole transaction or none of it;
+    * **synchronous=FULL** — a commit that returned has reached disk, so a
+      crash immediately after cannot lose an acknowledged submission;
+    * **busy_timeout** — concurrent writers queue on the lock instead of
+      failing instantly (see :class:`StoreBusyError`);
+    * **foreign_keys=ON** — the ``cells → submissions`` reference is enforced.
+
+    A version-1 database (no ``digest`` column) is migrated in place.
+    """
     try:
         connection = sqlite3.connect(str(path))
     except sqlite3.Error as exc:
         raise StoreError(f"cannot open results database {path}: {exc}") from exc
     connection.row_factory = sqlite3.Row
     try:
+        connection.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        connection.execute("PRAGMA journal_mode = WAL")
+        connection.execute("PRAGMA synchronous = FULL")
+        connection.execute("PRAGMA foreign_keys = ON")
         connection.executescript(_SCHEMA)
+        columns = {
+            row["name"]
+            for row in connection.execute("PRAGMA table_info(submissions)")
+        }
+        if "digest" not in columns:
+            connection.execute(
+                "ALTER TABLE submissions ADD COLUMN digest TEXT NOT NULL DEFAULT ''"
+            )
+        connection.executescript(_DIGEST_INDEX)
         row = connection.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         ).fetchone()
@@ -110,6 +171,13 @@ def connect(path: PathLike) -> sqlite3.Connection:
     if row is None:
         connection.execute(
             "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SQLITE_SCHEMA_VERSION),),
+        )
+        connection.commit()
+    elif int(row["value"]) == 1:
+        # v1 → v2: the digest column/index were added above; record it.
+        connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
             (str(SQLITE_SCHEMA_VERSION),),
         )
         connection.commit()
@@ -156,24 +224,60 @@ def row_to_cell(row: sqlite3.Row) -> CellResult:
     )
 
 
+def submission_digest(results: BenchmarkResults) -> str:
+    """The idempotency key of one submission payload (hex SHA-256).
+
+    Computed over the canonical JSON of the spec fingerprint, the results
+    protocol and every cell **including** wall-clock timing: two independent
+    honest runs of the same spec digest differently (their timings differ),
+    while a *replay* of the same payload — a client retrying after an
+    ambiguous timeout, the same shard file submitted twice — digests
+    identically and is deduplicated instead of double-counted.
+    """
+    payload = {
+        "digest_version": DIGEST_VERSION,
+        "fingerprint": results.spec.fingerprint(),
+        "results_protocol_version": RESULTS_PROTOCOL_VERSION,
+        "cells": [_cell_to_row(cell) for cell in results.cells],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def find_submission_by_digest(connection: sqlite3.Connection,
+                              digest: str) -> Optional[int]:
+    """The id of the submission already holding ``digest``, if any."""
+    if not digest:
+        return None
+    row = connection.execute(
+        "SELECT id FROM submissions WHERE digest = ?", (digest,)
+    ).fetchone()
+    return None if row is None else int(row["id"])
+
+
 def insert_submission(connection: sqlite3.Connection, results: BenchmarkResults,
                       submitter: str, source: str,
                       protocol_version: int = RESULTS_PROTOCOL_VERSION,
-                      submitted_at: Optional[str] = None) -> int:
+                      submitted_at: Optional[str] = None,
+                      digest: Optional[str] = None) -> int:
     """Record ``results`` as one submission row plus its cells; returns the id.
 
     The caller owns the transaction: nothing is committed here, so a
     validation failure discovered after the insert rolls everything back.
+    ``digest`` defaults to :func:`submission_digest`; the unique index on it
+    makes replaying a committed submission an integrity error rather than a
+    silent duplicate row (the registry turns that into an idempotent no-op).
     """
     cursor = connection.execute(
         "INSERT INTO submissions (fingerprint, protocol_version, format_version,"
-        " submitter, submitted_at, source, spec_json, num_cells)"
-        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        " submitter, submitted_at, source, spec_json, num_cells, digest)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
         (
             results.spec.fingerprint(), int(protocol_version), FORMAT_VERSION,
             submitter, submitted_at or _utc_now_iso(), source,
             json.dumps(spec_to_dict(results.spec), sort_keys=True),
             len(results.cells),
+            submission_digest(results) if digest is None else digest,
         ),
     )
     submission_id = cursor.lastrowid
@@ -267,8 +371,22 @@ class SqliteResultsStore(ResultsStore):
              source: str = "") -> None:
         connection = connect(self.path)
         try:
-            insert_submission(connection, results, submitter=submitter, source=source)
-            connection.commit()
+            try:
+                connection.execute("BEGIN IMMEDIATE")
+                if find_submission_by_digest(
+                        connection, submission_digest(results)) is not None:
+                    connection.rollback()  # replayed payload: already stored
+                    return
+                insert_submission(connection, results, submitter=submitter,
+                                  source=source)
+                connection.commit()
+            except sqlite3.OperationalError as exc:
+                if _is_busy(exc):
+                    raise StoreBusyError(
+                        f"results database {self.path} is busy (another writer "
+                        f"held the lock past {BUSY_TIMEOUT_MS} ms)"
+                    ) from exc
+                raise StoreError(f"cannot write to {self.path}: {exc}") from exc
         finally:
             connection.close()
 
@@ -350,7 +468,10 @@ def open_store(url: PathLike) -> ResultsStore:
 
 __all__ = [
     "SQLITE_SCHEMA_VERSION",
+    "BUSY_TIMEOUT_MS",
+    "DIGEST_VERSION",
     "StoreError",
+    "StoreBusyError",
     "ResultsStore",
     "JsonResultsStore",
     "SqliteResultsStore",
@@ -359,4 +480,6 @@ __all__ = [
     "insert_submission",
     "load_submission",
     "row_to_cell",
+    "submission_digest",
+    "find_submission_by_digest",
 ]

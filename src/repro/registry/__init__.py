@@ -4,11 +4,15 @@ Built on PR 2's shard/journal/merge substrate and the storage backends of
 :mod:`repro.core.store`: a :class:`ResultsRegistry` accepts fingerprint-
 validated submissions (full runs or shards) into a SQLite database, records
 provenance, and serves merged leaderboard views; :func:`create_server`
-publishes them over a read-only stdlib HTTP JSON API (``repro serve``).
+publishes them over a stdlib HTTP JSON API (``repro serve``), optionally
+accepting authenticated submissions over ``POST /api/submissions``; and
+:func:`submit_results` is the retrying, idempotent client behind
+``repro submit --url``.
 """
 
 from repro.registry.registry import (
     RegistryConflictError,
+    RegistryDigestMismatchError,
     RegistryEmptyError,
     RegistryError,
     RegistryProtocolError,
@@ -16,16 +20,26 @@ from repro.registry.registry import (
     ResultsRegistry,
     SubmissionRecord,
 )
-from repro.registry.server import create_server, serve_forever
+from repro.registry.server import create_server, load_tokens, serve_forever
+from repro.registry.client import (
+    SubmissionFailed,
+    SubmissionOutcome,
+    submit_results,
+)
 
 __all__ = [
     "RegistryError",
     "RegistrySpecMismatchError",
     "RegistryProtocolError",
     "RegistryConflictError",
+    "RegistryDigestMismatchError",
     "RegistryEmptyError",
     "SubmissionRecord",
     "ResultsRegistry",
     "create_server",
+    "load_tokens",
     "serve_forever",
+    "SubmissionFailed",
+    "SubmissionOutcome",
+    "submit_results",
 ]

@@ -1,0 +1,217 @@
+"""A crash-safe HTTP submission client for the registry write API.
+
+``repro submit --url`` pushes a results file to a remote registry server
+(:mod:`repro.registry.server`) instead of a local database.  Networks and
+servers fail in ways a local SQLite transaction cannot: the connection can
+drop *after* the server committed but *before* the acknowledgement arrived,
+and the client genuinely cannot know whether its submission counted.  The
+client is built so that retrying is always the right move:
+
+* every payload carries its **submission digest** (the store's idempotency
+  key, computed locally with :func:`repro.core.store.submission_digest` and
+  re-derived server-side) — a retry of a committed submission is answered
+  ``duplicate: true`` instead of double-counted;
+* transient refusals (503 ``busy``, dropped connections, timeouts) are
+  retried with **exponential backoff and deterministic jitter**: the delay
+  perturbation is derived from ``sha256(digest:attempt)``, so two clients
+  submitting different shards desynchronise their retries without any
+  wall-clock randomness, and a given submission's retry schedule is exactly
+  reproducible;
+* the retry budget is **bounded**: after ``max_attempts`` tries the client
+  raises a typed :exc:`SubmissionFailed` carrying the last observed status
+  and error code — it never loops forever against a dead server.
+
+Permanent refusals (auth failures, spec fingerprint mismatches, protocol or
+cell conflicts — any 4xx) fail immediately: retrying cannot fix them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.persistence import results_to_dict
+from repro.core.runner import BenchmarkResults
+from repro.core.store import submission_digest
+
+#: Default retry budget: total attempts (first try + retries).
+DEFAULT_MAX_ATTEMPTS = 6
+
+#: Backoff schedule: ``BACKOFF_BASE_SECONDS * 2**retry`` capped at
+#: ``BACKOFF_CAP_SECONDS``, plus up to 50% deterministic jitter.
+BACKOFF_BASE_SECONDS = 0.25
+BACKOFF_CAP_SECONDS = 8.0
+
+#: Per-request socket timeout, seconds.
+DEFAULT_TIMEOUT_SECONDS = 30.0
+
+#: HTTP error codes (the JSON ``code`` field) that a retry may fix.
+_RETRYABLE_CODES = frozenset({"busy", "store_error", "internal_error"})
+
+
+class SubmissionFailed(RuntimeError):
+    """The submission did not land within the retry budget.
+
+    ``status``/``code`` carry the last HTTP refusal when there was one
+    (``code`` is the server's stable machine-readable error code); both are
+    None when every attempt died on the network before an answer arrived.
+    ``attempts`` is how many tries were spent.
+    """
+
+    def __init__(self, message: str, *, url: str, digest: str, attempts: int,
+                 status: Optional[int] = None,
+                 code: Optional[str] = None) -> None:
+        self.url = url
+        self.digest = digest
+        self.attempts = attempts
+        self.status = status
+        self.code = code
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class SubmissionOutcome:
+    """A successful (or idempotently replayed) submission."""
+
+    submission_id: int
+    digest: str
+    duplicate: bool
+    num_cells: int
+    submitter: str
+    attempts: int
+
+
+def backoff_delay(digest: str, attempt: int,
+                  base: float = BACKOFF_BASE_SECONDS,
+                  cap: float = BACKOFF_CAP_SECONDS) -> float:
+    """Delay before retry number ``attempt`` (1-based), seconds.
+
+    Exponential in the attempt number, capped, with a deterministic jitter
+    fraction in [0, 0.5) derived from ``sha256(digest:attempt)`` — different
+    submissions (different digests) spread out; the same submission retries
+    on an exactly reproducible schedule.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    raw = min(cap, base * (2 ** (attempt - 1)))
+    seed = hashlib.sha256(f"{digest}:{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(seed[:8], "big") / 2**64  # uniform [0, 1)
+    return raw * (1.0 + 0.5 * jitter)
+
+
+def _endpoint(url: str) -> str:
+    return url.rstrip("/") + "/api/submissions"
+
+
+def submit_results(url: str, results: BenchmarkResults, token: str,
+                   manifest: Optional[dict] = None, source: str = "",
+                   max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                   timeout: float = DEFAULT_TIMEOUT_SECONDS,
+                   sleep: Callable[[float], None] = time.sleep
+                   ) -> SubmissionOutcome:
+    """Submit ``results`` to the server at ``url``, retrying transient faults.
+
+    Returns a :class:`SubmissionOutcome`; ``duplicate`` is True when the
+    server had already committed this exact submission (an earlier attempt
+    whose acknowledgement was lost, or the same file submitted twice).
+    Raises :exc:`SubmissionFailed` when the budget runs out or the server
+    refuses permanently.  ``sleep`` is injectable so tests and the chaos
+    harness can run the full retry schedule without waiting it out.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    digest = submission_digest(results)
+    payload = {
+        "results": results_to_dict(results),
+        "digest": digest,
+        "source": source or "repro-client",
+    }
+    if manifest is not None:
+        payload["manifest"] = manifest
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    endpoint = _endpoint(url)
+
+    last_status: Optional[int] = None
+    last_code: Optional[str] = None
+    last_message = "no attempt was made"
+    for attempt in range(1, max_attempts + 1):
+        request = urllib.request.Request(
+            endpoint,
+            data=body,
+            method="POST",
+            headers={
+                "Authorization": f"Bearer {token}",
+                "Content-Type": "application/json; charset=utf-8",
+            },
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                answer = json.loads(response.read().decode("utf-8"))
+            return SubmissionOutcome(
+                submission_id=int(answer["submission_id"]),
+                digest=str(answer.get("digest", digest)),
+                duplicate=bool(answer.get("duplicate", False)),
+                num_cells=int(answer.get("num_cells", 0)),
+                submitter=str(answer.get("submitter", "")),
+                attempts=attempt,
+            )
+        except urllib.error.HTTPError as exc:
+            last_status = exc.code
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                detail = {}
+            last_code = detail.get("code")
+            last_message = detail.get("error", f"HTTP {exc.code}")
+            if exc.code < 500 and last_code not in _RETRYABLE_CODES:
+                # A permanent refusal: bad token, spec mismatch, conflict…
+                # No number of retries changes the answer.
+                raise SubmissionFailed(
+                    f"submission to {endpoint} refused "
+                    f"({last_code or exc.code}): {last_message}",
+                    url=url, digest=digest, attempts=attempt,
+                    status=exc.code, code=last_code,
+                ) from exc
+        except (urllib.error.URLError, http.client.HTTPException,
+                ConnectionError, TimeoutError, OSError) as exc:
+            # Ambiguous: the request may or may not have committed.  The
+            # digest makes the retry safe — a committed submission replays
+            # as duplicate instead of double-counting.
+            last_status = None
+            last_code = None
+            last_message = f"{type(exc).__name__}: {exc}"
+        if attempt < max_attempts:
+            sleep(backoff_delay(digest, attempt))
+    raise SubmissionFailed(
+        f"submission to {endpoint} failed after {max_attempts} attempt(s); "
+        f"last error: {last_message}",
+        url=url, digest=digest, attempts=max_attempts,
+        status=last_status, code=last_code,
+    )
+
+
+def fetch_json(url: str, path: str,
+               timeout: float = DEFAULT_TIMEOUT_SECONDS) -> object:
+    """GET a JSON document from the server (e.g. ``/api/leaderboard``)."""
+    endpoint = url.rstrip("/") + path
+    with urllib.request.urlopen(endpoint, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+__all__ = [
+    "BACKOFF_BASE_SECONDS",
+    "BACKOFF_CAP_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_TIMEOUT_SECONDS",
+    "SubmissionFailed",
+    "SubmissionOutcome",
+    "backoff_delay",
+    "fetch_json",
+    "submit_results",
+]

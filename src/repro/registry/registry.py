@@ -26,14 +26,22 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.core.persistence import cells_agree, merge_results, spec_from_dict
 from repro.core.runner import BenchmarkResults, CellResult
 from repro.core.spec import RESULTS_PROTOCOL_VERSION, BenchmarkSpec
-from repro.core.store import connect, insert_submission, load_submission
+from repro.core.store import (
+    BUSY_TIMEOUT_MS,
+    StoreBusyError,
+    connect,
+    find_submission_by_digest,
+    insert_submission,
+    load_submission,
+    submission_digest,
+)
 
 PathLike = Union[str, Path]
 
@@ -58,9 +66,23 @@ class RegistryEmptyError(RegistryError):
     """The registry holds no submissions yet."""
 
 
+class RegistryDigestMismatchError(RegistryError):
+    """A client-supplied digest does not match the payload it arrived with.
+
+    The digest is computed over the submission payload on both ends; a
+    mismatch means the payload was corrupted or altered in transit, so the
+    submission is refused before it touches the database.
+    """
+
+
 @dataclass(frozen=True)
 class SubmissionRecord:
-    """Provenance of one accepted submission."""
+    """Provenance of one accepted submission.
+
+    ``duplicate`` is never persisted: it marks the *return value* of an
+    idempotent replay — the digest was already registered, nothing was
+    written, and this record describes the original submission.
+    """
 
     submission_id: int
     fingerprint: str
@@ -69,6 +91,8 @@ class SubmissionRecord:
     submitted_at: str
     source: str
     num_cells: int
+    digest: str = ""
+    duplicate: bool = False
 
 
 class ResultsRegistry:
@@ -107,6 +131,7 @@ class ResultsRegistry:
             submitted_at=row["submitted_at"],
             source=row["source"],
             num_cells=int(row["num_cells"]),
+            digest=row["digest"],
         )
 
     @staticmethod
@@ -130,7 +155,8 @@ class ResultsRegistry:
 
     # -- submissions ---------------------------------------------------------
     def submit(self, results: BenchmarkResults, submitter: str = "anonymous",
-               source: str = "", manifest: Optional[dict] = None) -> SubmissionRecord:
+               source: str = "", manifest: Optional[dict] = None,
+               digest: Optional[str] = None) -> SubmissionRecord:
         """Validate and record one submission; returns its provenance.
 
         ``manifest`` is the optional sidecar written alongside the results
@@ -139,9 +165,30 @@ class ResultsRegistry:
         results first, so a results file paired with the wrong manifest is
         caught before it touches the database.  Validation failures raise a
         typed :class:`RegistryError` subclass and write nothing.
+
+        Submissions are **idempotent**: every payload carries a digest
+        (:func:`repro.core.store.submission_digest`, recomputed server-side;
+        a caller-supplied ``digest`` is verified against it), and a digest
+        already registered returns the original record — flagged
+        ``duplicate=True`` — without writing anything.  A client retrying
+        after an ambiguous timeout therefore cannot double-count a
+        submission whose commit actually landed.
+
+        All validation and the write happen inside one ``BEGIN IMMEDIATE``
+        transaction: concurrent submitters — including two racing *first*
+        submissions deciding which spec fingerprint pins the registry —
+        serialize on the store's write lock, never on in-process state.
         """
         fingerprint = results.spec.fingerprint()
         protocol = RESULTS_PROTOCOL_VERSION
+        computed = submission_digest(results)
+        if digest is not None and digest != computed:
+            raise RegistryDigestMismatchError(
+                f"submission digest {digest!r} does not match the payload's "
+                f"digest {computed!r}; the payload was corrupted or altered "
+                "in transit"
+            )
+        digest = computed
         if manifest is not None:
             manifest_fingerprint = manifest.get("fingerprint")
             if manifest_fingerprint != fingerprint:
@@ -170,8 +217,23 @@ class ResultsRegistry:
         try:
             # Take the write lock *before* validating, so two concurrent
             # submits cannot both read the pre-existing cells, both pass the
-            # conflict check and both commit contradictory cells.
-            connection.execute("BEGIN IMMEDIATE")
+            # conflict check and both commit contradictory cells.  With the
+            # store's busy_timeout the loser *waits* for the lock; only a
+            # pathologically held lock surfaces, as a typed StoreBusyError.
+            try:
+                connection.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError as exc:
+                raise StoreBusyError(
+                    f"registry {self.path} is busy (another writer held the "
+                    f"lock past {BUSY_TIMEOUT_MS} ms): {exc}"
+                ) from exc
+            existing = find_submission_by_digest(connection, digest)
+            if existing is not None:
+                connection.rollback()
+                row = connection.execute(
+                    "SELECT * FROM submissions WHERE id = ?", (existing,)
+                ).fetchone()
+                return replace(self._record(row), duplicate=True)
             pinned = connection.execute(
                 "SELECT fingerprint, protocol_version FROM submissions ORDER BY id LIMIT 1"
             ).fetchone()
@@ -202,7 +264,7 @@ class ResultsRegistry:
 
             submission_id = insert_submission(
                 connection, results, submitter=submitter, source=source,
-                protocol_version=protocol,
+                protocol_version=protocol, digest=digest,
             )
             connection.commit()
             row = connection.execute(
@@ -331,6 +393,7 @@ __all__ = [
     "RegistryProtocolError",
     "RegistryConflictError",
     "RegistryEmptyError",
+    "RegistryDigestMismatchError",
     "SubmissionRecord",
     "ResultsRegistry",
 ]

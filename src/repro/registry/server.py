@@ -1,8 +1,9 @@
-"""A read-only JSON API over a results registry (stdlib ``http.server``).
+"""The registry HTTP API: read-only JSON views plus a hardened write path.
 
 ``repro serve --registry results.db`` publishes the registry's merged view so
 leaderboards can be queried without shipping the database around — the
-"compare easily" half of the paper's public benchmark platform.  Endpoints:
+"compare easily" half of the paper's public benchmark platform.  Read
+endpoints:
 
 * ``GET /api/health`` — liveness plus submission/cell counts;
 * ``GET /api/spec`` — the benchmark spec the registry is pinned to;
@@ -14,25 +15,102 @@ leaderboards can be queried without shipping the database around — the
 * ``GET /api/cells?dataset=…&algorithm=…&query=…&epsilon=…`` — indexed cell
   lookup with any subset of coordinates.
 
-The server is strictly read-only: submissions go through ``repro submit`` /
-:meth:`~repro.registry.registry.ResultsRegistry.submit`, never over HTTP.
+With a tokens file (``repro serve --tokens-file``), the server additionally
+accepts **authenticated submissions**:
+
+* ``POST /api/submissions`` — a JSON body ``{"results": …, "digest": …,
+  "manifest": …?, "source": …?}``.  The spec fingerprint, protocol version
+  and submission digest are validated *server-side* (the registry transaction
+  re-checks everything; a client cannot be trusted), typed refusals map to
+  4xx JSON bodies with stable ``code`` fields, and replays of an
+  already-committed digest are answered idempotently instead of
+  double-counted.  Without a tokens file the write path stays disabled
+  (403 ``read_only``) — exactly the old read-only server.
+
+Every error body is ``{"code": <stable machine code>, "error": <human
+message>}``; clients branch on ``code``, never on message text.  Requests are
+bounded by a per-connection socket timeout and a payload size cap, and
+shutdown drains in-flight requests (non-daemon handler threads joined on
+``server_close``).  Deterministic service faults (``REPRO_SERVICE_FAULTS`` —
+``busy@N``, ``disconnect@N``, ``crash-commit@N``; see
+:mod:`repro.core.faults`) exercise the retrying client and the store's
+idempotency keys without touching production code paths.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
-from urllib.parse import parse_qs, urlparse
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.aggregate import best_count_by_dataset, best_count_by_query
-from repro.core.persistence import cell_to_dict, results_to_dict, spec_to_dict
+from repro.core.faults import ServiceFaultPlan
+from repro.core.persistence import (
+    UnsupportedFormatVersionError,
+    cell_to_dict,
+    results_from_dict,
+    results_to_dict,
+    spec_to_dict,
+)
 from repro.core.report import render_benchmark_tables
+from repro.core.store import StoreBusyError, StoreError
 from repro.registry.registry import (
+    RegistryConflictError,
+    RegistryDigestMismatchError,
     RegistryEmptyError,
     RegistryError,
+    RegistryProtocolError,
+    RegistrySpecMismatchError,
     ResultsRegistry,
 )
+from urllib.parse import parse_qs, urlparse
+
+#: Maximum accepted ``POST /api/submissions`` body, bytes.  A full paper-scale
+#: grid serialises to well under a megabyte; 32 MiB leaves room for far bigger
+#: grids while refusing accidental (or hostile) uploads before reading them.
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Seconds a client advised 503 ``busy`` should wait before retrying.
+BUSY_RETRY_AFTER_SECONDS = 1
+
+#: Query parameters ``/api/cells`` understands; anything else is a 400.
+_CELLS_PARAMETERS = frozenset({"dataset", "algorithm", "query", "epsilon"})
+
+#: Paths that exist for GET, used to answer POST with 405 instead of 404.
+_GET_ENDPOINTS = frozenset({
+    "/api/health", "/api/spec", "/api/submissions", "/api/leaderboard",
+    "/api/results", "/api/cells",
+})
+
+
+def load_tokens(path: Union[str, Path]) -> Dict[str, str]:
+    """Parse a bearer-tokens file into ``{token: submitter name}``.
+
+    One token per line: ``TOKEN [NAME]``, ``#`` comments and blank lines
+    ignored.  The name (default ``token-<line>``) becomes the recorded
+    submitter of everything that token submits — identity comes from
+    authentication, not from the request body.
+    """
+    path = Path(path)
+    mapping: Dict[str, str] = {}
+    for line_number, raw in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        token = parts[0]
+        name = parts[1].strip() if len(parts) > 1 else f"token-{line_number}"
+        if token in mapping:
+            raise ValueError(
+                f"tokens file {path} repeats a token on line {line_number}"
+            )
+        mapping[token] = name
+    if not mapping:
+        raise ValueError(f"tokens file {path} contains no tokens")
+    return mapping
 
 
 def _leaderboard_payload(registry: ResultsRegistry) -> dict:
@@ -58,48 +136,93 @@ def _leaderboard_payload(registry: ResultsRegistry) -> dict:
     }
 
 
-class RegistryAPIHandler(BaseHTTPRequestHandler):
-    """Routes GET requests against the registry; everything else is 405."""
+class RegistryHTTPServer(ThreadingHTTPServer):
+    """The registry API server: threaded, draining, optionally writable.
 
-    #: Set by :func:`create_server` on the handler subclass it builds.
+    ``daemon_threads`` is off so :meth:`server_close` **drains**: every
+    in-flight handler thread is joined before the call returns (bounded by
+    the per-connection socket timeout), and an accepted submission is never
+    abandoned half-answered by shutdown.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    #: Set by :func:`create_server`.
     registry: ResultsRegistry
+    tokens: Optional[Mapping[str, str]]
+    fault_plan: Optional[ServiceFaultPlan]
+    max_body_bytes: int
 
-    server_version = "repro-registry/1"
 
-    #: Socket timeout (seconds) per request: a client that stalls mid-request
-    #: (slow-loris style) times out instead of pinning a handler thread
-    #: forever.  ``BaseHTTPRequestHandler`` applies it to the connection and
-    #: closes cleanly on ``socket.timeout``.
+class RegistryAPIHandler(BaseHTTPRequestHandler):
+    """Routes requests against the registry with stable JSON error codes."""
+
+    server: RegistryHTTPServer
+
+    server_version = "repro-registry/2"
+
+    #: Socket timeout (seconds) per connection: a client that stalls
+    #: mid-request or mid-body (slow-loris style) times out instead of
+    #: pinning a handler thread forever.  ``BaseHTTPRequestHandler`` applies
+    #: it to the connection, which also bounds body reads on the write path.
     timeout = 30
 
     # -- plumbing ------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
         pass  # keep test output and CLI output clean; `serve` prints its own line
 
-    def _send_json(self, payload: object, status: int = 200) -> None:
+    def _send_json(self, payload: object, status: int = 200,
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(self, status: int, code: str, message: str,
+                         **extra: object) -> None:
+        payload = {"code": code, "error": message}
+        payload.update(extra)
+        headers = (
+            {"Retry-After": str(BUSY_RETRY_AFTER_SECONDS)}
+            if status == 503 else None
+        )
+        self._send_json(payload, status=status, extra_headers=headers)
 
-    # -- routing -------------------------------------------------------------
+    def _abort_connection(self) -> None:
+        """Sever the connection without a response.
+
+        The injection point of ``disconnect`` / ``crash-commit`` service
+        faults: the client observes a dead connection — exactly what a
+        crashed server process looks like from the outside — and cannot know
+        whether its payload was processed.  ``shutdown`` (not ``close``)
+        sends the FIN immediately while leaving the handler's rfile/wfile
+        objects valid, so the request loop unwinds without spurious errors.
+        """
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    # -- GET routing ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         parsed = urlparse(self.path)
         try:
             if parsed.path == "/api/health":
-                submissions = self.registry.submissions()
+                submissions = self.server.registry.submissions()
                 self._send_json({
                     "status": "ok",
                     "submissions": len(submissions),
                     "cells": sum(record.num_cells for record in submissions),
+                    "writable": bool(self.server.tokens),
                 })
             elif parsed.path == "/api/spec":
-                self._send_json(spec_to_dict(self.registry.spec()))
+                self._send_json(spec_to_dict(self.server.registry.spec()))
             elif parsed.path == "/api/submissions":
                 self._send_json([
                     {
@@ -110,34 +233,26 @@ class RegistryAPIHandler(BaseHTTPRequestHandler):
                         "submitted_at": record.submitted_at,
                         "source": record.source,
                         "num_cells": record.num_cells,
+                        "digest": record.digest,
                     }
-                    for record in self.registry.submissions()
+                    for record in self.server.registry.submissions()
                 ])
             elif parsed.path == "/api/leaderboard":
-                self._send_json(_leaderboard_payload(self.registry))
+                self._send_json(_leaderboard_payload(self.server.registry))
             elif parsed.path == "/api/results":
-                self._send_json(results_to_dict(self.registry.merged()))
+                self._send_json(results_to_dict(self.server.registry.merged()))
             elif parsed.path == "/api/cells":
-                query = parse_qs(parsed.query)
-
-                def first(name: str) -> Optional[str]:
-                    values = query.get(name)
-                    return values[0] if values else None
-
-                epsilon_text = first("epsilon")
-                cells = self.registry.query_cells(
-                    dataset=first("dataset"),
-                    algorithm=first("algorithm"),
-                    query=first("query"),
-                    epsilon=float(epsilon_text) if epsilon_text is not None else None,
-                )
-                self._send_json([cell_to_dict(cell) for cell in cells])
+                self._get_cells(parsed.query)
             else:
-                self._send_error_json(404, f"unknown endpoint {parsed.path!r}")
+                self._send_error_json(
+                    404, "unknown_endpoint", f"unknown endpoint {parsed.path!r}"
+                )
         except RegistryEmptyError as exc:
-            self._send_error_json(404, str(exc))
-        except (RegistryError, ValueError) as exc:
-            self._send_error_json(400, str(exc))
+            self._send_error_json(404, "empty_registry", str(exc))
+        except StoreBusyError as exc:
+            self._send_error_json(503, "busy", str(exc))
+        except (RegistryError, StoreError, ValueError) as exc:
+            self._send_error_json(400, "bad_request", str(exc))
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             return  # the client went away mid-response; nothing to send to
         except Exception as exc:
@@ -145,32 +260,263 @@ class RegistryAPIHandler(BaseHTTPRequestHandler):
             # path, not the stdlib's HTML traceback page.  Safe to send:
             # payloads above are fully built before send_response is called.
             self._send_error_json(
-                500, f"internal error: {type(exc).__name__}: {exc}"
+                500, "internal_error",
+                f"internal error: {type(exc).__name__}: {exc}",
             )
 
+    def _get_cells(self, query_string: str) -> None:
+        query = parse_qs(query_string)
+        unknown = sorted(set(query) - _CELLS_PARAMETERS)
+        if unknown:
+            supported = ", ".join(sorted(_CELLS_PARAMETERS))
+            self._send_error_json(
+                400, "unknown_parameter",
+                f"unknown query parameter(s) {', '.join(unknown)}; "
+                f"/api/cells accepts {supported}",
+            )
+            return
+
+        def first(name: str) -> Optional[str]:
+            values = query.get(name)
+            return values[0] if values else None
+
+        epsilon_text = first("epsilon")
+        epsilon: Optional[float] = None
+        if epsilon_text is not None:
+            try:
+                epsilon = float(epsilon_text)
+            except ValueError:
+                self._send_error_json(
+                    400, "invalid_parameter",
+                    f"epsilon must be a number, got {epsilon_text!r}",
+                )
+                return
+        cells = self.server.registry.query_cells(
+            dataset=first("dataset"),
+            algorithm=first("algorithm"),
+            query=first("query"),
+            epsilon=epsilon,
+        )
+        self._send_json([cell_to_dict(cell) for cell in cells])
+
+    # -- the write path ------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
-        self._send_error_json(
-            405, "this API is read-only; submit runs with `repro submit`"
+        parsed = urlparse(self.path)
+        if parsed.path != "/api/submissions":
+            if parsed.path in _GET_ENDPOINTS:
+                self._send_error_json(
+                    405, "method_not_allowed",
+                    f"{parsed.path} only accepts GET",
+                )
+            else:
+                self._send_error_json(
+                    404, "unknown_endpoint", f"unknown endpoint {parsed.path!r}"
+                )
+            return
+        try:
+            self._post_submission()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return
+        except Exception as exc:
+            self._send_error_json(
+                500, "internal_error",
+                f"internal error: {type(exc).__name__}: {exc}",
+            )
+
+    def _post_submission(self) -> None:
+        # Deterministic chaos first: the directive for this arrival (if any)
+        # is claimed exactly once, so a retried submission runs clean.
+        plan = self.server.fault_plan
+        directive = plan.next_request() if plan is not None else None
+        if directive is not None and directive.kind == "busy":
+            self._send_error_json(
+                503, "busy",
+                f"injected service fault {directive}: registry busy, retry",
+            )
+            return
+        if directive is not None and directive.kind == "disconnect":
+            self._abort_connection()
+            return
+
+        tokens = self.server.tokens
+        if not tokens:
+            self._send_error_json(
+                403, "read_only",
+                "this server has no tokens file and is read-only; submit "
+                "with `repro submit --registry` on the host, or restart the "
+                "server with --tokens-file",
+            )
+            return
+        authorization = self.headers.get("Authorization", "")
+        token = (
+            authorization[len("Bearer "):].strip()
+            if authorization.startswith("Bearer ") else None
+        )
+        submitter = tokens.get(token) if token else None
+        if submitter is None:
+            self._send_error_json(
+                401, "unauthorized",
+                "missing or unknown bearer token (send "
+                "`Authorization: Bearer <token>`)",
+            )
+            return
+
+        length_text = self.headers.get("Content-Length")
+        if length_text is None:
+            self._send_error_json(
+                411, "length_required",
+                "POST /api/submissions requires a Content-Length header",
+            )
+            return
+        try:
+            length = int(length_text)
+        except ValueError:
+            self._send_error_json(
+                400, "invalid_parameter",
+                f"Content-Length must be an integer, got {length_text!r}",
+            )
+            return
+        if length > self.server.max_body_bytes:
+            self._send_error_json(
+                413, "payload_too_large",
+                f"submission body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte cap",
+            )
+            return
+        body = self.rfile.read(length)  # bounded by the connection timeout
+        if len(body) < length:
+            self._send_error_json(
+                400, "incomplete_body",
+                f"connection delivered {len(body)} of {length} body bytes",
+            )
+            return
+
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(
+                400, "invalid_json", f"submission body is not JSON: {exc}"
+            )
+            return
+        if not isinstance(payload, dict) or not isinstance(
+                payload.get("results"), dict):
+            self._send_error_json(
+                400, "invalid_payload",
+                "submission body must be a JSON object with a 'results' "
+                "results-document member",
+            )
+            return
+        manifest = payload.get("manifest")
+        if manifest is not None and not isinstance(manifest, dict):
+            self._send_error_json(
+                400, "invalid_payload", "'manifest' must be a JSON object"
+            )
+            return
+        digest = payload.get("digest")
+        if digest is not None and not isinstance(digest, str):
+            self._send_error_json(
+                400, "invalid_payload", "'digest' must be a string"
+            )
+            return
+        source = str(payload.get("source", "") or "http")[:200]
+        try:
+            results = results_from_dict(payload["results"])
+        except UnsupportedFormatVersionError as exc:
+            self._send_error_json(400, "unsupported_format", str(exc))
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_error_json(
+                400, "invalid_payload",
+                f"'results' is not a valid results document: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+
+        try:
+            record = self.server.registry.submit(
+                results, submitter=submitter, source=source,
+                manifest=manifest, digest=digest,
+            )
+        except RegistryDigestMismatchError as exc:
+            self._send_error_json(400, "digest_mismatch", str(exc))
+            return
+        except RegistrySpecMismatchError as exc:
+            self._send_error_json(409, "spec_mismatch", str(exc))
+            return
+        except RegistryProtocolError as exc:
+            self._send_error_json(409, "protocol_mismatch", str(exc))
+            return
+        except RegistryConflictError as exc:
+            self._send_error_json(409, "cell_conflict", str(exc))
+            return
+        except StoreBusyError as exc:
+            self._send_error_json(503, "busy", str(exc))
+            return
+        except StoreError as exc:
+            self._send_error_json(500, "store_error", str(exc))
+            return
+
+        if directive is not None and directive.kind == "crash-commit":
+            # The transaction committed; the acknowledgement is lost — the
+            # torn ack of a server dying at the commit point.  The client's
+            # retry must land on the idempotency key, never double-count.
+            self._abort_connection()
+            return
+        self._send_json(
+            {
+                "submission_id": record.submission_id,
+                "digest": record.digest,
+                "duplicate": record.duplicate,
+                "num_cells": record.num_cells,
+                "submitter": record.submitter,
+            },
+            status=200 if record.duplicate else 201,
         )
 
-    do_PUT = do_DELETE = do_PATCH = do_POST
+    def _method_not_allowed(self) -> None:
+        self._send_error_json(
+            405, "method_not_allowed",
+            f"method {self.command} is not supported; GET the read endpoints "
+            "or POST /api/submissions",
+        )
+
+    do_PUT = do_DELETE = do_PATCH = _method_not_allowed
 
 
 def create_server(registry: ResultsRegistry, host: str = "127.0.0.1",
-                  port: int = 8000) -> ThreadingHTTPServer:
-    """Build (but do not start) the API server; ``port=0`` picks a free port."""
+                  port: int = 8000,
+                  tokens: Optional[Mapping[str, str]] = None,
+                  fault_plan: Optional[ServiceFaultPlan] = None,
+                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+                  ) -> RegistryHTTPServer:
+    """Build (but do not start) the API server; ``port=0`` picks a free port.
 
-    class _Handler(RegistryAPIHandler):
-        pass
-
-    _Handler.registry = registry
-    return ThreadingHTTPServer((host, port), _Handler)
+    ``tokens`` (``{token: submitter}``, see :func:`load_tokens`) enables the
+    write path; without it the server is read-only.  ``fault_plan`` defaults
+    to whatever :data:`repro.core.faults.SERVICE_FAULTS_ENV_VAR` describes —
+    empty in production, deterministic chaos in the harness.
+    """
+    server = RegistryHTTPServer((host, port), RegistryAPIHandler)
+    server.registry = registry
+    server.tokens = dict(tokens) if tokens else None
+    server.fault_plan = (
+        fault_plan if fault_plan is not None else ServiceFaultPlan.from_env()
+    )
+    server.max_body_bytes = max_body_bytes
+    return server
 
 
 def serve_forever(registry: ResultsRegistry, host: str = "127.0.0.1",
-                  port: int = 8000) -> Tuple[str, int]:
-    """Run the API until interrupted; returns the bound address on exit."""
-    server = create_server(registry, host=host, port=port)
+                  port: int = 8000,
+                  tokens: Optional[Mapping[str, str]] = None
+                  ) -> Tuple[str, int]:
+    """Run the API until interrupted; returns the bound address on exit.
+
+    Shutdown is graceful: an interrupt stops accepting new connections, then
+    ``server_close`` joins the in-flight handler threads (see
+    :class:`RegistryHTTPServer`) before the function returns.
+    """
+    server = create_server(registry, host=host, port=port, tokens=tokens)
     address = server.server_address[:2]
     try:
         server.serve_forever()
@@ -181,4 +527,11 @@ def serve_forever(registry: ResultsRegistry, host: str = "127.0.0.1",
     return address
 
 
-__all__ = ["RegistryAPIHandler", "create_server", "serve_forever"]
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "RegistryAPIHandler",
+    "RegistryHTTPServer",
+    "create_server",
+    "load_tokens",
+    "serve_forever",
+]

@@ -320,6 +320,129 @@ class TestJournalCorruption:
         assert "corrupted at line 2" in capsys.readouterr().err
 
 
+class TestJournalRepair:
+    def _journal_with_cells(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        spec = _spec(repetitions=1)
+        run_benchmark(spec, journal=CheckpointJournal.create(path, spec))
+        return path, spec
+
+    def test_repair_truncates_interior_corruption_deterministically(
+            self, tmp_path):
+        from repro.core.persistence import repair_journal
+
+        path, spec = self._journal_with_cells(tmp_path)
+        original = path.read_text(encoding="utf-8")
+        lines = original.splitlines()
+        lines[1] = '{"record": "task", TRUNCATED'
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        report = repair_journal(path)
+        assert report.repaired
+        assert report.kept_lines == 1  # only the header survives line 2
+        assert report.dropped_lines == len(lines) - 1
+        assert report.backup_path is not None
+        assert report.backup_path.read_text(encoding="utf-8") == \
+            "\n".join(lines) + "\n"  # the damaged original, byte-for-byte
+        # The repaired journal resumes cleanly (nothing completed: the
+        # corruption was at the first task record).
+        journal = CheckpointJournal.resume(path, spec)
+        assert journal.completed == {}
+        # Repairing an already-repaired journal is a no-op.
+        second = repair_journal(path)
+        assert not second.repaired
+        assert second.kept_lines == 1
+
+    def test_repair_keeps_everything_before_the_damage(self, tmp_path):
+        from repro.core.persistence import repair_journal
+
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) >= 3
+        damaged = lines[:2] + ["%%% damaged %%%"] + lines[2:]
+        path.write_text("\n".join(damaged) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptionError):
+            CheckpointJournal.resume(path, spec)
+
+        report = repair_journal(path)
+        assert report.repaired
+        assert report.kept_lines == 2  # header + the first intact task
+        journal = CheckpointJournal.resume(path, spec)
+        assert len(journal.completed) == 1
+
+    def test_repair_finishes_a_partial_trailing_line(self, tmp_path):
+        from repro.core.persistence import repair_journal
+
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        intact_tasks = len(lines) - 2  # header and the line about to be cut
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # kill mid-append
+        path.write_text("\n".join(lines), encoding="utf-8")
+
+        report = repair_journal(path)
+        assert report.repaired
+        assert report.dropped_lines == 1
+        assert path.read_text(encoding="utf-8").endswith("\n")
+        assert len(CheckpointJournal.resume(path, spec).completed) == \
+            intact_tasks
+
+    def test_intact_journal_left_untouched(self, tmp_path):
+        from repro.core.persistence import repair_journal
+
+        path, _ = self._journal_with_cells(tmp_path)
+        before = path.read_text(encoding="utf-8")
+        report = repair_journal(path)
+        assert not report.repaired
+        assert report.dropped_lines == 0
+        assert report.backup_path is None
+        assert path.read_text(encoding="utf-8") == before
+        assert not path.with_name(path.name + ".bak").exists()
+
+    def test_unreadable_header_refused(self, tmp_path):
+        from repro.core.persistence import repair_journal
+
+        path = tmp_path / "hopeless.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="cannot be repaired"):
+            repair_journal(path)
+
+    def test_cli_journal_repair(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, spec = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "damaged beyond parsing"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        assert main(["journal", "repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 intact line(s)" in out
+        assert str(path) + ".bak" in out
+        assert CheckpointJournal.resume(path, spec).completed == {}
+        # Second invocation reports there is nothing left to do.
+        assert main(["journal", "repair", str(path)]) == 0
+        assert "already intact" in capsys.readouterr().out
+
+    def test_cli_journal_repair_no_backup(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, _ = self._journal_with_cells(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "damaged"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["journal", "repair", str(path), "--no-backup"]) == 0
+        assert not path.with_name(path.name + ".bak").exists()
+
+    def test_cli_journal_repair_hopeless_file_fails_cleanly(self, tmp_path,
+                                                            capsys):
+        from repro.cli import main
+
+        path = tmp_path / "hopeless.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        assert main(["journal", "repair", str(path)]) == 2
+        assert "cannot be repaired" in capsys.readouterr().err
+
+
 class TestPoolHealthProbe:
     def test_shutdown_pool_is_replaced_transparently(self):
         try:

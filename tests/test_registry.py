@@ -308,14 +308,42 @@ class TestHttpApi:
             self._get(server, "/api/nope")
         assert excinfo.value.code == 404
 
-    def test_api_is_read_only(self, server):
+    def test_api_without_tokens_is_read_only(self, server):
+        # No tokens file configured: the write path refuses with a stable
+        # machine-readable code instead of accepting anonymous submissions.
         port = server.server_address[1]
         request = urllib.request.Request(
             f"http://127.0.0.1:{port}/api/submissions", data=b"{}", method="POST"
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request)
+        assert excinfo.value.code == 403
+        assert json.loads(excinfo.value.read())["code"] == "read_only"
+
+    def test_unsupported_methods_405(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/api/submissions", data=b"{}", method="PUT"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
         assert excinfo.value.code == 405
+        assert json.loads(excinfo.value.read())["code"] == "method_not_allowed"
+
+    def test_malformed_query_params_structured_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/api/cells?epsilon=abc")
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["code"] == "invalid_parameter"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/api/cells?flavour=spicy")
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["code"] == "unknown_parameter"
+
+    def test_unknown_endpoint_carries_stable_code(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/api/nope")
+        assert json.loads(excinfo.value.read())["code"] == "unknown_endpoint"
 
 
 class TestCli:

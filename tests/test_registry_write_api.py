@@ -1,0 +1,318 @@
+"""The server's write path and the retrying submission client.
+
+Contracts under test: ``POST /api/submissions`` authenticates with bearer
+tokens, validates fingerprint/protocol/digest server-side, answers every
+refusal with a stable machine-readable ``code``, caps payload sizes, and
+answers a replayed digest idempotently; the client retries transient faults
+with deterministic backoff inside a bounded budget and can never double-count
+a submission by retrying an ambiguous failure.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.faults import ServiceFaultPlan, parse_service_fault
+from repro.core.persistence import results_to_dict
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+from repro.core.store import submission_digest
+from repro.registry import ResultsRegistry, SubmissionFailed, submit_results
+from repro.registry.client import DEFAULT_MAX_ATTEMPTS
+from repro.registry.server import create_server, load_tokens
+
+TOKENS = {"s3cret-alice": "alice", "s3cret-bob": "bob"}
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    def norm(value):
+        return "nan" if isinstance(value, float) and math.isnan(value) else value
+
+    return [
+        tuple(norm(getattr(cell, field)) for field in (
+            "algorithm", "dataset", "epsilon", "query", "query_code",
+            "error", "error_std", "repetitions", "failed", "failure",
+        ))
+        for cell in cells
+    ]
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _spec()
+
+
+@pytest.fixture(scope="module")
+def full_run(spec):
+    return run_benchmark(spec)
+
+
+@pytest.fixture(scope="module")
+def shards(spec):
+    return [run_benchmark(spec, shard=(index, 2)) for index in range(2)]
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    """A writable server over a fresh registry; yields (server, base_url)."""
+    registry = ResultsRegistry(tmp_path / "registry.db")
+    server = create_server(registry, port=0, tokens=TOKENS,
+                           fault_plan=ServiceFaultPlan())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield server, base
+    server.shutdown()
+    server.server_close()
+
+
+def _post(base, body, token="s3cret-alice", path="/api/submissions"):
+    if isinstance(body, (dict, list)):
+        body = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body, method="POST",
+        headers={"Authorization": f"Bearer {token}"} if token else {},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _error_of(excinfo):
+    return excinfo.value.code, json.loads(excinfo.value.read())["code"]
+
+
+class TestWritePath:
+    def test_submission_lands_and_serves_back(self, live_server, full_run):
+        server, base = live_server
+        status, answer = _post(base, {
+            "results": results_to_dict(full_run),
+            "digest": submission_digest(full_run),
+            "source": "full.json",
+        })
+        assert status == 201
+        assert answer["duplicate"] is False
+        assert answer["submitter"] == "alice"  # from the token, not the body
+        assert answer["num_cells"] == len(full_run.cells)
+        with urllib.request.urlopen(base + "/api/submissions") as response:
+            records = json.loads(response.read().decode("utf-8"))
+        assert [r["submitter"] for r in records] == ["alice"]
+        assert records[0]["digest"] == submission_digest(full_run)
+
+    def test_replayed_digest_is_idempotent(self, live_server, full_run):
+        server, base = live_server
+        body = {"results": results_to_dict(full_run)}
+        first_status, first = _post(base, body)
+        replay_status, replay = _post(base, body, token="s3cret-bob")
+        assert (first_status, replay_status) == (201, 200)
+        assert replay["duplicate"] is True
+        assert replay["submission_id"] == first["submission_id"]
+        assert replay["submitter"] == "alice"  # original provenance stands
+
+    def test_missing_or_bad_token_401(self, live_server, full_run):
+        server, base = live_server
+        for token in (None, "wrong"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, {"results": results_to_dict(full_run)}, token=token)
+            assert _error_of(excinfo) == (401, "unauthorized")
+
+    def test_digest_mismatch_400(self, live_server, full_run):
+        server, base = live_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, {"results": results_to_dict(full_run),
+                         "digest": "0" * 64})
+        assert _error_of(excinfo) == (400, "digest_mismatch")
+
+    def test_spec_mismatch_409(self, live_server, full_run):
+        server, base = live_server
+        _post(base, {"results": results_to_dict(full_run)})
+        other = run_benchmark(_spec(seed=8))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, {"results": results_to_dict(other)})
+        assert _error_of(excinfo) == (409, "spec_mismatch")
+
+    def test_malformed_bodies_get_stable_codes(self, live_server):
+        server, base = live_server
+        cases = [
+            (b"this is not json {", "invalid_json"),
+            (json.dumps([1, 2, 3]).encode(), "invalid_payload"),
+            (json.dumps({"no_results": True}).encode(), "invalid_payload"),
+            (json.dumps({"results": {"spec": "bogus"}}).encode(),
+             "unsupported_format"),  # no format_version at all
+            (json.dumps({"results": {"format_version": 2, "spec": "bogus"}}
+                        ).encode(), "invalid_payload"),
+        ]
+        for body, expected in cases:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, body)
+            status, code = _error_of(excinfo)
+            assert (status, code) == (400, expected), (body[:40], code)
+
+    def test_unsupported_format_version_400(self, live_server, full_run):
+        server, base = live_server
+        document = results_to_dict(full_run)
+        document["format_version"] = 99
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, {"results": document})
+        assert _error_of(excinfo) == (400, "unsupported_format")
+
+    def test_payload_cap_413(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "capped.db")
+        server = create_server(registry, port=0, tokens=TOKENS,
+                               fault_plan=ServiceFaultPlan(),
+                               max_body_bytes=64)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, {"results": results_to_dict(full_run)})
+            assert _error_of(excinfo) == (413, "payload_too_large")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_post_to_get_endpoint_405_unknown_404(self, live_server):
+        server, base = live_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, {}, path="/api/leaderboard")
+        assert _error_of(excinfo) == (405, "method_not_allowed")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, {}, path="/api/bogus")
+        assert _error_of(excinfo) == (404, "unknown_endpoint")
+
+    def test_server_drains_on_close(self, tmp_path, full_run):
+        # server_close must join handler threads: after it returns, no
+        # handler thread may still be running (daemon_threads is off).
+        registry = ResultsRegistry(tmp_path / "drain.db")
+        server = create_server(registry, port=0, tokens=TOKENS,
+                               fault_plan=ServiceFaultPlan())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        _post(base, {"results": results_to_dict(full_run)})
+        server.shutdown()
+        server.server_close()
+        handler_threads = [
+            t for t in threading.enumerate()
+            if "process_request_thread" in t.name and t.is_alive()
+        ]
+        assert not handler_threads
+        assert len(ResultsRegistry(tmp_path / "drain.db").submissions()) == 1
+
+
+class TestTokensFile:
+    def test_load_tokens_parses_names_and_comments(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text(
+            "# benchmark submitters\n"
+            "\n"
+            "s3cret-alice alice\n"
+            "s3cret-anon\n",
+            encoding="utf-8",
+        )
+        tokens = load_tokens(path)
+        assert tokens == {"s3cret-alice": "alice", "s3cret-anon": "token-4"}
+
+    def test_load_tokens_refuses_duplicates_and_empty(self, tmp_path):
+        duplicated = tmp_path / "dup.txt"
+        duplicated.write_text("tok a\ntok b\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="repeats"):
+            load_tokens(duplicated)
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="no tokens"):
+            load_tokens(empty)
+
+
+class TestRetryingClient:
+    def _server_with_faults(self, tmp_path, faults):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        plan = ServiceFaultPlan([parse_service_fault(text) for text in faults])
+        server = create_server(registry, port=0, tokens=TOKENS, fault_plan=plan)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+    def test_client_rides_out_busy_and_disconnect(self, tmp_path, full_run):
+        server, base = self._server_with_faults(
+            tmp_path, ["busy@0", "disconnect@1"])
+        slept = []
+        try:
+            outcome = submit_results(base, full_run, "s3cret-alice",
+                                     sleep=slept.append)
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert outcome.attempts == 3
+        assert not outcome.duplicate
+        assert len(slept) == 2  # one backoff per failed attempt
+        assert slept[0] < slept[1]  # exponential growth
+        assert len(ResultsRegistry(tmp_path / "registry.db").submissions()) == 1
+
+    def test_retry_after_crash_commit_cannot_double_count(self, tmp_path,
+                                                          full_run):
+        # The nastiest case: the server commits, then dies before answering.
+        # The client cannot distinguish this from a lost request — it retries,
+        # and the digest turns the retry into an idempotent replay.
+        server, base = self._server_with_faults(tmp_path, ["crash-commit@0"])
+        try:
+            outcome = submit_results(base, full_run, "s3cret-alice",
+                                     sleep=lambda _: None)
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert outcome.attempts == 2
+        assert outcome.duplicate  # the first attempt had in fact landed
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        assert len(registry.submissions()) == 1  # never double-counted
+        assert registry.submissions()[0].digest == submission_digest(full_run)
+
+    def test_budget_exhaustion_raises_typed_failure(self, tmp_path, full_run):
+        faults = [f"busy@{n}" for n in range(DEFAULT_MAX_ATTEMPTS)]
+        server, base = self._server_with_faults(tmp_path, faults)
+        try:
+            with pytest.raises(SubmissionFailed) as excinfo:
+                submit_results(base, full_run, "s3cret-alice",
+                               max_attempts=3, sleep=lambda _: None)
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "busy"
+        assert excinfo.value.digest == submission_digest(full_run)
+        assert ResultsRegistry(tmp_path / "registry.db").submissions() == []
+
+    def test_permanent_refusal_is_not_retried(self, tmp_path, full_run):
+        server, base = self._server_with_faults(tmp_path, [])
+        slept = []
+        try:
+            with pytest.raises(SubmissionFailed) as excinfo:
+                submit_results(base, full_run, "wrong-token",
+                               sleep=slept.append)
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert excinfo.value.attempts == 1  # retrying cannot fix a 401
+        assert excinfo.value.code == "unauthorized"
+        assert slept == []

@@ -1,0 +1,188 @@
+"""Service-level chaos: concurrent submitters against a faulty live server.
+
+The headline robustness claim of the submission service: K clients
+concurrently pushing shards through a server that is deterministically
+refusing (``busy``), dropping connections (``disconnect``) and dying at the
+commit point (``crash-commit``) still produce a leaderboard *byte-identical*
+to submitting the same shards serially against a fault-free server.  Retries
+are idempotent by digest, so no fault schedule can double-count a shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.faults import (
+    SERVICE_FAULTS_ENV_VAR,
+    FaultSpecError,
+    ServiceFaultPlan,
+    parse_service_fault,
+    service_faults_from_env,
+)
+from repro.core.report import render_benchmark_tables
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+from repro.registry import ResultsRegistry, submit_results
+from repro.registry.server import create_server
+
+K = 4  # concurrent submitters
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+@pytest.fixture(scope="module")
+def shards():
+    spec = _spec()
+    return [run_benchmark(spec, shard=(index, K)) for index in range(K)]
+
+
+class TestServiceFaultDirectives:
+    def test_parse_and_roundtrip(self):
+        directive = parse_service_fault("crash-commit@3")
+        assert (directive.kind, directive.request) == ("crash-commit", 3)
+        assert str(directive) == "crash-commit@3"
+
+    @pytest.mark.parametrize("bad", [
+        "", "busy", "busy@", "@2", "hang@1", "busy@-1", "busy@x",
+        "busy@1:always",
+    ])
+    def test_malformed_directives_refused_typed(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_service_fault(bad)
+
+    def test_plan_assigns_each_arrival_once(self):
+        plan = ServiceFaultPlan([parse_service_fault("busy@0"),
+                                 parse_service_fault("disconnect@2")])
+        claims = [plan.next_request() for _ in range(4)]
+        assert [c.kind if c else None for c in claims] == \
+            ["busy", None, "disconnect", None]
+
+    def test_conflicting_directives_refused(self):
+        with pytest.raises(FaultSpecError):
+            ServiceFaultPlan([parse_service_fault("busy@1"),
+                              parse_service_fault("disconnect@1")])
+
+    def test_env_var_plumbing(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_FAULTS_ENV_VAR, "busy@0, crash-commit@2")
+        assert service_faults_from_env() == ("busy@0", "crash-commit@2")
+        plan = ServiceFaultPlan.from_env()
+        assert [str(d) for d in plan.directives] == ["busy@0", "crash-commit@2"]
+        monkeypatch.delenv(SERVICE_FAULTS_ENV_VAR)
+        assert not ServiceFaultPlan.from_env()
+
+    def test_create_server_defaults_to_env_plan(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SERVICE_FAULTS_ENV_VAR, "disconnect@1")
+        server = create_server(ResultsRegistry(tmp_path / "r.db"), port=0)
+        try:
+            assert [str(d) for d in server.fault_plan.directives] == \
+                ["disconnect@1"]
+        finally:
+            server.server_close()
+
+
+class TestChaosHarness:
+    FAULTS = "busy@0,disconnect@2,crash-commit@3,busy@5"
+
+    def _serial_fault_free_tables(self, tmp_path, shards):
+        registry = ResultsRegistry(tmp_path / "serial.db")
+        for index, shard in enumerate(shards):
+            registry.submit(shard, submitter=f"machine-{index}")
+        return render_benchmark_tables(registry.merged())
+
+    def test_concurrent_submitters_under_chaos_match_serial_fault_free(
+            self, tmp_path, shards):
+        tokens = {f"tok-{i}": f"machine-{i}" for i in range(K)}
+        plan = ServiceFaultPlan([
+            parse_service_fault(text) for text in self.FAULTS.split(",")
+        ])
+        registry = ResultsRegistry(tmp_path / "chaos.db")
+        server = create_server(registry, port=0, tokens=tokens,
+                               fault_plan=plan)
+        server_thread = threading.Thread(target=server.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+
+        outcomes = [None] * K
+        errors = [None] * K
+
+        def submitter(index):
+            try:
+                outcomes[index] = submit_results(
+                    base, shards[index], f"tok-{index}",
+                    source=f"shard{index}.json",
+                    sleep=lambda _: None,  # full retry schedule, no waiting
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors[index] = exc
+
+        threads = [threading.Thread(target=submitter, args=(index,))
+                   for index in range(K)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        try:
+            assert errors == [None] * K, errors
+            assert all(outcome is not None for outcome in outcomes)
+            # Every shard landed exactly once, whatever the fault schedule
+            # did to individual attempts.
+            records = ResultsRegistry(tmp_path / "chaos.db").submissions()
+            assert len(records) == K
+            assert len({record.digest for record in records}) == K
+            assert sorted(record.submitter for record in records) == \
+                sorted(f"machine-{i}" for i in range(K))
+
+            # The decisive check: the leaderboard served over HTTP is
+            # byte-identical to the serial fault-free merge.
+            with urllib.request.urlopen(base + "/api/leaderboard") as response:
+                served = json.loads(response.read().decode("utf-8"))
+            assert served["tables"] == \
+                self._serial_fault_free_tables(tmp_path, shards)
+            assert served["coverage"]["registered_cells"] == \
+                sum(len(shard.cells) for shard in shards)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_chaos_run_spent_real_retries(self, tmp_path, shards):
+        # Guard against the harness silently degrading into a fault-free
+        # test: with faults on the first arrivals, at least one submitter
+        # must have needed more than one attempt.
+        tokens = {f"tok-{i}": f"machine-{i}" for i in range(K)}
+        plan = ServiceFaultPlan([parse_service_fault("busy@0"),
+                                 parse_service_fault("disconnect@1")])
+        server = create_server(ResultsRegistry(tmp_path / "retry.db"), port=0,
+                               tokens=tokens, fault_plan=plan)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            attempts = [
+                submit_results(base, shards[index], f"tok-{index}",
+                               sleep=lambda _: None).attempts
+                for index in range(2)
+            ]
+        finally:
+            server.shutdown()
+            server.server_close()
+        # Submitter 0 eats busy@0 *and* disconnect@1 (its retry is arrival 1)
+        # before landing on arrival 2; submitter 1 then runs clean.
+        assert attempts == [3, 1]

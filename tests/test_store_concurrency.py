@@ -1,0 +1,207 @@
+"""Concurrent multi-process writes to one registry database.
+
+WAL journaling plus ``busy_timeout`` means concurrent submitters queue on the
+write lock instead of failing: K processes hammering the same database all
+land, the merged view equals the serial one, and the first-submission spec
+pinning race (two processes both believing they are first) resolves to
+exactly one pinned fingerprint with the loser refused typed.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.persistence import save_results_json
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+from repro.core.store import connect
+from repro.registry import ResultsRegistry
+from repro.registry.client import backoff_delay
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs fork start method (POSIX)",
+)
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    def norm(value):
+        return "nan" if isinstance(value, float) and math.isnan(value) else value
+
+    return [
+        tuple(norm(getattr(cell, field)) for field in (
+            "algorithm", "dataset", "epsilon", "query", "query_code",
+            "error", "error_std", "repetitions", "failed", "failure",
+        ))
+        for cell in cells
+    ]
+
+
+def _submit_worker(db_path, results_path, submitter, barrier, queue):
+    """One competing submitter process (top-level for fork pickling)."""
+    from repro.core.persistence import load_results_json
+    from repro.registry import RegistryError, ResultsRegistry
+
+    results = load_results_json(results_path)
+    barrier.wait(timeout=60)  # all workers hit the database together
+    try:
+        record = ResultsRegistry(db_path).submit(results, submitter=submitter)
+        queue.put(("ok", submitter, record.fingerprint, record.duplicate))
+    except RegistryError as exc:
+        queue.put(("refused", submitter, type(exc).__name__, str(exc)))
+    except Exception as exc:  # pragma: no cover - debugging aid
+        queue.put(("error", submitter, type(exc).__name__, str(exc)))
+
+
+class TestConcurrentSubmitters:
+    K = 4
+
+    def test_k_processes_submitting_shards_all_land(self, tmp_path):
+        spec = _spec()
+        shards = [run_benchmark(spec, shard=(index, self.K))
+                  for index in range(self.K)]
+        full = run_benchmark(spec)
+        paths = []
+        for index, shard in enumerate(shards):
+            path = tmp_path / f"shard{index}.json"
+            save_results_json(shard, path)
+            paths.append(str(path))
+        db = str(tmp_path / "registry.db")
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(self.K)
+        queue = context.Queue()
+        workers = [
+            context.Process(target=_submit_worker,
+                            args=(db, paths[i], f"machine-{i}", barrier, queue))
+            for i in range(self.K)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [queue.get(timeout=120) for _ in range(self.K)]
+        for worker in workers:
+            worker.join(timeout=60)
+
+        assert [o[0] for o in outcomes] == ["ok"] * self.K, outcomes
+        registry = ResultsRegistry(db)
+        assert len(registry.submissions()) == self.K
+        assert _comparable(registry.merged().cells) == _comparable(full.cells)
+
+    def test_first_submission_pinning_race_pins_exactly_one_spec(self, tmp_path):
+        # Two different specs race to pin an empty registry.  However the
+        # schedulers interleave them, exactly one fingerprint wins; the rest
+        # are refused typed, never silently mixed into the database.
+        specs = [_spec(seed=7), _spec(seed=8)]
+        runs = [run_benchmark(spec) for spec in specs]
+        paths = []
+        for index, results in enumerate(runs):
+            path = tmp_path / f"run{index}.json"
+            save_results_json(results, path)
+            paths.append(str(path))
+        db = str(tmp_path / "registry.db")
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        workers = [
+            context.Process(target=_submit_worker,
+                            args=(db, paths[i], f"racer-{i}", barrier, queue))
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [queue.get(timeout=120) for _ in range(2)]
+        for worker in workers:
+            worker.join(timeout=60)
+
+        by_status = {}
+        for outcome in outcomes:
+            by_status.setdefault(outcome[0], []).append(outcome)
+        assert len(by_status.get("ok", [])) == 1, outcomes
+        assert len(by_status.get("refused", [])) == 1, outcomes
+        assert by_status["refused"][0][2] == "RegistrySpecMismatchError"
+
+        registry = ResultsRegistry(db)
+        records = registry.submissions()
+        assert len(records) == 1
+        fingerprints = {record.fingerprint for record in records}
+        assert fingerprints == {by_status["ok"][0][2]}
+        assert registry.spec().fingerprint() in {
+            spec.fingerprint() for spec in specs
+        }
+
+
+class TestQueryPlan:
+    def test_cell_lookup_still_hits_the_coordinate_index(self, tmp_path):
+        spec = _spec()
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        registry.submit(run_benchmark(spec))
+        connection = connect(tmp_path / "registry.db")
+        try:
+            plan = connection.execute(
+                "EXPLAIN QUERY PLAN SELECT * FROM cells WHERE "
+                '"dataset" = ? AND "algorithm" = ? AND "query" = ? '
+                "AND epsilon = ?",
+                ("ba", "tmf", "num_edges", 0.5),
+            ).fetchall()
+        finally:
+            connection.close()
+        details = " ".join(str(row["detail"]) for row in plan)
+        assert "idx_cells_coordinates" in details, details
+
+    def test_digest_index_exists_and_is_partial(self, tmp_path):
+        connection = connect(tmp_path / "registry.db")
+        try:
+            row = connection.execute(
+                "SELECT sql FROM sqlite_master WHERE name = "
+                "'idx_submissions_digest'"
+            ).fetchone()
+        finally:
+            connection.close()
+        assert row is not None
+        assert "UNIQUE" in row["sql"]
+        assert "digest != ''" in row["sql"]
+
+
+class TestBackoffProperties:
+    @given(attempt=st.integers(min_value=1, max_value=40),
+           digest=st.text(alphabet="0123456789abcdef", min_size=8, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_backoff_is_deterministic_bounded_and_positive(self, attempt, digest):
+        first = backoff_delay(digest, attempt)
+        second = backoff_delay(digest, attempt)
+        assert first == second  # no wall-clock randomness anywhere
+        assert 0 < first <= 8.0 * 1.5  # cap plus maximal jitter
+
+    @given(digest=st.text(alphabet="0123456789abcdef", min_size=8, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_backoff_grows_before_the_cap(self, digest):
+        # The uncapped schedule doubles: attempt n+1 always waits longer than
+        # attempt n while under the cap (jitter is at most 50%, growth 100%).
+        delays = [backoff_delay(digest, attempt) for attempt in range(1, 6)]
+        assert delays == sorted(delays)
+
+    def test_two_digests_desynchronise(self):
+        a = backoff_delay("a" * 64, 3)
+        b = backoff_delay("b" * 64, 3)
+        assert a != b

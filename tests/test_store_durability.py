@@ -1,0 +1,277 @@
+"""Crash-safety of the SQLite results store.
+
+The durability contract: a submission is one atomic transaction keyed by its
+submission digest.  A process killed mid-commit leaves either the whole
+submission or none of it — reopening the database after the kill and
+re-submitting yields a merged view bit-identical to a run with no fault at
+all — and replaying an already-committed payload (the same file twice, a
+client retrying an acknowledged-but-lost submission) is deduplicated instead
+of double-counted.
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.persistence import save_results_json
+from repro.core.runner import run_benchmark
+from repro.core.spec import BenchmarkSpec
+from repro.core.store import (
+    SQLITE_SCHEMA_VERSION,
+    SqliteResultsStore,
+    StoreError,
+    connect,
+    find_submission_by_digest,
+    submission_digest,
+)
+from repro.registry import (
+    RegistryDigestMismatchError,
+    ResultsRegistry,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    params = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("ba",),
+        epsilons=(0.5, 2.0),
+        queries=("num_edges", "average_degree"),
+        repetitions=1,
+        scale=0.02,
+        seed=7,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+def _comparable(cells):
+    def norm(value):
+        return "nan" if isinstance(value, float) and math.isnan(value) else value
+
+    return [
+        tuple(norm(getattr(cell, field)) for field in (
+            "algorithm", "dataset", "epsilon", "query", "query_code",
+            "error", "error_std", "repetitions", "failed", "failure",
+        ))
+        for cell in cells
+    ]
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _spec()
+
+
+@pytest.fixture(scope="module")
+def full_run(spec):
+    return run_benchmark(spec)
+
+
+@pytest.fixture(scope="module")
+def shards(spec):
+    return [run_benchmark(spec, shard=(index, 2)) for index in range(2)]
+
+
+def _die_in_child(db_path: Path, results_path: Path, commit: bool) -> None:
+    """Run a child process that inserts a submission and dies hard.
+
+    ``os._exit`` skips every atexit/finally hook — from SQLite's point of
+    view this is indistinguishable from a SIGKILL at that instruction.  With
+    ``commit=False`` the kill lands inside the open transaction; with
+    ``commit=True`` it lands immediately after the commit returned.
+    """
+    script = textwrap.dedent(f"""
+        import os, sys
+        sys.path.insert(0, {SRC!r})
+        from repro.core.persistence import load_results_json
+        from repro.core.store import connect, insert_submission
+        results = load_results_json({str(results_path)!r})
+        connection = connect({str(db_path)!r})
+        connection.execute("BEGIN IMMEDIATE")
+        insert_submission(connection, results, submitter="doomed",
+                          source="child")
+        if {commit!r}:
+            connection.commit()
+        os._exit(17)
+    """)
+    completed = subprocess.run([sys.executable, "-c", script],
+                               capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 17, completed.stderr
+
+
+class TestKillMidCommit:
+    def test_kill_inside_transaction_leaves_no_partial_submission(
+            self, tmp_path, shards):
+        db = tmp_path / "registry.db"
+        registry = ResultsRegistry(db)
+        registry.submit(shards[0], submitter="survivor")
+        shard_json = tmp_path / "shard1.json"
+        save_results_json(shards[1], shard_json)
+
+        _die_in_child(db, shard_json, commit=False)
+
+        # Reopen: the database must hold exactly the pre-kill state, with no
+        # orphaned submission row and no orphaned cells.
+        connection = connect(db)
+        rows = connection.execute(
+            "SELECT id, num_cells, (SELECT COUNT(*) FROM cells WHERE "
+            "submission_id = submissions.id) AS stored FROM submissions"
+        ).fetchall()
+        connection.close()
+        assert len(rows) == 1
+        assert all(row["num_cells"] == row["stored"] for row in rows)
+        assert len(registry.submissions()) == 1
+
+    def test_kill_after_commit_preserves_the_whole_submission(
+            self, tmp_path, shards, full_run):
+        db = tmp_path / "registry.db"
+        registry = ResultsRegistry(db)
+        registry.submit(shards[0], submitter="survivor")
+        shard_json = tmp_path / "shard1.json"
+        save_results_json(shards[1], shard_json)
+
+        _die_in_child(db, shard_json, commit=True)
+
+        # synchronous=FULL: a commit that returned survives the kill intact.
+        assert len(ResultsRegistry(db).submissions()) == 2
+        assert _comparable(ResultsRegistry(db).merged().cells) == \
+            _comparable(full_run.cells)
+
+    def test_recovery_after_kill_is_bit_identical_to_fault_free(
+            self, tmp_path, shards):
+        # The headline contract: kill a writer mid-commit, reopen, resubmit —
+        # the merged view must be *bit-identical* to a run where the kill
+        # never happened (same submission order, no fault).
+        faulted_db = tmp_path / "faulted.db"
+        clean_db = tmp_path / "clean.db"
+        shard_json = tmp_path / "shard1.json"
+        save_results_json(shards[1], shard_json)
+
+        faulted = ResultsRegistry(faulted_db)
+        faulted.submit(shards[0], submitter="m0", source="shard0.json")
+        _die_in_child(faulted_db, shard_json, commit=False)  # torn write
+        faulted.submit(shards[1], submitter="m1", source="shard1.json")
+
+        clean = ResultsRegistry(clean_db)
+        clean.submit(shards[0], submitter="m0", source="shard0.json")
+        clean.submit(shards[1], submitter="m1", source="shard1.json")
+
+        from repro.core.report import render_benchmark_tables
+        assert render_benchmark_tables(faulted.merged()) == \
+            render_benchmark_tables(clean.merged())
+        assert [r.submission_id for r in faulted.submissions()] == \
+            [r.submission_id for r in clean.submissions()]
+
+
+class TestIdempotency:
+    def test_digest_is_stable_and_timing_sensitive(self, full_run, shards):
+        assert submission_digest(full_run) == submission_digest(full_run)
+        assert submission_digest(full_run) != submission_digest(shards[0])
+
+    def test_store_save_deduplicates_replayed_payload(self, tmp_path, full_run):
+        store = SqliteResultsStore(tmp_path / "results.db")
+        store.save(full_run, submitter="a")
+        store.save(full_run, submitter="b")  # exact replay: no new row
+        assert store.submission_ids() == [1]
+
+    def test_registry_replay_returns_duplicate_marker(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        first = registry.submit(full_run, submitter="alice")
+        replay = registry.submit(full_run, submitter="mallory")
+        assert not first.duplicate
+        assert replay.duplicate
+        assert replay.submission_id == first.submission_id
+        assert replay.submitter == "alice"  # the original provenance stands
+        assert len(registry.submissions()) == 1
+
+    def test_caller_digest_is_verified_server_side(self, tmp_path, full_run):
+        registry = ResultsRegistry(tmp_path / "registry.db")
+        with pytest.raises(RegistryDigestMismatchError, match="does not match"):
+            registry.submit(full_run, digest="0" * 64)
+        assert registry.submissions() == []
+        record = registry.submit(full_run, digest=submission_digest(full_run))
+        assert record.digest == submission_digest(full_run)
+
+
+class TestSchemaAndPragmas:
+    def test_connection_is_wal_with_busy_timeout(self, tmp_path):
+        connection = connect(tmp_path / "new.db", busy_timeout_ms=1234)
+        try:
+            assert connection.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert connection.execute("PRAGMA busy_timeout").fetchone()[0] == 1234
+            assert connection.execute("PRAGMA synchronous").fetchone()[0] == 2  # FULL
+        finally:
+            connection.close()
+
+    def test_v1_database_migrates_in_place(self, tmp_path, full_run):
+        # Build a version-1 database by hand: no digest column, no digest
+        # index, schema_version=1 — what the previous release wrote.
+        import json as json_module
+        import sqlite3
+
+        from repro.core.persistence import spec_to_dict
+        from repro.core.spec import RESULTS_PROTOCOL_VERSION
+
+        db = tmp_path / "v1.db"
+        raw = sqlite3.connect(str(db))
+        raw.executescript("""
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            CREATE TABLE submissions (
+                id INTEGER PRIMARY KEY AUTOINCREMENT,
+                fingerprint TEXT NOT NULL, protocol_version INTEGER NOT NULL,
+                format_version INTEGER NOT NULL, submitter TEXT NOT NULL,
+                submitted_at TEXT NOT NULL, source TEXT NOT NULL,
+                spec_json TEXT NOT NULL, num_cells INTEGER NOT NULL);
+            CREATE TABLE cells (
+                submission_id INTEGER NOT NULL REFERENCES submissions(id)
+                    ON DELETE CASCADE,
+                position INTEGER NOT NULL, algorithm TEXT NOT NULL,
+                dataset TEXT NOT NULL, epsilon REAL NOT NULL,
+                query TEXT NOT NULL, query_code TEXT NOT NULL, error REAL,
+                error_std REAL, repetitions INTEGER NOT NULL,
+                generation_seconds REAL NOT NULL, failed INTEGER NOT NULL,
+                failure TEXT NOT NULL, PRIMARY KEY (submission_id, position));
+            INSERT INTO meta (key, value) VALUES ('schema_version', '1');
+        """)
+        raw.execute(
+            "INSERT INTO submissions (fingerprint, protocol_version,"
+            " format_version, submitter, submitted_at, source, spec_json,"
+            " num_cells) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (full_run.spec.fingerprint(), RESULTS_PROTOCOL_VERSION, 2,
+             "old-release", "2026-01-01T00:00:00+00:00", "legacy.json",
+             json_module.dumps(spec_to_dict(full_run.spec), sort_keys=True), 0),
+        )
+        raw.commit()
+        raw.close()
+
+        connection = connect(db)
+        try:
+            version = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()[0]
+            assert int(version) == SQLITE_SCHEMA_VERSION
+            row = connection.execute(
+                "SELECT digest FROM submissions WHERE id = 1").fetchone()
+            assert row["digest"] == ""  # pre-digest rows stay empty…
+            assert find_submission_by_digest(connection, "") is None  # …and
+            # the partial unique index never treats two of them as replays.
+        finally:
+            connection.close()
+
+    def test_future_schema_version_refused_typed(self, tmp_path):
+        db = tmp_path / "future.db"
+        connection = connect(db)
+        connection.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError, match="schema version 99"):
+            connect(db)

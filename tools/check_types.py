@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Run ``mypy --strict`` on the typed core and diff against the baseline.
 
-The typed surface is ``repro.core`` + ``repro.dp`` (configured in
-``pyproject.toml`` under ``[tool.mypy]``).  Rather than requiring a clean
+The typed surface is ``repro.core`` + ``repro.dp`` + ``repro.registry``
+(configured in ``pyproject.toml`` under ``[tool.mypy]``).  Rather than requiring a clean
 tree on day one, this wrapper enforces *no new errors*:
 
 * every error mypy reports is normalised to ``path:line: code message``;
@@ -32,7 +32,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "tools" / "mypy_baseline.txt"
 SENTINEL = "# seeded-unverified"
-TARGETS = ("src/repro/core", "src/repro/dp")
+TARGETS = ("src/repro/core", "src/repro/dp", "src/repro/registry")
 
 #: Normalise ``path:line:col: error: message  [code]`` → ``path:line: [code] message``
 #: (column numbers churn with unrelated edits; keep the baseline stable).
