@@ -24,7 +24,14 @@ power-law-ish expected degrees):
                        exploration with the per-leaf rejection loop;
 * ``privskg_generation`` — PrivSKG with the blocked Kronecker sampler vs
                        the retained scalar ball-dropping loop (bit-identical
-                       output).
+                       output);
+* ``privhrg_generation`` — PrivHRG with the flat-array dendrogram MCMC vs
+                       the retained object-tree reference (bit-identical;
+                       measured on a reduced Chung–Lu input because the MCMC
+                       fit dominates at full size);
+* ``dp_dk_generation`` — DP-dK with the encoded-pair array 2K builder vs the
+                       retained scalar dict path (bit-identical; same
+                       reduced input as PrivHRG).
 
 Every layer also records ``after_peak_mb``: the tracemalloc peak of the
 optimized path (measured in a separate run so instrumentation does not skew
@@ -32,7 +39,11 @@ the timings).  ``--scale`` additionally runs every sparse engine — CSR
 Louvain, PrivGraph, DER, PrivSKG — on a 500k-node Chung–Lu graph, records
 each engine's seconds and peak under ``"scale"``, and **asserts a per-layer
 peak-memory budget** (linear in n + m) so a dense-path regression fails
-loudly instead of silently OOM-ing the runner.
+loudly instead of silently OOM-ing the runner.  The scale section also
+carries ``payload_shipping``: the bytes (and seconds) of shipping the
+500k-node dataset to a worker as a full pickle vs as a shared-memory
+segment handle (``repro.core.shm``); the run fails when the byte reduction
+drops below 5× — the floor the shm plane exists to guarantee.
 
 Results are written to ``BENCH_speed.json`` so future PRs can track the
 trajectory; re-run with ``--quick`` for the CI smoke (a smaller graph, same
@@ -52,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import statistics
 import sys
 import time
@@ -61,9 +73,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.algorithms.der import DER
+from repro.algorithms.dp_dk import DPdK
 from repro.algorithms.privgraph import PrivGraph
+from repro.algorithms.privhrg import PrivHRG
 from repro.algorithms.privskg import PrivSKG
 from repro.algorithms.tmf import TmF
+from repro.core import shm
 from repro.community.louvain import louvain_communities
 from repro.community.partition import modularity
 from repro.generators.chung_lu import chung_lu_graph
@@ -75,6 +90,15 @@ from repro.queries.registry import make_default_queries
 EPSILON = 1.0
 SEED = 2024
 SCALE_NODES = 500_000
+
+#: Input size for the PrivHRG / DP-dK layers: their retained dense
+#: references (object-tree MCMC, per-edge dict rewiring) are too slow at the
+#: main benchmark size, and the engines' trajectory is just as visible here.
+HRG_DK_NODES = 1_500
+
+#: Minimum pickle-bytes / handle-bytes ratio of the scale payload-shipping
+#: entry — the contract of the shared-memory dataset plane.
+MIN_PAYLOAD_BYTES_REDUCTION = 5.0
 
 #: Peak-memory budgets for the ``--scale`` engine runs, as MiB per million
 #: (nodes + edges).  Linear in the graph size by construction, so any
@@ -270,6 +294,83 @@ def bench_privskg(graph: Graph) -> dict:
     return _layer(before_s, after_s, peak)
 
 
+def bench_privhrg(nodes: int) -> dict:
+    """PrivHRG: flat-array dendrogram MCMC vs the object-tree reference."""
+    reduced = build_input_graph(min(nodes, HRG_DK_NODES))
+    before_s, dense_graph = _timed_median(
+        lambda: PrivHRG(dense=True).generate_graph(reduced, EPSILON, rng=SEED)
+    )
+    after_s, array_graph = _timed_median(
+        lambda: PrivHRG().generate_graph(reduced, EPSILON, rng=SEED)
+    )
+    assert array_graph == dense_graph, "array PrivHRG diverged from the dense reference"
+    peak = _peak_mb(lambda: PrivHRG().generate_graph(reduced, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak, nodes=reduced.num_nodes)
+
+
+def bench_dp_dk(nodes: int) -> dict:
+    """DP-dK: encoded-pair array 2K builder vs the scalar dict path."""
+    reduced = build_input_graph(min(nodes, HRG_DK_NODES))
+    before_s, dense_graph = _timed_median(
+        lambda: DPdK(dense=True).generate_graph(reduced, EPSILON, rng=SEED)
+    )
+    after_s, array_graph = _timed_median(
+        lambda: DPdK().generate_graph(reduced, EPSILON, rng=SEED)
+    )
+    assert array_graph == dense_graph, "array DP-dK diverged from the dense reference"
+    peak = _peak_mb(lambda: DPdK().generate_graph(reduced, EPSILON, rng=SEED))
+    return _layer(before_s, after_s, peak, nodes=reduced.num_nodes)
+
+
+def bench_payload_shipping(graph: Graph) -> tuple[dict, list[str]]:
+    """Dataset transport at scale: full pickle vs shm segment handle.
+
+    Measures what the parallel runner actually ships per worker cache miss —
+    the pickled ``(graph, true values)`` payload before, the pickled
+    :class:`~repro.core.shm.DatasetSegmentHandle` (publish + wire + attach)
+    after — and gates the byte reduction the plane exists to deliver.
+    """
+    values = {
+        "num_edges": float(graph.num_edges),
+        "average_degree": 2.0 * graph.num_edges / graph.num_nodes,
+    }
+    payload = (graph, values)
+    pickle_seconds, _ = _timed(
+        lambda: pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    )
+    pickle_bytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    key = ("bench-payload-shipping", "chung_lu")
+
+    def ship() -> bytes:
+        handle, _ = shm.publish_dataset(key, graph, values)
+        wire = pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL)
+        shm.attach_dataset(key, pickle.loads(wire))
+        return wire
+
+    try:
+        shm_seconds, wire = _timed(ship)
+    finally:
+        shm.release_dataset(key)
+    handle_bytes = len(wire)
+
+    entry = {
+        "pickle_seconds": pickle_seconds,
+        "shm_seconds": shm_seconds,
+        "pickle_bytes": pickle_bytes,
+        "handle_bytes": handle_bytes,
+        "bytes_reduction": pickle_bytes / handle_bytes,
+        "transport_speedup": pickle_seconds / shm_seconds if shm_seconds > 0 else float("inf"),
+    }
+    violations: list[str] = []
+    if entry["bytes_reduction"] < MIN_PAYLOAD_BYTES_REDUCTION:
+        violations.append(
+            f"scale [payload_shipping] byte reduction {entry['bytes_reduction']:.1f}x "
+            f"fell below the required {MIN_PAYLOAD_BYTES_REDUCTION:.0f}x"
+        )
+    return entry, violations
+
+
 def scale_peak_budget_mb(layer: str, nodes: int, edges: int) -> float:
     """Per-layer peak budget: linear in n + m, so quadratic paths fail loudly."""
     per_million = SCALE_PEAK_BUDGET_MB_PER_MILLION[layer]
@@ -323,6 +424,11 @@ def bench_scale(nodes: int = SCALE_NODES) -> tuple[dict, list[str]]:
                 f"scale [{name}] peak {peak:.1f} MB exceeds the "
                 f"sub-quadratic budget {budget:.1f} MB"
             )
+
+    if shm.shm_available():
+        print("  scale [payload_shipping] …", flush=True)
+        payload["payload_shipping"], shipping_violations = bench_payload_shipping(graph)
+        violations.extend(shipping_violations)
     return payload, violations
 
 
@@ -354,6 +460,8 @@ def main(argv=None) -> int:
     layers["privgraph_generation"] = bench_privgraph(graph)
     layers["der_generation"] = bench_der(graph)
     layers["privskg_generation"] = bench_privskg(graph)
+    layers["privhrg_generation"] = bench_privhrg(nodes)
+    layers["dp_dk_generation"] = bench_dp_dk(nodes)
 
     combined_before = (layers["tmf_generation"]["before_seconds"]
                        + layers["query_evaluation"]["before_seconds"])
@@ -367,7 +475,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "bench_speed",
-        "protocol_version": 3,
+        "protocol_version": 4,
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "quick": bool(args.quick),
@@ -397,6 +505,12 @@ def main(argv=None) -> int:
             print(f"scale [{name:<9}] {entry['seconds']:>8.2f}s "
                   f"peak {entry['after_peak_mb']:>8.1f} MB "
                   f"(budget {entry['peak_budget_mb']:.0f} MB)")
+        shipping = scale.get("payload_shipping")
+        if shipping:
+            print(f"scale [shipping ] pickle {shipping['pickle_bytes'] / 2**20:.1f} MB "
+                  f"/ {shipping['pickle_seconds']:.2f}s vs handle "
+                  f"{shipping['handle_bytes']} B / {shipping['shm_seconds']:.2f}s "
+                  f"({shipping['bytes_reduction']:.0f}x fewer bytes)")
     print(f"wrote {args.output}")
 
     status = 0

@@ -90,6 +90,25 @@ def check_trajectory(fresh: dict, committed: dict, min_speedup_ratio: float,
                     f"(committed {reference['after_peak_mb']:.1f} MB at the "
                     f"committed scale)"
                 )
+        # The payload-shipping byte reduction is a ratio of serialized sizes,
+        # fully machine-independent, so it gets the same relative floor as
+        # the layer speedups (a fresh run may skip the entry only when shm is
+        # unavailable on the runner — but then the committed entry must have
+        # been produced without shm too, so a committed entry is binding).
+        reference = committed_scale.get("payload_shipping")
+        if reference is not None:
+            entry = fresh_scale.get("payload_shipping")
+            if entry is None:
+                failures.append("scale entry 'payload_shipping' missing from the fresh run")
+            else:
+                floor = reference["bytes_reduction"] * min_speedup_ratio
+                if entry["bytes_reduction"] < floor:
+                    failures.append(
+                        f"scale payload_shipping byte reduction "
+                        f"{entry['bytes_reduction']:.1f}x fell below {floor:.1f}x "
+                        f"({min_speedup_ratio:.0%} of the committed "
+                        f"{reference['bytes_reduction']:.1f}x)"
+                    )
     return failures
 
 
@@ -119,9 +138,10 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    checked = len(committed.get("layers", {})) + (
-        len(SCALE_ENGINES) if "scale" in committed else 0
-    )
+    checked = len(committed.get("layers", {}))
+    if "scale" in committed:
+        checked += len(SCALE_ENGINES)
+        checked += 1 if "payload_shipping" in committed["scale"] else 0
     print(f"trajectory OK: {checked} entries within tolerance "
           f"(speedup ≥ {args.min_speedup_ratio:.0%} of committed, "
           f"peak ≤ {args.max_peak_ratio:.1f}× + {args.peak_slack_mb:.0f} MB)")

@@ -27,7 +27,13 @@ from repro.dp.budget import PrivacyBudget
 from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.sensitivity import GlobalSensitivity, smooth_sensitivity_upper_bound
-from repro.generators.dk_series import dk1_series, dk2_series, graph_from_dk1, graph_from_dk2
+from repro.generators.dk_series import (
+    dk1_series,
+    dk2_series,
+    dk2_series_arrays,
+    graph_from_dk1,
+    graph_from_dk2,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.properties import max_degree
 
@@ -43,6 +49,11 @@ class DPdK(GraphGenerator):
         1K variant (DK-1K) in its motivation.
     delta:
         The δ of the (ε, δ) guarantee; the paper sets δ = 0.01 for DP-dK.
+    dense:
+        ``True`` selects the scalar reference paths (per-key noise draws, the
+        scalar 2K-construction engine, registered as ``dp-dk-dense``); the
+        default array paths draw the Laplace noise in one batch and run the
+        vectorized construction engine, bit-identically for the same seed.
     """
 
     name = "dp-dk"
@@ -50,11 +61,12 @@ class DPdK(GraphGenerator):
     sensitivity_type = "smooth"
     requires_delta = True
 
-    def __init__(self, order: int = 2, delta: float = 0.01) -> None:
+    def __init__(self, order: int = 2, delta: float = 0.01, dense: bool = False) -> None:
         if order not in (1, 2):
             raise ValueError(f"order must be 1 or 2, got {order}")
         super().__init__(delta=delta)
         self.order = order
+        self.dense = dense
         self.name = "dp-1k" if order == 1 else "dp-dk"
 
     # -- generation ---------------------------------------------------------
@@ -78,7 +90,7 @@ class DPdK(GraphGenerator):
 
     def _generate_2k(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         epsilon = budget.spend_all_remaining(label="dk2_noise")
-        series = dk2_series(graph)
+        series = dk2_series(graph) if self.dense else dk2_series_arrays(graph)
         d_max = max_degree(graph)
         # Smooth sensitivity of a joint-degree entry: locally each entry moves
         # by at most (d1 + d2 + 1) <= 2 d_max + 1 when one edge changes, the
@@ -92,9 +104,16 @@ class DPdK(GraphGenerator):
         )
         # (ε, δ) Laplace noise calibrated to smooth sensitivity: scale 2S/ε.
         scale = 2.0 * smooth / epsilon
+        # One Laplace value per series key: the reference path draws scalars
+        # key by key, the array path draws the whole batch at once — numpy's
+        # Generator produces the identical stream either way.
+        if self.dense:
+            draws = [float(rng.laplace(0.0, scale)) for _ in series]
+        else:
+            draws = rng.laplace(0.0, scale, size=len(series))
         noisy: Dict[Tuple[int, int], int] = {}
-        for key, count in series.items():
-            noisy_value = count + float(rng.laplace(0.0, scale))
+        for (key, count), noise in zip(series.items(), draws):
+            noisy_value = count + float(noise)
             noisy_count = max(int(round(noisy_value)), 0)
             if noisy_count > 0:
                 noisy[key] = noisy_count
@@ -102,7 +121,7 @@ class DPdK(GraphGenerator):
             num_joint_degree_classes=len(noisy),
             smooth_sensitivity=smooth,
         )
-        return graph_from_dk2(noisy, num_nodes=graph.num_nodes, rng=rng)
+        return graph_from_dk2(noisy, num_nodes=graph.num_nodes, rng=rng, dense=self.dense)
 
 
 __all__ = ["DPdK"]

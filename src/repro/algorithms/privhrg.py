@@ -26,19 +26,28 @@ from repro.algorithms.base import GraphGenerator
 from repro.dp.budget import PrivacyBudget
 from repro.dp.definitions import PrivacyModel
 from repro.dp.mechanisms import LaplaceMechanism
-from repro.generators.hrg import Dendrogram, sample_hrg_graph
+from repro.generators.hrg import ArrayDendrogram, Dendrogram, sample_hrg_graph
 from repro.graphs.graph import Graph
 
 
 class PrivHRG(GraphGenerator):
-    """Private hierarchical-random-graph generator (pure ε Edge CDP)."""
+    """Private hierarchical-random-graph generator (pure ε Edge CDP).
+
+    Two MCMC engines share this pipeline: the array-backed
+    :class:`~repro.generators.hrg.ArrayDendrogram` (default) and the
+    reference :class:`~repro.generators.hrg.Dendrogram` (``dense=True``,
+    registered as ``privhrg-dense``).  They are bit-identical for the same
+    seed; the array engine just makes each swap cheap enough for
+    hundred-thousand-node graphs.
+    """
 
     name = "privhrg"
     privacy_model = PrivacyModel.EDGE_CDP
     sensitivity_type = "global"
     requires_delta = False
 
-    def __init__(self, mcmc_fraction: float = 0.5, steps_per_node: int = 12) -> None:
+    def __init__(self, mcmc_fraction: float = 0.5, steps_per_node: int = 12,
+                 dense: bool = False) -> None:
         super().__init__(delta=0.0)
         if not 0.0 < mcmc_fraction < 1.0:
             raise ValueError("mcmc_fraction must lie strictly between 0 and 1")
@@ -46,6 +55,7 @@ class PrivHRG(GraphGenerator):
             raise ValueError("steps_per_node must be >= 1")
         self.mcmc_fraction = mcmc_fraction
         self.steps_per_node = steps_per_node
+        self.dense = dense
 
     def _generate(self, graph: Graph, budget: PrivacyBudget, rng) -> Graph:
         eps_structure, eps_theta = budget.split(
@@ -57,7 +67,8 @@ class PrivHRG(GraphGenerator):
         # --- Stage 1: exponential-mechanism MCMC over dendrograms. ---
         delta_q = max(math.log(n), 1.0)
         acceptance_scale = eps_structure / (2.0 * delta_q)
-        dendrogram = Dendrogram(graph, rng=rng)
+        dendrogram_cls = Dendrogram if self.dense else ArrayDendrogram
+        dendrogram = dendrogram_cls(graph, rng=rng)
         num_steps = self.steps_per_node * n
         accepted = 0
         for _ in range(num_steps):

@@ -47,6 +47,8 @@ _FACTORIES: Dict[str, AlgorithmFactory] = {
     "privgraph-dense": lambda: PrivGraph(dense=True),
     "privskg-dense": lambda: PrivSKG(delta=0.01, dense=True),
     "der-dense": lambda: DER(dense=True),
+    "privhrg-dense": lambda: PrivHRG(dense=True),
+    "dp-dk-dense": lambda: DPdK(order=2, delta=0.01, dense=True),
 }
 
 #: The two bundled Edge-LDP algorithms, usable as an LDP-only benchmark M set.

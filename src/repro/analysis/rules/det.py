@@ -28,12 +28,18 @@ from repro.analysis.engine import ModuleContext, Rule
 from repro.analysis.findings import Finding
 
 #: Subpackages whose output feeds results (and therefore fingerprints).
+#: ``core/shm.py`` is listed even though it is pure transport: workers
+#: compute *from* its attached views, so ambient entropy there would be just
+#: as result-corrupting as in a generator (segment names are random, but
+#: they come from the stdlib's ``SharedMemory`` constructor and never feed
+#: any computation).
 RESULT_AFFECTING: Tuple[str, ...] = (
     "repro/algorithms/",
     "repro/generators/",
     "repro/community/",
     "repro/metrics/",
     "repro/queries/",
+    "repro/core/shm.py",
 )
 
 #: Modules exempt even if they ever move under a scoped directory: the RNG

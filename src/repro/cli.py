@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="deterministic chaos directives (crash@N, raise@N, "
                                  "hang@N) for testing the fault-tolerant execution "
                                  "layer; see docs/fault_tolerance.md")
+    run_parser.add_argument("--no-shm", action="store_true",
+                            help="ship datasets to workers as pickled payloads "
+                                 "instead of shared-memory segment handles; the "
+                                 "reference transport — results are bit-identical "
+                                 "either way (see docs/performance.md)")
     run_parser.add_argument("--scale", type=float, default=0.02)
     run_parser.add_argument("--seed", type=int, default=2024)
     run_parser.add_argument("--no-strict", action="store_true",
@@ -268,6 +273,7 @@ def _command_run(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             unit_timeout=args.timeout,
             faults=tuple(args.inject_fault or ()),
+            shm=not args.no_shm,
         )
     except SpecValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)

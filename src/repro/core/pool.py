@@ -33,6 +33,7 @@ from typing import Optional
 _lock = threading.Lock()
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers: int = 0
+_pool_generation: int = 0
 
 
 def _accepts_work(pool: ProcessPoolExecutor) -> bool:
@@ -52,12 +53,24 @@ def _accepts_work(pool: ProcessPoolExecutor) -> bool:
 
 
 def _make_pool(workers: int) -> ProcessPoolExecutor:
-    global _pool, _pool_workers
+    global _pool, _pool_workers, _pool_generation
     if _pool is not None:
         _pool.shutdown(wait=False, cancel_futures=True)
     _pool = ProcessPoolExecutor(max_workers=workers)
     _pool_workers = workers
+    _pool_generation += 1
     return _pool
+
+
+def shared_pool_generation() -> int:
+    """Monotonic counter bumped on every pool (re)build.
+
+    Worker-side caches — the runner's dataset payload cache, shared-memory
+    attachments — die with the workers, so anything that tracks "which
+    workers have what" (the runner's ``shipped`` set, recovery tests) can
+    compare generations to detect that a rebuild happened behind its back.
+    """
+    return _pool_generation
 
 
 def get_shared_pool(workers: int) -> ProcessPoolExecutor:
@@ -132,6 +145,7 @@ atexit.register(shutdown_shared_pool, wait=False)
 __all__ = [
     "get_shared_pool",
     "replace_shared_pool",
+    "shared_pool_generation",
     "terminate_shared_pool_workers",
     "shutdown_shared_pool",
 ]

@@ -130,7 +130,7 @@ def render_summary(results: BenchmarkResults) -> str:
             f"{name.replace('_', ' ')}: {value}"
             for name, value in results.diagnostics.items()
         )
-        lines.append(f"fault tolerance: {counters}")
+        lines.append(f"execution: {counters}")
     lines.append(_table(header, rows))
     return "\n".join(lines)
 

@@ -29,14 +29,16 @@ which the aggregation module turns into the paper's tables.
 from __future__ import annotations
 
 import logging
+import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core import shm as shm_plane
 from repro.core.faults import (
     FaultDirective,
     FaultPlan,
@@ -83,12 +85,23 @@ class ExecutionDiagnostics:
     ``timeouts_reaped`` counts units terminated by the watchdog;
     ``units_failed`` counts units that exhausted their budget and were
     recorded as explicit failures.
+
+    The payload-shipping counters account for the dataset transport of the
+    parallel runner: ``payload_bytes_shipped`` sums the serialized size of
+    every dataset payload that crossed the process boundary (segment handles
+    under shared memory, full pickled datasets otherwise — the whole point of
+    the shm plane is to shrink this number), ``shm_segments_created`` counts
+    shared-memory segments actually materialized by this run, and
+    ``shm_attaches`` counts cold zero-copy attachments performed by workers.
     """
 
     retries: int = 0
     worker_crashes_recovered: int = 0
     timeouts_reaped: int = 0
     units_failed: int = 0
+    payload_bytes_shipped: int = 0
+    shm_segments_created: int = 0
+    shm_attaches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The non-zero counters (an uneventful run reports nothing)."""
@@ -99,6 +112,9 @@ class ExecutionDiagnostics:
                 ("worker_crashes_recovered", self.worker_crashes_recovered),
                 ("timeouts_reaped", self.timeouts_reaped),
                 ("units_failed", self.units_failed),
+                ("payload_bytes_shipped", self.payload_bytes_shipped),
+                ("shm_segments_created", self.shm_segments_created),
+                ("shm_attaches", self.shm_attaches),
             )
             if value
         }
@@ -274,7 +290,10 @@ class RepetitionResult:
     :class:`CellExecutionError` instead) and ``failure_kind`` types it:
     ``"error"`` (the unit's own code raised), ``"crash"`` (lost to worker
     deaths until the retry budget ran out) or ``"timeout"`` (reaped by the
-    watchdog until the budget ran out).
+    watchdog until the budget ran out).  ``shm_attaches`` counts cold
+    shared-memory attachments performed while preparing this unit's dataset
+    — execution bookkeeping for :class:`ExecutionDiagnostics`, never part of
+    the scientific result.
     """
 
     repetition: int
@@ -282,6 +301,7 @@ class RepetitionResult:
     generation_seconds: float
     failure: str = ""
     failure_kind: str = ""
+    shm_attaches: int = 0
 
 
 def _execute_repetition(algorithm_name: str, dataset_name: str, graph: Graph,
@@ -414,34 +434,54 @@ _worker_data: Dict[Tuple[str, str], Tuple[Graph, Dict[str, object]]] = {}
 
 
 def _execute_repetition_remote(cache_key: Tuple[str, str],
-                               payload: Optional[Tuple[Graph, Dict[str, object]]],
+                               payload: object,
                                algorithm_name: str, dataset_name: str, epsilon: float,
                                query_names: Sequence[str], repetition: int,
                                master_seed: int, strict: bool,
                                fault: Optional[FaultDirective] = None) -> RepetitionResult:
     """Worker-side wrapper around :func:`_execute_repetition` with a data cache.
 
-    ``payload`` carries the (graph, true values) pair when the submitter
-    chose to ship it; otherwise the worker serves it from its cache and
-    raises :class:`_WorkerDataMiss` when it has never seen the dataset — the
-    runner resubmits that unit with the payload attached.  ``fault`` is the
-    unit's chaos directive, if any; in a worker process a ``crash`` may
-    genuinely kill the process (``allow_process_exit=True``).
+    ``payload`` is the dataset transport object, one of three shapes: a
+    :class:`~repro.core.shm.DatasetSegmentHandle` (the worker attaches
+    read-only zero-copy views of the parent's shared-memory segment), the
+    full pickled ``(graph, true values)`` tuple (the ``--no-shm`` reference
+    transport and the fallback when a segment cannot be attached), or
+    ``None`` (the worker serves the dataset from its cache).  A worker that
+    has never seen the dataset — or whose segment handle points at an
+    unlinked segment — raises :class:`_WorkerDataMiss`; the runner resubmits
+    that unit with a payload attached (demoting the dataset to the pickle
+    transport after a repeated miss).  ``fault`` is the unit's chaos
+    directive, if any; in a worker process a ``crash`` may genuinely kill
+    the process (``allow_process_exit=True``).
     """
+    attaches = 0
     if payload is not None:
         fingerprint = cache_key[0]
         for stale_key in [key for key in _worker_data if key[0] != fingerprint]:
             del _worker_data[stale_key]  # a new spec: drop the previous run's data
-        _worker_data[cache_key] = payload
+        if isinstance(payload, shm_plane.DatasetSegmentHandle):
+            cold = not shm_plane.is_attached(cache_key)
+            try:
+                _worker_data[cache_key] = shm_plane.attach_dataset(cache_key, payload)
+            except FileNotFoundError as exc:
+                raise _WorkerDataMiss(
+                    f"shm segment {payload.segment_name!r} for {cache_key} is gone"
+                ) from exc
+            attaches = 1 if cold else 0
+        else:
+            _worker_data[cache_key] = payload
     try:
         graph, true_values = _worker_data[cache_key]
     except KeyError:
         raise _WorkerDataMiss(f"dataset payload {cache_key} not cached in this worker")
-    return _execute_repetition(
+    result = _execute_repetition(
         algorithm_name, dataset_name, graph, epsilon, query_names,
         true_values, repetition, master_seed, strict,
         fault=fault, allow_process_exit=True,
     )
+    if attaches:
+        result = replace(result, shm_attaches=attaches)
+    return result
 
 
 def _crash_failure(repetition: int) -> RepetitionResult:
@@ -679,11 +719,26 @@ class BenchmarkRunner:
         Every ``(cell, repetition)`` pair is an independent unit of work on
         the shared module-level pool (keyed seeding makes results identical
         for any worker count; the pool is reused across run_benchmark calls,
-        see :mod:`repro.core.pool`).  Dataset payloads (graph + true values)
-        ship with the first unit per dataset and live in a worker-side cache
-        afterwards; a worker that never received one raises
-        :class:`_WorkerDataMiss` and that unit is resubmitted with the
-        payload attached.
+        see :mod:`repro.core.pool`).  Dataset payloads ship with the first
+        unit per dataset and live in a worker-side cache afterwards; a
+        worker that never received one raises :class:`_WorkerDataMiss` and
+        that unit is resubmitted with the payload attached.
+
+        The payload itself is a :class:`~repro.core.shm.DatasetSegmentHandle`
+        by default (``spec.shm``): the parent publishes each dataset's
+        canonical arrays into a named shared-memory segment once and ships
+        only the handle, so a ship costs a few hundred bytes instead of the
+        pickled graph.  Results are bit-identical either way — the handle is
+        pure transport — and the pickle tuple remains the reference path:
+        ``--no-shm`` selects it outright, a failed publish (e.g. no
+        ``/dev/shm`` space) demotes the affected dataset to it, and a miss
+        on a *payload-carrying* submission (which can only mean the worker
+        failed to *attach* the shipped handle, i.e. the segment is gone)
+        demotes its dataset too and releases the dead segment — payload-free
+        misses are the normal cold-worker case and never demote.  Pool
+        rebuilds clear the ``shipped`` bookkeeping only: published segments
+        live in the parent, so recovered units re-ship the same handles to
+        the fresh workers.
 
         Fault tolerance, on top of that:
 
@@ -739,12 +794,61 @@ class BenchmarkRunner:
         attempts: Dict[UnitKey, int] = {unit: 0 for unit in units}
 
         pool = get_shared_pool(workers)
+        use_shm = spec.shm and shm_plane.shm_available()
+        #: dataset → published segment handle (parent side, lazily created).
+        handles: Dict[str, shm_plane.DatasetSegmentHandle] = {}
+        #: datasets demoted to the pickle transport (failed publish/attach).
+        pickle_fallback: Set[str] = set()
+        #: (dataset, transport) → serialized payload size, measured once.
+        payload_sizes: Dict[Tuple[str, str], int] = {}
         shipped: Set[str] = set()
         future_to_unit: Dict[Future, UnitKey] = {}
         inflight_fault: Dict[Future, Optional[FaultDirective]] = {}
+        #: whether each in-flight submission carried a payload — the
+        #: dead-segment detector: a miss on a payload-carrying submission
+        #: can only mean the shipped handle failed to attach.
+        inflight_payload: Dict[Future, bool] = {}
         outstanding: Set[Future] = set()
         running_since: Dict[Future, float] = {}
         collected: Dict[TaskKey, List[RepetitionResult]] = {task: [] for task in pending}
+
+        def payload_for(dataset_name: str) -> object:
+            """The transport object for one ship of ``dataset_name``.
+
+            A segment handle under shared memory (publishing on first use),
+            the full (graph, true values) tuple otherwise.  A failed publish
+            demotes the dataset to the pickle transport for the whole run.
+            """
+            if use_shm and dataset_name not in pickle_fallback:
+                handle = handles.get(dataset_name)
+                if handle is None:
+                    graph, values = payloads[dataset_name]
+                    try:
+                        handle, created = shm_plane.publish_dataset(
+                            (fingerprint, dataset_name), graph, values
+                        )
+                    except OSError:
+                        logger.warning(
+                            "publishing dataset %r to shared memory failed; "
+                            "falling back to the pickle transport", dataset_name,
+                        )
+                        pickle_fallback.add(dataset_name)
+                        return payloads[dataset_name]
+                    if created:
+                        diagnostics.shm_segments_created += 1
+                    handles[dataset_name] = handle
+                return handle
+            return payloads[dataset_name]
+
+        def count_shipped(dataset_name: str, payload: object) -> None:
+            transport = (
+                "shm" if isinstance(payload, shm_plane.DatasetSegmentHandle) else "pickle"
+            )
+            size = payload_sizes.get((dataset_name, transport))
+            if size is None:
+                size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+                payload_sizes[(dataset_name, transport)] = size
+            diagnostics.payload_bytes_shipped += size
 
         def submit(unit: UnitKey, force_payload: bool = False,
                    fault: Optional[FaultDirective] = None) -> None:
@@ -755,17 +859,20 @@ class BenchmarkRunner:
                 fault = plan.take(unit_index[unit]) if plan else None
 
             def args(with_payload: bool):
+                payload = payload_for(dataset_name) if with_payload else None
+                if payload is not None:
+                    count_shipped(dataset_name, payload)
                 return (
                     (fingerprint, dataset_name),
-                    payloads[dataset_name] if with_payload else None,
+                    payload,
                     algorithm_name, dataset_name, epsilon, query_names,
                     repetition, spec.seed, strict, fault,
                 )
 
+            with_payload = force_payload or dataset_name not in shipped
             try:
                 future = pool.submit(
-                    _execute_repetition_remote,
-                    *args(force_payload or dataset_name not in shipped),
+                    _execute_repetition_remote, *args(with_payload)
                 )
             except RuntimeError:
                 # The pool broke or was shut down behind our back (a
@@ -774,10 +881,12 @@ class BenchmarkRunner:
                 # fresh workers have empty caches.
                 pool = replace_shared_pool(workers)
                 shipped.clear()
+                with_payload = True
                 future = pool.submit(_execute_repetition_remote, *args(True))
             shipped.add(dataset_name)
             future_to_unit[future] = unit
             inflight_fault[future] = fault
+            inflight_payload[future] = with_payload
             outstanding.add(future)
 
         def maybe_finish(task: TaskKey) -> None:
@@ -797,12 +906,29 @@ class BenchmarkRunner:
             """
             task, repetition = unit
             fault = inflight_fault.pop(future, None)
+            carried_payload = inflight_payload.pop(future, False)
             try:
                 result = future.result()
             except _WorkerDataMiss:
                 # Free resubmission (not the unit's doing) — re-carrying the
                 # fault directive, which cannot have fired: the worker raised
                 # on its cache lookup before reaching the execution step.
+                # A payload-free miss is the normal cold-worker case and
+                # proves nothing.  A miss on a *payload-carrying* submission
+                # only happens when a shipped segment handle could not be
+                # attached (a pickled tuple cannot miss): the segment is
+                # gone, so demote the dataset to the pickle transport and
+                # drop the dead handle.
+                dataset_name = task[1]
+                if carried_payload and dataset_name not in pickle_fallback:
+                    logger.warning(
+                        "shm segment for dataset %r unattachable; "
+                        "demoting it to the pickle transport", dataset_name,
+                    )
+                    pickle_fallback.add(dataset_name)
+                    handles.pop(dataset_name, None)
+                    shm_plane.release_dataset((fingerprint, dataset_name))
+                    shipped.discard(dataset_name)
                 submit(unit, force_payload=True, fault=fault)
                 return "handled"
             except (BrokenProcessPool, CancelledError):
@@ -816,6 +942,7 @@ class BenchmarkRunner:
                     submit(unit)
                     return "handled"
                 raise
+            diagnostics.shm_attaches += result.shm_attaches
             if result.errors is None:
                 # A non-strict failure record: retry while budget remains
                 # (a transient failure may clear), then keep the record.
@@ -846,6 +973,7 @@ class BenchmarkRunner:
                 if future.done() and handle_outcome(unit, future) == "handled":
                     continue
                 inflight_fault.pop(future, None)
+                inflight_payload.pop(future, None)
                 future.cancel()
                 lost.append(unit)
             return lost

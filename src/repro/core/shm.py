@@ -1,0 +1,300 @@
+"""Shared-memory dataset plane: ship each dataset to workers exactly once.
+
+The parallel runner's unit payloads used to pickle the full ``(graph,
+true_values)`` tuple into every worker process — at 500k+ nodes that
+serialisation became the dominant per-run overhead.  This module replaces the
+bytes with *names*: the parent materialises a dataset's canonical arrays (edge
+array, degrees, CSR ``indptr``/``indices``/``data``) plus its pickled true
+query values into one named :class:`multiprocessing.shared_memory` segment,
+and workers attach **read-only zero-copy numpy views** over the same physical
+pages via :meth:`Graph.from_canonical_edge_array`.  Only a
+:class:`DatasetSegmentHandle` — a few hundred bytes regardless of graph size
+— ever crosses the process boundary.
+
+Lifecycle and leak guarantees
+-----------------------------
+
+* Segments are keyed by the runner's ``(spec fingerprint, dataset name)``
+  cache key.  Publishing under a new fingerprint releases the previous
+  spec's segments, so long multi-spec sessions hold at most one spec's
+  datasets in ``/dev/shm``.
+* :func:`release_all` is registered via :mod:`atexit`; a normal interpreter
+  exit unlinks everything this process published.
+* Workers are forked, so they share the parent's ``resource_tracker``
+  process.  Creating *and* attaching both register the segment name there
+  (the registry is a set, so this never double-frees), which means even a
+  ``SIGKILL`` of the parent leaves a live tracker that unlinks every
+  registered segment — the crash-safety net behind the atexit hook.
+* Worker crashes need no handling at all: attachments die with the worker's
+  address space, and the parent's mapping keeps the segment alive for the
+  resubmitted units (see ``docs/fault_tolerance.md``).
+
+``--no-shm`` (``BenchmarkSpec.shm = False``) keeps the pickle transport as
+the bit-identity reference; the runner also falls back per unit when a
+handle cannot be attached (see the miss handling in
+:mod:`repro.core.runner`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+#: ``(spec fingerprint, dataset name)`` — the same key the runner's
+#: worker-side payload cache uses.
+CacheKey = Tuple[str, str]
+
+#: Array starts are aligned generously so every dtype's natural alignment is
+#: satisfied no matter what precedes it in the segment.
+_ALIGNMENT = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+@dataclass(frozen=True)
+class ArrayField:
+    """Placement of one ndarray inside a dataset segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class DatasetSegmentHandle:
+    """Picklable descriptor of a published dataset segment.
+
+    This is what the runner ships instead of a pickled dataset: the segment
+    name plus enough layout metadata for a worker to rebuild zero-copy views.
+    """
+
+    segment_name: str
+    num_nodes: int
+    arrays: Tuple[ArrayField, ...]
+    values_offset: int
+    values_size: int
+    total_bytes: int
+
+
+class _PublishedSegment:
+    __slots__ = ("memory", "handle")
+
+    def __init__(self, memory: shared_memory.SharedMemory,
+                 handle: DatasetSegmentHandle) -> None:
+        self.memory = memory
+        self.handle = handle
+
+
+class _AttachedDataset:
+    __slots__ = ("memory", "graph", "true_values")
+
+    def __init__(self, memory: shared_memory.SharedMemory, graph: Graph,
+                 true_values: Dict[str, object]) -> None:
+        self.memory = memory
+        self.graph = graph
+        self.true_values = true_values
+
+
+_published: Dict[CacheKey, _PublishedSegment] = {}
+_publish_lock = threading.Lock()
+_attached: Dict[CacheKey, _AttachedDataset] = {}
+_availability: List[bool] = []
+
+
+def shm_available() -> bool:
+    """Whether named shared-memory segments work on this platform (cached probe)."""
+    if not _availability:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=16)
+        except (OSError, ValueError):
+            _availability.append(False)
+        else:
+            try:
+                probe.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            probe.close()
+            _availability.append(True)
+    return _availability[0]
+
+
+# -- parent side -------------------------------------------------------------
+
+def publish_dataset(key: CacheKey, graph: Graph,
+                    true_values: Dict[str, object]) -> Tuple[DatasetSegmentHandle, bool]:
+    """Materialise ``key``'s dataset into a named segment (idempotent).
+
+    Returns ``(handle, created)`` — ``created`` is False when the segment was
+    already published, so callers can count actual segment creations.
+    Publishing under a new spec fingerprint releases every segment of other
+    fingerprints first: a run never needs two specs' datasets at once.
+    """
+    with _publish_lock:
+        existing = _published.get(key)
+        if existing is not None:
+            return existing.handle, False
+        for stale in [other for other in _published if other[0] != key[0]]:
+            _release_locked(stale)
+
+        csr = graph.to_sparse_adjacency()
+        named_arrays = (
+            ("edges", np.ascontiguousarray(graph.edge_array())),
+            ("degrees", np.ascontiguousarray(graph.degrees())),
+            ("indptr", np.ascontiguousarray(csr.indptr)),
+            ("indices", np.ascontiguousarray(csr.indices)),
+            ("data", np.ascontiguousarray(csr.data)),
+        )
+        values_blob = pickle.dumps(true_values, protocol=pickle.HIGHEST_PROTOCOL)
+        fields = []
+        offset = 0
+        for name, array in named_arrays:
+            offset = _aligned(offset)
+            fields.append(ArrayField(name=name, dtype=str(array.dtype),
+                                     shape=tuple(array.shape), offset=offset))
+            offset += array.nbytes
+        values_offset = _aligned(offset)
+        total_bytes = max(values_offset + len(values_blob), 1)
+
+        memory = shared_memory.SharedMemory(create=True, size=total_bytes)
+        for field, (_, array) in zip(fields, named_arrays):
+            view = np.ndarray(field.shape, dtype=np.dtype(field.dtype),
+                              buffer=memory.buf, offset=field.offset)
+            view[...] = array
+        memory.buf[values_offset:values_offset + len(values_blob)] = values_blob
+        del view  # views over memory.buf must be gone before any later close()
+
+        handle = DatasetSegmentHandle(
+            segment_name=memory.name,
+            num_nodes=graph.num_nodes,
+            arrays=tuple(fields),
+            values_offset=values_offset,
+            values_size=len(values_blob),
+            total_bytes=total_bytes,
+        )
+        _published[key] = _PublishedSegment(memory, handle)
+        return handle, True
+
+
+def _release_locked(key: CacheKey) -> None:
+    segment = _published.pop(key, None)
+    if segment is None:
+        return
+    try:
+        segment.memory.close()
+    except BufferError:  # a view escaped; the GC reclaims the mapping later
+        pass
+    try:
+        segment.memory.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def release_dataset(key: CacheKey) -> None:
+    """Unlink one published segment (idempotent)."""
+    with _publish_lock:
+        _release_locked(key)
+
+
+def release_all() -> None:
+    """Unlink every segment this process published (atexit-registered)."""
+    with _publish_lock:
+        for key in list(_published):
+            _release_locked(key)
+
+
+def published_count() -> int:
+    """Number of currently published segments (diagnostics/tests)."""
+    return len(_published)
+
+
+def published_segment_names() -> List[str]:
+    """Names of currently published segments (used by leak tests)."""
+    return [segment.memory.name for segment in _published.values()]
+
+
+atexit.register(release_all)
+
+
+# -- worker side -------------------------------------------------------------
+
+def attach_dataset(key: CacheKey,
+                   handle: DatasetSegmentHandle) -> Tuple[Graph, Dict[str, object]]:
+    """Attach read-only zero-copy views of a published dataset (cached).
+
+    Raises :class:`FileNotFoundError` when the segment no longer exists —
+    the runner translates that into its ``_WorkerDataMiss`` resubmission
+    protocol, which eventually falls back to the pickle transport.
+    """
+    cached = _attached.get(key)
+    if cached is not None:
+        return cached.graph, cached.true_values
+    # A payload for a new fingerprint supersedes older attachments, exactly
+    # like the runner's pickle-payload cache eviction.
+    for stale in [other for other in _attached if other[0] != key[0]]:
+        dropped = _attached.pop(stale)
+        try:
+            dropped.memory.close()
+        except BufferError:  # graph views still referenced; GC reclaims later
+            pass
+
+    memory = shared_memory.SharedMemory(name=handle.segment_name)
+    views: Dict[str, np.ndarray] = {}
+    for field in handle.arrays:
+        view = np.ndarray(field.shape, dtype=np.dtype(field.dtype),
+                          buffer=memory.buf, offset=field.offset)
+        view.flags.writeable = False
+        views[field.name] = view
+    true_values: Dict[str, object] = pickle.loads(
+        bytes(memory.buf[handle.values_offset:handle.values_offset + handle.values_size])
+    )
+    n = handle.num_nodes
+    csr = sp.csr_matrix((views["data"], views["indices"], views["indptr"]),
+                        shape=(n, n), copy=False)
+    graph = Graph.from_canonical_edge_array(views["edges"], n,
+                                            degrees=views["degrees"], csr=csr)
+    _attached[key] = _AttachedDataset(memory, graph, true_values)
+    return graph, true_values
+
+
+def attached_count() -> int:
+    """Number of datasets this (worker) process currently has attached."""
+    return len(_attached)
+
+
+def is_attached(key: CacheKey) -> bool:
+    """Whether ``key`` is already served from this process's attach cache.
+
+    Counting cold attaches needs this rather than an ``attached_count()``
+    delta: attaching under a new fingerprint evicts stale entries (including
+    ones a forked worker inherited from its parent), so the count can shrink
+    across a successful attach.
+    """
+    return key in _attached
+
+
+__all__ = [
+    "ArrayField",
+    "CacheKey",
+    "DatasetSegmentHandle",
+    "attach_dataset",
+    "attached_count",
+    "is_attached",
+    "publish_dataset",
+    "published_count",
+    "published_segment_names",
+    "release_all",
+    "release_dataset",
+    "shm_available",
+]

@@ -33,10 +33,11 @@ PGB_EPSILONS: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
 #: Version of the *result-producing implementation*, folded into
 #: :meth:`BenchmarkSpec.fingerprint`.  Bump it whenever an algorithm or query
 #: implementation change alters the values cells contain for the same spec
-#: (version 2: the CSR Louvain engine changed Q12/Q13 and PrivGraph cells),
+#: (version 2: the CSR Louvain engine changed Q12/Q13 and PrivGraph cells;
+#: version 3: the batched-draw 2K-construction protocol changed DP-dK cells),
 #: so checkpoint journals and shard outputs written by an older codebase are
 #: refused loudly instead of silently mixing old and new cell values.
-RESULTS_PROTOCOL_VERSION = 2
+RESULTS_PROTOCOL_VERSION = 3
 
 #: Spec fields that shape *how* a run executes but never *what* it computes:
 #: results are bit-identical for any worker count, retry budget, watchdog
@@ -49,6 +50,7 @@ EXECUTION_ONLY_FIELDS: Tuple[str, ...] = (
     "max_retries",
     "unit_timeout",
     "faults",
+    "shm",
 )
 
 
@@ -101,6 +103,12 @@ class BenchmarkSpec:
         tooling only — injected faults must never change what the results
         are, and therefore (like ``workers``, ``max_retries`` and
         ``unit_timeout``) never participate in the fingerprint.
+    shm:
+        Whether parallel runs may ship dataset payloads through named
+        shared-memory segments (see :mod:`repro.core.shm`) instead of
+        pickling them into every worker.  Purely a transport choice —
+        results are bit-identical either way (``--no-shm`` keeps the pickle
+        path as the reference), so it stays out of the fingerprint.
     """
 
     algorithms: Sequence[str] = PGB_ALGORITHM_NAMES
@@ -115,6 +123,7 @@ class BenchmarkSpec:
     max_retries: int = 2
     unit_timeout: Optional[float] = None
     faults: Sequence[str] = ()
+    shm: bool = True
 
     def __post_init__(self) -> None:
         self.algorithms = tuple(self.algorithms)

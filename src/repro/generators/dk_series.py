@@ -9,17 +9,27 @@ The dK-series is a hierarchy of degree-correlation statistics:
 DP-dK (Wang & Wu 2013) perturbs these statistics and feeds them back into a
 dK-targeting constructor.  We provide:
 
-* :func:`dk1_series` / :func:`dk2_series` — measure the statistics;
+* :func:`dk1_series` / :func:`dk2_series` — measure the statistics
+  (:func:`dk2_series_arrays` is the vectorized equivalent);
 * :func:`graph_from_dk1` — realise a dK-1 target (degree sequence sampling +
   Havel–Hakimi);
 * :func:`graph_from_dk2` — realise a dK-2 target with the standard
   stub-matching-by-degree-class procedure followed by targeting rewiring.
+
+The 2K construction runs on one of two engines sharing a single random
+protocol (batched candidate draws per class, two index draws per rewiring
+attempt): the scalar reference engine (``dense=True``) walks Python
+sets/Counters and recomputes the joint-degree counts per rewiring attempt,
+while the array engine works on edge-code arrays with vectorized candidate
+filtering and incrementally maintained counts.  Both engines consume the RNG
+identically and make identical accept/reject decisions, so they produce
+bit-identical graphs — the hypothesis suite holds them to that.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +56,29 @@ def dk2_series(graph: Graph) -> Dk2:
             d1, d2 = d2, d1
         series[(d1, d2)] += 1
     return dict(series)
+
+
+def dk2_series_arrays(graph: Graph) -> Dk2:
+    """Vectorized :func:`dk2_series`: identical mapping, identical insertion order.
+
+    The scalar version inserts keys in canonical edge order (first occurrence
+    wins); recovering that order from :func:`numpy.unique` keeps the two
+    measurement paths interchangeable anywhere the dict's iteration order
+    feeds randomized downstream stages.
+    """
+    if graph.num_edges == 0:
+        return {}
+    degrees = graph.degrees()
+    edges = graph.edge_array()
+    d_u = degrees[edges[:, 0]]
+    d_v = degrees[edges[:, 1]]
+    low = np.minimum(d_u, d_v).astype(np.int64)
+    high = np.maximum(d_u, d_v).astype(np.int64)
+    base = int(degrees.max()) + 1
+    codes = low * base + high
+    unique, first_index, counts = np.unique(codes, return_index=True, return_counts=True)
+    order = np.argsort(first_index, kind="stable")
+    return {(int(unique[i] // base), int(unique[i] % base)): int(counts[i]) for i in order}
 
 
 def degree_sequence_from_dk1(dk1: Dk1, num_nodes: int | None = None) -> np.ndarray:
@@ -100,8 +133,323 @@ def _dk2_to_degree_sequence(dk2: Dk2, num_nodes: int | None = None) -> np.ndarra
     return np.asarray(degrees, dtype=np.int64)
 
 
+def _in_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Element-wise membership of ``values`` in the sorted int array ``table``."""
+    if table.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    positions = np.searchsorted(table, values)
+    return table[np.minimum(positions, table.size - 1)] == values
+
+
+def _cumcount(values: np.ndarray) -> np.ndarray:
+    """Occurrence rank of each element among equal values seen earlier in the array."""
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    perm = np.argsort(values, kind="stable")
+    ordered = values[perm]
+    run_starts = np.flatnonzero(np.concatenate(([True], ordered[1:] != ordered[:-1])))
+    run_lengths = np.diff(np.append(run_starts, ordered.size))
+    ranks = np.arange(ordered.size, dtype=np.int64) - np.repeat(run_starts, run_lengths)
+    out = np.empty(values.size, dtype=np.int64)
+    out[perm] = ranks
+    return out
+
+
+def _swap_error_delta_counts(current: Dict[Tuple[int, int], int], target: Dk2,
+                             degrees: np.ndarray, remove, add) -> float:
+    """Change in L1 distance to the target dK-2 if the swap were applied.
+
+    Shared by both construction engines so the float accumulation is
+    literally the same expression sequence; ``current`` may be a freshly
+    recounted Counter (reference engine) or an incrementally maintained dict
+    (array engine) — equal contents give equal deltas.
+    """
+    def class_of(u: int, v: int) -> Tuple[int, int]:
+        d1, d2 = int(degrees[u]), int(degrees[v])
+        return (d1, d2) if d1 <= d2 else (d2, d1)
+
+    delta = 0.0
+    for u, v in remove:
+        key = class_of(u, v)
+        have = current.get(key, 0)
+        want = target.get(key, 0)
+        delta += abs(have - 1 - want) - abs(have - want)
+    for u, v in add:
+        key = class_of(u, v)
+        have = current.get(key, 0)
+        want = target.get(key, 0)
+        delta += abs(have + 1 - want) - abs(have - want)
+    return delta
+
+
+class _ScalarDk2Builder:
+    """Reference 2K-construction engine: Python sets, per-attempt recounts.
+
+    Every decision point mirrors :class:`_ArrayDk2Builder` — same batched RNG
+    draws, same candidate-consideration rules — just evaluated one candidate
+    at a time, with the rewiring objective recomputed from scratch per
+    attempt.  Kept as the bit-identity oracle for the array engine.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.codes: List[int] = []
+        self._edge_set: set = set()
+
+    def place_class(self, candidates_1: Sequence[int], candidates_2: Sequence[int],
+                    target: int, remaining: np.ndarray,
+                    generator: np.random.Generator) -> int:
+        n = self.num_nodes
+        accepted: List[int] = []
+        class_seen: set = set()
+        occurrence: Dict[int, int] = {}
+        attempts_left = 8 * target + 20
+        while attempts_left > 0 and len(accepted) < target:
+            batch = min(attempts_left, max(2 * (target - len(accepted)), 16))
+            us = generator.integers(0, len(candidates_1), size=batch)
+            vs = generator.integers(0, len(candidates_2), size=batch)
+            attempts_left -= batch
+            for position in range(batch):
+                if len(accepted) == target:
+                    break
+                u = int(candidates_1[int(us[position])])
+                v = int(candidates_2[int(vs[position])])
+                if u == v:
+                    continue
+                low, high = (u, v) if u < v else (v, u)
+                code = low * n + high
+                if code in self._edge_set or code in class_seen:
+                    continue
+                class_seen.add(code)
+                rank_u = occurrence.get(u, 0)
+                occurrence[u] = rank_u + 1
+                rank_v = occurrence.get(v, 0)
+                occurrence[v] = rank_v + 1
+                if rank_u < remaining[u] and rank_v < remaining[v]:
+                    accepted.append(code)
+                    self._edge_set.add(code)
+        for code in accepted:
+            low, high = divmod(code, n)
+            remaining[low] -= 1
+            remaining[high] -= 1
+        self.codes.extend(accepted)
+        return len(accepted)
+
+    def rewire(self, target: Dk2, rewiring_rounds: int,
+               generator: np.random.Generator) -> None:
+        n = self.num_nodes
+        num_edges = len(self.codes)
+        swap_attempts = min(rewiring_rounds * max(num_edges, 1), 500)
+        if num_edges < 2:
+            return
+        endpoints = np.asarray(self.codes, dtype=np.int64)
+        degrees = np.bincount(np.concatenate((endpoints // n, endpoints % n)), minlength=n)
+        for _ in range(swap_attempts):
+            i = int(generator.integers(0, num_edges))
+            j = int(generator.integers(0, num_edges))
+            a, b = divmod(self.codes[i], n)
+            c, d = divmod(self.codes[j], n)
+            if len({a, b, c, d}) < 4:
+                continue
+            code_ac = (a * n + c) if a < c else (c * n + a)
+            code_bd = (b * n + d) if b < d else (d * n + b)
+            if code_ac in self._edge_set or code_bd in self._edge_set:
+                continue
+            current: Counter = Counter()
+            for code in self.codes:
+                low, high = divmod(code, n)
+                d1, d2 = int(degrees[low]), int(degrees[high])
+                current[(d1, d2) if d1 <= d2 else (d2, d1)] += 1
+            delta = _swap_error_delta_counts(current, target, degrees,
+                                             remove=((a, b), (c, d)), add=((a, c), (b, d)))
+            if delta < 0:
+                self._edge_set.discard(self.codes[i])
+                self._edge_set.discard(self.codes[j])
+                self._edge_set.add(code_ac)
+                self._edge_set.add(code_bd)
+                self.codes[i] = code_ac
+                self.codes[j] = code_bd
+
+    def build_graph(self) -> Graph:
+        if not self.codes:
+            return Graph(self.num_nodes)
+        arr = np.asarray(self.codes, dtype=np.int64)
+        edges = np.stack((arr // self.num_nodes, arr % self.num_nodes), axis=1)
+        return Graph.from_edge_array(edges, self.num_nodes)
+
+
+class _ArrayDk2Builder:
+    """Array 2K-construction engine: vectorized placement, incremental rewiring.
+
+    Placement filters each candidate batch with sorted-array membership tests
+    and per-node occurrence ranks (a prefix property, so truncating at the
+    target-th acceptance reproduces the scalar engine's early exit exactly);
+    rewiring keeps the edge list as an int64 code array and maintains the
+    joint-degree counts incrementally instead of recounting per attempt.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self._chunks: List[np.ndarray] = []
+        self._edge_codes_sorted = np.empty(0, dtype=np.int64)
+        self._occurrence = np.zeros(num_nodes, dtype=np.int64)
+        self._final_codes = np.empty(0, dtype=np.int64)
+
+    def place_class(self, candidates_1: Sequence[int], candidates_2: Sequence[int],
+                    target: int, remaining: np.ndarray,
+                    generator: np.random.Generator) -> int:
+        n = self.num_nodes
+        pool_1 = np.asarray(candidates_1, dtype=np.int64)
+        pool_2 = np.asarray(candidates_2, dtype=np.int64)
+        accepted_chunks: List[np.ndarray] = []
+        touched: List[np.ndarray] = []
+        accepted = 0
+        class_seen = np.empty(0, dtype=np.int64)
+        attempts_left = 8 * target + 20
+        while attempts_left > 0 and accepted < target:
+            batch = min(attempts_left, max(2 * (target - accepted), 16))
+            us = generator.integers(0, pool_1.size, size=batch)
+            vs = generator.integers(0, pool_2.size, size=batch)
+            attempts_left -= batch
+            u = pool_1[us]
+            v = pool_2[vs]
+            low = np.minimum(u, v)
+            high = np.maximum(u, v)
+            codes = low * n + high
+            consider = (low != high)
+            consider &= ~_in_sorted(codes, self._edge_codes_sorted)
+            consider &= ~_in_sorted(codes, class_seen)
+            index = np.flatnonzero(consider)
+            if index.size:
+                # Only the first in-batch occurrence of a code is considered.
+                sub = codes[index]
+                perm = np.argsort(sub, kind="stable")
+                ordered = sub[perm]
+                first = np.empty(sub.size, dtype=bool)
+                first[perm] = np.concatenate(([True], ordered[1:] != ordered[:-1]))
+                index = index[first]
+            if not index.size:
+                continue
+            batch_u = u[index]
+            batch_v = v[index]
+            # Per-node occurrence ranks over the interleaved (u0,v0,u1,v1,...)
+            # endpoint stream — the same order the scalar engine updates in.
+            stream = np.empty(2 * index.size, dtype=np.int64)
+            stream[0::2] = batch_u
+            stream[1::2] = batch_v
+            ranks = _cumcount(stream)
+            rank_u = self._occurrence[batch_u] + ranks[0::2]
+            rank_v = self._occurrence[batch_v] + ranks[1::2]
+            accept = (rank_u < remaining[batch_u]) & (rank_v < remaining[batch_v])
+            need = target - accepted
+            hits = np.cumsum(accept)
+            if hits[-1] >= need:
+                # The scalar engine stops considering candidates after the
+                # need-th acceptance; ranks are a prefix property, so the
+                # truncation cannot change the kept candidates' decisions.
+                cut = int(np.searchsorted(hits, need)) + 1
+                index = index[:cut]
+                batch_u = batch_u[:cut]
+                batch_v = batch_v[:cut]
+                accept = accept[:cut]
+            np.add.at(self._occurrence, batch_u, 1)
+            np.add.at(self._occurrence, batch_v, 1)
+            touched.append(batch_u)
+            touched.append(batch_v)
+            class_seen = np.union1d(class_seen, codes[index])
+            chunk = codes[index][accept]
+            if chunk.size:
+                accepted_chunks.append(chunk)
+                accepted += int(chunk.size)
+        if touched:
+            self._occurrence[np.concatenate(touched)] = 0
+        if accepted_chunks:
+            chunk = np.concatenate(accepted_chunks)
+            np.subtract.at(remaining, chunk // n, 1)
+            np.subtract.at(remaining, chunk % n, 1)
+            self._edge_codes_sorted = np.union1d(self._edge_codes_sorted, chunk)
+            self._chunks.append(chunk)
+        return accepted
+
+    def rewire(self, target: Dk2, rewiring_rounds: int,
+               generator: np.random.Generator) -> None:
+        n = self.num_nodes
+        codes = (np.concatenate(self._chunks) if self._chunks
+                 else np.empty(0, dtype=np.int64))
+        self._final_codes = codes
+        num_edges = int(codes.size)
+        swap_attempts = min(rewiring_rounds * max(num_edges, 1), 500)
+        if num_edges < 2:
+            return
+        degrees = np.bincount(np.concatenate((codes // n, codes % n)), minlength=n)
+        base_sorted = np.sort(codes)
+        added: set = set()
+        removed: set = set()
+
+        def has_code(code: int) -> bool:
+            if code in added:
+                return True
+            if code in removed:
+                return False
+            position = int(np.searchsorted(base_sorted, code))
+            return position < num_edges and int(base_sorted[position]) == code
+
+        low = codes // n
+        high = codes % n
+        d1 = np.minimum(degrees[low], degrees[high])
+        d2 = np.maximum(degrees[low], degrees[high])
+        base = int(degrees.max()) + 1
+        key_codes, counts = np.unique(d1 * base + d2, return_counts=True)
+        current: Dict[Tuple[int, int], int] = {
+            (int(key // base), int(key % base)): int(count)
+            for key, count in zip(key_codes, counts)
+        }
+
+        def class_of(x: int, y: int) -> Tuple[int, int]:
+            dx, dy = int(degrees[x]), int(degrees[y])
+            return (dx, dy) if dx <= dy else (dy, dx)
+
+        for _ in range(swap_attempts):
+            i = int(generator.integers(0, num_edges))
+            j = int(generator.integers(0, num_edges))
+            a, b = divmod(int(codes[i]), n)
+            c, d = divmod(int(codes[j]), n)
+            if len({a, b, c, d}) < 4:
+                continue
+            code_ac = (a * n + c) if a < c else (c * n + a)
+            code_bd = (b * n + d) if b < d else (d * n + b)
+            if has_code(code_ac) or has_code(code_bd):
+                continue
+            delta = _swap_error_delta_counts(current, target, degrees,
+                                             remove=((a, b), (c, d)), add=((a, c), (b, d)))
+            if delta < 0:
+                for old_code in (int(codes[i]), int(codes[j])):
+                    if old_code in added:
+                        added.discard(old_code)
+                    else:
+                        removed.add(old_code)
+                for new_code in (code_ac, code_bd):
+                    if new_code in removed:
+                        removed.discard(new_code)
+                    else:
+                        added.add(new_code)
+                for key in (class_of(a, b), class_of(c, d)):
+                    current[key] = current.get(key, 0) - 1
+                for key in (class_of(a, c), class_of(b, d)):
+                    current[key] = current.get(key, 0) + 1
+                codes[i] = code_ac
+                codes[j] = code_bd
+
+    def build_graph(self) -> Graph:
+        codes = self._final_codes
+        if not codes.size:
+            return Graph(self.num_nodes)
+        edges = np.stack((codes // self.num_nodes, codes % self.num_nodes), axis=1)
+        return Graph.from_edge_array(edges, self.num_nodes)
+
+
 def graph_from_dk2(dk2: Dk2, num_nodes: int | None = None, rng: RngLike = None,
-                   rewiring_rounds: int = 3) -> Graph:
+                   rewiring_rounds: int = 3, dense: bool = False) -> Graph:
     """Construct a graph approximately realising a dK-2 target.
 
     Procedure (the standard 2K-construction):
@@ -111,14 +459,16 @@ def graph_from_dk2(dk2: Dk2, num_nodes: int | None = None, rng: RngLike = None,
        degree-d2 nodes until the target count is reached or no stubs remain;
     3. a few rounds of degree-preserving double-edge swaps nudge the realised
        joint-degree counts toward the target.
+
+    ``dense=True`` selects the scalar reference engine; the default array
+    engine is bit-identical for the same seed (see the module docstring).
     """
     generator = ensure_rng(rng)
     degrees = _dk2_to_degree_sequence(dk2, num_nodes=num_nodes)
     degrees = repair_degree_sequence(degrees, num_nodes=degrees.size)
     n = degrees.size
-    graph = Graph(n)
     if n == 0:
-        return graph
+        return Graph(0)
 
     # Group node ids by their assigned degree, tracking remaining stubs.
     nodes_by_degree: Dict[int, List[int]] = {}
@@ -143,9 +493,13 @@ def graph_from_dk2(dk2: Dk2, num_nodes: int | None = None, rng: RngLike = None,
         nearest = min(available_degrees, key=lambda degree: abs(degree - int(target_degree)))
         return nodes_by_degree[nearest]
 
-    # Place edges class by class, largest classes first (they are hardest to fit).
-    # The total number of placed edges is capped by the stub mass implied by the
-    # degree sequence, so wildly over-noised targets cannot blow the loop up.
+    builder = _ScalarDk2Builder(n) if dense else _ArrayDk2Builder(n)
+
+    # Place edges class by class, largest classes first (they are hardest to
+    # fit).  The total number of placed edges is capped by the stub mass
+    # implied by the degree sequence, so wildly over-noised targets cannot
+    # blow the loop up; within a class, a node's acceptance quota is its
+    # remaining stub count at class start (occurrence rank < remaining).
     stub_budget = int(remaining.sum()) // 2
     for (d1, d2), target in sorted(dk2.items(), key=lambda item: -item[1]):
         if stub_budget <= 0:
@@ -153,71 +507,16 @@ def graph_from_dk2(dk2: Dk2, num_nodes: int | None = None, rng: RngLike = None,
         target = min(max(int(round(target)), 0), stub_budget)
         candidates_1 = candidates_for(int(d1))
         candidates_2 = candidates_for(int(d2))
-        if not candidates_1 or not candidates_2:
+        if target == 0 or not candidates_1 or not candidates_2:
             continue
-        placed = 0
-        attempts = 0
-        # Rejection sampling: the attempt cap bounds the work spent on classes
-        # whose candidates are exhausted (duplicate edges / spent stubs).
-        max_attempts = 8 * target + 20
-        while placed < target and attempts < max_attempts:
-            attempts += 1
-            u = int(candidates_1[int(generator.integers(0, len(candidates_1)))])
-            v = int(candidates_2[int(generator.integers(0, len(candidates_2)))])
-            if u == v or graph.has_edge(u, v):
-                continue
-            if remaining[u] <= 0 or remaining[v] <= 0:
-                continue
-            graph.add_edge(u, v)
-            remaining[u] -= 1
-            remaining[v] -= 1
-            placed += 1
-        stub_budget -= placed
+        stub_budget -= builder.place_class(candidates_1, candidates_2, target,
+                                           remaining, generator)
 
-    # Degree-preserving double-edge swaps that reduce the dK-2 distance.
-    # The number of swap attempts is capped because each evaluation recomputes
-    # the joint-degree counts; the cap keeps construction near-linear overall.
+    # Degree-preserving double-edge swaps that reduce the dK-2 distance; the
+    # attempt cap keeps construction near-linear overall.
     target_counts = {key: max(int(round(value)), 0) for key, value in dk2.items()}
-    swap_attempts = min(rewiring_rounds * max(graph.num_edges, 1), 500)
-    for _ in range(swap_attempts):
-        edges = list(graph.edges())
-        if len(edges) < 2:
-            break
-        (a, b), (c, d) = (edges[int(generator.integers(0, len(edges)))],
-                          edges[int(generator.integers(0, len(edges)))])
-        if len({a, b, c, d}) < 4:
-            continue
-        if graph.has_edge(a, c) or graph.has_edge(b, d):
-            continue
-        before = _swap_error_delta(graph, target_counts, remove=[(a, b), (c, d)], add=[(a, c), (b, d)])
-        if before < 0:
-            graph.remove_edge(a, b)
-            graph.remove_edge(c, d)
-            graph.add_edge(a, c)
-            graph.add_edge(b, d)
-    return graph
-
-
-def _swap_error_delta(graph: Graph, target: Dk2, remove, add) -> float:
-    """Change in L1 distance to the target dK-2 if the swap were applied (negative = improvement)."""
-    current = dk2_series(graph)
-
-    def class_of(u: int, v: int) -> Tuple[int, int]:
-        d1, d2 = graph.degree(u), graph.degree(v)
-        return (d1, d2) if d1 <= d2 else (d2, d1)
-
-    delta = 0.0
-    for u, v in remove:
-        key = class_of(u, v)
-        have = current.get(key, 0)
-        want = target.get(key, 0)
-        delta += abs(have - 1 - want) - abs(have - want)
-    for u, v in add:
-        key = class_of(u, v)
-        have = current.get(key, 0)
-        want = target.get(key, 0)
-        delta += abs(have + 1 - want) - abs(have - want)
-    return delta
+    builder.rewire(target_counts, rewiring_rounds, generator)
+    return builder.build_graph()
 
 
 def dk2_distance(first: Dk2, second: Dk2) -> float:
@@ -231,6 +530,7 @@ __all__ = [
     "Dk2",
     "dk1_series",
     "dk2_series",
+    "dk2_series_arrays",
     "degree_sequence_from_dk1",
     "graph_from_dk1",
     "graph_from_dk2",

@@ -13,12 +13,14 @@ benchmark directly; the registry exists so the repository is runnable offline.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Dict, List, Tuple
 
 from repro.graphs import synth
 from repro.graphs.graph import Graph
+from repro.graphs.io import PathLike, read_edge_list_streamed
 from repro.utils.rng import ensure_rng
 
 
@@ -185,16 +187,111 @@ def get_dataset(name: str) -> DatasetInfo:
     return _REGISTRY[key]
 
 
-@lru_cache(maxsize=64)
+def register_edge_list_dataset(name: str, path: PathLike, domain: str = "user",
+                               description: str = "", acc: float = float("nan"),
+                               overwrite: bool = False) -> DatasetInfo:
+    """Register an edge-list file as a loadable dataset.
+
+    The file is read once, with the streamed chunked reader
+    (:func:`repro.graphs.io.read_edge_list_streamed`, so million-edge files
+    work), and served from memory afterwards; ``scale`` requests below 1.0
+    are served as the induced subgraph on the first ``round(n * scale)``
+    node ids — deterministic, so the ``seed`` argument is ignored for file
+    datasets.  Registered names are case-insensitive like the built-ins and
+    refuse to shadow an existing dataset unless ``overwrite`` is set.
+    """
+    graph = read_edge_list_streamed(path)
+
+    def load(scale: float, seed: int) -> Graph:
+        if scale >= 1.0:
+            return graph
+        keep = max(int(round(graph.num_nodes * scale)), 1)
+        return graph.subgraph(range(keep))
+
+    info = DatasetInfo(
+        name=name.lower(),
+        domain=domain,
+        paper_num_nodes=graph.num_nodes,
+        paper_num_edges=graph.num_edges,
+        paper_acc=acc,
+        description=description or f"user edge list loaded from {path}",
+        loader=load,
+    )
+    if info.name in _REGISTRY and not overwrite:
+        raise ValueError(f"dataset {name!r} is already registered")
+    _register(info)
+    return info
+
+
+#: Bounded LRU over loaded graphs.  The bound is explicit (unlike the old
+#: ``functools.lru_cache``) because at million-node scale each cached graph
+#: is tens of megabytes: a sweep over many (scale, seed) points must recycle
+#: memory instead of accumulating every variant ever loaded.
+_CACHE: "OrderedDict[Tuple[str, float, int], Graph]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_cache_maxsize: int = 16
+_cache_hits: int = 0
+_cache_misses: int = 0
+
+
 def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Graph:
     """Load (and cache) the stand-in graph for ``name`` at the requested scale."""
-    return get_dataset(name).load(scale=scale, seed=seed)
+    key = (name.lower(), float(scale), int(seed))
+    global _cache_hits, _cache_misses
+    with _CACHE_LOCK:
+        if key in _CACHE:
+            _CACHE.move_to_end(key)
+            _cache_hits += 1
+            return _CACHE[key]
+        _cache_misses += 1
+    graph = get_dataset(name).load(scale=scale, seed=seed)
+    with _CACHE_LOCK:
+        _CACHE[key] = graph
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _cache_maxsize:
+            _CACHE.popitem(last=False)
+    return graph
+
+
+def dataset_cache_info() -> Dict[str, int]:
+    """Current size, bound and hit/miss counters of the dataset cache."""
+    with _CACHE_LOCK:
+        return {
+            "size": len(_CACHE),
+            "maxsize": _cache_maxsize,
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+        }
+
+
+def configure_dataset_cache(maxsize: int) -> None:
+    """Change the dataset-cache bound, evicting least-recently-used overflow."""
+    if maxsize < 1:
+        raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+    global _cache_maxsize
+    with _CACHE_LOCK:
+        _cache_maxsize = maxsize
+        while len(_CACHE) > _cache_maxsize:
+            _CACHE.popitem(last=False)
+
+
+def clear_dataset_cache() -> None:
+    """Drop every cached graph and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
 
 
 __all__ = [
     "DatasetInfo",
     "PGB_DATASET_NAMES",
+    "clear_dataset_cache",
+    "configure_dataset_cache",
+    "dataset_cache_info",
     "list_datasets",
     "get_dataset",
     "load_dataset",
+    "register_edge_list_dataset",
 ]

@@ -118,6 +118,35 @@ class Graph:
         return graph
 
     @classmethod
+    def from_canonical_edge_array(cls, edges: np.ndarray, num_nodes: int,
+                                  degrees: np.ndarray | None = None,
+                                  csr: sp.csr_matrix | None = None) -> "Graph":
+        """Trusted zero-copy constructor for an *already canonical* edge array.
+
+        The caller promises ``edges`` is exactly what :meth:`edge_array`
+        would return — ``(m, 2)`` int64, ``u < v`` per row, lexicographically
+        sorted, deduplicated, ids inside ``[0, num_nodes)`` — e.g. because it
+        is another graph's edge array or a shared-memory view of one (the
+        shared-memory dataset plane attaches workers this way).  No copy and
+        no re-canonicalisation happen; the array (and the optional ``degrees``
+        / ``csr`` caches, under the same must-match-the-derived-view promise)
+        are installed directly and marked read-only.
+        """
+        if edges.dtype != np.int64 or edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(
+                f"canonical edge array must be (m, 2) int64, got "
+                f"{edges.dtype} {edges.shape}"
+            )
+        graph = cls(num_nodes)
+        graph._set_edge_array(edges)
+        if degrees is not None:
+            degrees.flags.writeable = False
+            graph._degrees = degrees
+        if csr is not None:
+            graph._csr = csr
+        return graph
+
+    @classmethod
     def from_networkx(cls, nx_graph: nx.Graph) -> "Graph":
         """Build a :class:`Graph` from a networkx graph, relabelling nodes to 0..n-1."""
         nodes = list(nx_graph.nodes())

@@ -25,10 +25,12 @@ EXPECTED_LABELS = {
     "dgg": {"degree_noise"},
     "dp-1k": {"dk1_noise"},
     "dp-dk": {"dk2_noise"},
+    "dp-dk-dense": {"dk2_noise"},
     "ldpgen": {"coarse_degrees", "refined_degrees"},
     "privgraph": {"community_assignment", "intra_degrees", "inter_edges"},
     "privgraph-dense": {"community_assignment", "intra_degrees", "inter_edges"},
     "privhrg": {"dendrogram_mcmc", "theta_noise"},
+    "privhrg-dense": {"dendrogram_mcmc", "theta_noise"},
     "privskg": {"edges", "wedges", "triangles"},
     "privskg-dense": {"edges", "wedges", "triangles"},
     "rnl": {"randomized_response"},

@@ -481,10 +481,10 @@ class TestPoolHealthProbe:
 class TestDiagnosticsSurfacing:
     def test_summary_shows_fault_tolerance_line_only_when_eventful(self):
         eventful = run_benchmark(_spec(faults=("raise@0",), strict=False))
-        assert "fault tolerance:" in render_summary(eventful)
+        assert "execution:" in render_summary(eventful)
         assert "retries: 1" in render_summary(eventful)
         uneventful = run_benchmark(_spec())
-        assert "fault tolerance:" not in render_summary(uneventful)
+        assert "execution:" not in render_summary(uneventful)
 
     def test_manifest_carries_diagnostics(self):
         results = run_benchmark(_spec(faults=("raise@0",), strict=False))
@@ -532,7 +532,7 @@ class TestCliFaultFlags:
             "--inject-fault", "crash@0",
         ])
         assert code == 0
-        assert "fault tolerance:" in capsys.readouterr().out
+        assert "execution:" in capsys.readouterr().out
 
 
 class TestServerHardening:

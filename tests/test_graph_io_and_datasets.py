@@ -4,15 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
+from repro.graphs import datasets as datasets_module
 from repro.graphs import synth
 from repro.graphs.datasets import (
     PGB_DATASET_NAMES,
+    clear_dataset_cache,
+    configure_dataset_cache,
+    dataset_cache_info,
     get_dataset,
     list_datasets,
     load_dataset,
+    register_edge_list_dataset,
 )
 from repro.graphs.graph import Graph
-from repro.graphs.io import parse_edge_lines, read_edge_list, write_edge_list
+from repro.graphs.io import (
+    iter_edge_array_chunks,
+    parse_edge_lines,
+    read_edge_list,
+    read_edge_list_streamed,
+    write_edge_list,
+)
 from repro.graphs.properties import average_clustering_coefficient, density
 
 
@@ -131,3 +144,148 @@ class TestDatasetRegistry:
         assert info.paper_num_nodes == 4039
         assert info.paper_num_edges == 88234
         assert info.paper_acc == pytest.approx(0.6055)
+
+
+#: An edge list exercising every parser path: comments (both styles), blank
+#: lines, comma separators, duplicate edges (incl. the reversed pair), a
+#: self-loop and non-contiguous node ids.
+MESSY_EDGE_LIST = """\
+# header comment
+% other comment style
+
+0 5
+5,0
+3 3
+0 9
+9 12
+12 9
+
+3 5
+"""
+
+
+class TestStreamedEdgeListReader:
+    def test_chunks_have_the_requested_size(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("".join(f"{u} {u + 1}\n" for u in range(5)))
+        chunks = list(iter_edge_array_chunks(path, chunk_edges=2))
+        assert [chunk.shape for chunk in chunks] == [(2, 2), (2, 2), (1, 2)]
+        assert all(chunk.dtype == np.int64 for chunk in chunks)
+        assert np.concatenate(chunks).tolist() == [[u, u + 1] for u in range(5)]
+
+    def test_chunk_size_must_be_positive(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_array_chunks(path, chunk_edges=0))
+
+    @pytest.mark.parametrize("relabel", [True, False])
+    @pytest.mark.parametrize("chunk_edges", [1, 3, 1_000_000])
+    def test_matches_in_memory_reader(self, tmp_path, relabel, chunk_edges):
+        """The streamed path is an implementation detail: any chunk size must
+        produce the exact graph of the line-at-a-time reader."""
+        path = tmp_path / "messy.txt"
+        path.write_text(MESSY_EDGE_LIST)
+        streamed = read_edge_list_streamed(path, relabel=relabel,
+                                           chunk_edges=chunk_edges)
+        reference = read_edge_list(path, relabel=relabel)
+        assert streamed == reference
+        assert np.array_equal(streamed.edge_array(), reference.edge_array())
+
+    def test_roundtrip(self, tmp_path, karate_like_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(karate_like_graph, path)
+        assert read_edge_list_streamed(path) == karate_like_graph
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        graph = read_edge_list_streamed(path)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_negative_ids_rejected_without_relabel(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list_streamed(path, relabel=False)
+
+
+class TestDatasetCacheBound:
+    @pytest.fixture(autouse=True)
+    def _restore_cache(self):
+        yield
+        configure_dataset_cache(16)
+        clear_dataset_cache()
+
+    def test_cache_is_bounded_with_lru_eviction(self):
+        configure_dataset_cache(2)
+        clear_dataset_cache()
+        first = load_dataset("ba", scale=0.02)
+        load_dataset("er", scale=0.02)
+        assert load_dataset("ba", scale=0.02) is first  # hit refreshes recency
+        load_dataset("minnesota", scale=0.02)  # evicts "er", not "ba"
+        assert dataset_cache_info()["size"] == 2
+        assert load_dataset("ba", scale=0.02) is first
+        info = dataset_cache_info()
+        assert info == {"size": 2, "maxsize": 2, "hits": 2, "misses": 3}
+
+    def test_shrinking_the_bound_evicts_overflow(self):
+        configure_dataset_cache(4)
+        clear_dataset_cache()
+        for name in ("ba", "er", "minnesota"):
+            load_dataset(name, scale=0.02)
+        configure_dataset_cache(1)
+        assert dataset_cache_info()["size"] == 1
+        assert dataset_cache_info()["maxsize"] == 1
+
+    def test_cache_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            configure_dataset_cache(0)
+
+    def test_distinct_scales_are_distinct_entries(self):
+        clear_dataset_cache()
+        small = load_dataset("ba", scale=0.02)
+        large = load_dataset("ba", scale=0.04)
+        assert small is not large
+        assert dataset_cache_info()["misses"] == 2
+
+
+class TestRegisterEdgeListDataset:
+    @pytest.fixture(autouse=True)
+    def _unregister(self):
+        yield
+        datasets_module._REGISTRY.pop("my-graph", None)
+        clear_dataset_cache()
+
+    def _write_graph(self, tmp_path):
+        path = tmp_path / "mine.txt"
+        path.write_text("".join(f"{u} {u + 1}\n" for u in range(9)))
+        return path
+
+    def test_registered_file_loads_like_any_dataset(self, tmp_path):
+        info = register_edge_list_dataset("My-Graph", self._write_graph(tmp_path),
+                                          domain="user", description="a path graph")
+        assert info.name == "my-graph"
+        assert get_dataset("MY-GRAPH") is info
+        graph = load_dataset("my-graph")
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 9
+
+    def test_scale_takes_a_node_prefix(self, tmp_path):
+        register_edge_list_dataset("my-graph", self._write_graph(tmp_path))
+        scaled = load_dataset("my-graph", scale=0.5)
+        assert scaled.num_nodes == 5
+        assert scaled.num_edges == 4  # prefix of the path graph
+
+    def test_refuses_to_shadow_without_overwrite(self, tmp_path):
+        path = self._write_graph(tmp_path)
+        register_edge_list_dataset("my-graph", path)
+        with pytest.raises(ValueError, match="already registered"):
+            register_edge_list_dataset("my-graph", path)
+        replacement = register_edge_list_dataset("my-graph", path, overwrite=True)
+        assert get_dataset("my-graph") is replacement
+
+    def test_builtin_names_are_protected(self, tmp_path):
+        with pytest.raises(ValueError, match="already registered"):
+            register_edge_list_dataset("facebook", self._write_graph(tmp_path))

@@ -1,0 +1,309 @@
+"""Tests for the shared-memory dataset plane (``repro.core.shm``).
+
+Three contracts:
+
+* **transport invisibility** — shm and pickle payloads produce bit-identical
+  benchmark results at any worker count (the handle is pure transport and
+  stays out of the spec fingerprint);
+* **fault tolerance** — worker crashes, dead segments and failed publishes
+  all degrade gracefully (pool rebuild re-ships handles; a miss on a
+  payload-carrying ship demotes the dataset to the pickle transport)
+  without changing results;
+* **leak guarantees** — no ``/dev/shm`` entry survives a normal exit (atexit)
+  or a hard parent kill (the forked workers' shared resource tracker).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import shm
+from repro.core.pool import shared_pool_generation, shutdown_shared_pool
+from repro.core.runner import _WorkerDataMiss, _execute_repetition_remote, run_benchmark
+from repro.core.spec import BenchmarkSpec
+from repro.graphs.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="no shared memory on this platform"
+)
+
+
+def _spec(**overrides) -> BenchmarkSpec:
+    settings = dict(
+        algorithms=("tmf", "dgg"),
+        datasets=("minnesota", "ba"),
+        epsilons=(1.0,),
+        queries=("num_edges", "average_clustering"),
+        repetitions=2,
+        scale=0.03,
+        seed=7,
+    )
+    settings.update(overrides)
+    return BenchmarkSpec(**settings)
+
+
+def _comparable(cells):
+    return [
+        (cell.algorithm, cell.dataset, cell.epsilon, cell.query,
+         cell.error, cell.error_std, cell.repetitions, cell.failed)
+        for cell in cells
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_segments():
+    yield
+    shm.release_all()
+
+
+# -- segment round trip -------------------------------------------------------
+
+
+class TestSegmentRoundTrip:
+    def test_publish_attach_round_trip(self):
+        graph = load_dataset("minnesota", scale=0.2)
+        values = {"num_edges": float(graph.num_edges), "vector": np.arange(7)}
+        handle, created = shm.publish_dataset(("fp", "minnesota"), graph, values)
+        assert created
+
+        attached, attached_values = shm.attach_dataset(("fp", "minnesota"), handle)
+        assert attached == graph
+        assert np.array_equal(attached.degrees(), graph.degrees())
+        assert (attached.to_sparse_adjacency() != graph.to_sparse_adjacency()).nnz == 0
+        assert attached_values["num_edges"] == float(graph.num_edges)
+        assert np.array_equal(attached_values["vector"], np.arange(7))
+        # attached views are read-only: the segment is shared across workers
+        with pytest.raises(ValueError):
+            attached.edge_array()[0, 0] = -1
+
+    def test_publish_is_idempotent_and_attach_is_cached(self):
+        graph = load_dataset("ba", scale=0.05)
+        handle, created = shm.publish_dataset(("fp", "ba"), graph, {})
+        again, created_again = shm.publish_dataset(("fp", "ba"), graph, {})
+        assert created and not created_again and again is handle
+        first, _ = shm.attach_dataset(("fp", "ba"), handle)
+        second, _ = shm.attach_dataset(("fp", "ba"), handle)
+        assert second is first
+
+    def test_handle_is_small_and_picklable(self):
+        """The whole point: a ship costs a few hundred bytes, not the graph."""
+        graph = load_dataset("ba", scale=0.3)
+        handle, _ = shm.publish_dataset(("fp", "ba"), graph, {})
+        handle_bytes = len(pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL))
+        payload_bytes = len(pickle.dumps((graph, {}), protocol=pickle.HIGHEST_PROTOCOL))
+        assert handle_bytes < 1024
+        assert handle_bytes * 5 < payload_bytes
+        assert pickle.loads(pickle.dumps(handle)) == handle
+
+    def test_new_fingerprint_evicts_previous_spec_segments(self):
+        graph = load_dataset("minnesota", scale=0.1)
+        old_handle, _ = shm.publish_dataset(("fp-old", "minnesota"), graph, {})
+        old_path = Path("/dev/shm") / old_handle.segment_name
+        assert old_path.exists()
+        shm.publish_dataset(("fp-new", "minnesota"), graph, {})
+        assert shm.published_count() == 1
+        assert not old_path.exists()
+
+    def test_release_dataset_unlinks(self):
+        graph = load_dataset("minnesota", scale=0.1)
+        handle, _ = shm.publish_dataset(("fp", "minnesota"), graph, {})
+        path = Path("/dev/shm") / handle.segment_name
+        assert path.exists()
+        shm.release_dataset(("fp", "minnesota"))
+        assert shm.published_count() == 0
+        assert not path.exists()
+        shm.release_dataset(("fp", "minnesota"))  # idempotent
+
+
+# -- transport invisibility ---------------------------------------------------
+
+
+class TestTransportBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_shm_matches_pickle_reference(self, workers):
+        """Acceptance: shm results are bit-identical to --no-shm at any
+        worker count (and to the serial run)."""
+        serial = run_benchmark(_spec(workers=1))
+        with_shm = run_benchmark(_spec(workers=workers))
+        without_shm = run_benchmark(_spec(workers=workers, shm=False))
+        assert _comparable(with_shm.cells) == _comparable(serial.cells)
+        assert _comparable(without_shm.cells) == _comparable(serial.cells)
+
+    def test_shm_ships_fewer_bytes_than_pickle(self):
+        shutdown_shared_pool()  # cold workers, so attaches actually happen
+        with_shm = run_benchmark(_spec(workers=4))
+        without_shm = run_benchmark(_spec(workers=4, shm=False))
+        shm_bytes = with_shm.diagnostics["payload_bytes_shipped"]
+        pickle_bytes = without_shm.diagnostics["payload_bytes_shipped"]
+        assert shm_bytes * 5 < pickle_bytes
+        assert with_shm.diagnostics["shm_segments_created"] >= 1
+        assert with_shm.diagnostics["shm_attaches"] >= 1
+        assert "shm_segments_created" not in without_shm.diagnostics
+        assert "shm_attaches" not in without_shm.diagnostics
+
+    def test_shm_is_not_part_of_the_fingerprint(self):
+        assert _spec().fingerprint() == _spec(shm=False).fingerprint()
+
+
+# -- fault tolerance ----------------------------------------------------------
+
+
+class TestShmFaultTolerance:
+    def test_worker_crash_on_payload_unit_recovers_bit_identical(self, caplog):
+        """Unit 0 carries the segment handle; its worker dies right after
+        attaching.  The segment lives in the parent, so the rebuilt pool
+        re-attaches and the run converges on the fault-free results —
+        *without* demoting either dataset: the cold-worker misses of the
+        recovered units are payload-free and must not count as evidence of
+        a dead segment."""
+        clean = run_benchmark(_spec(workers=4))
+        generation_before = shared_pool_generation()
+        with caplog.at_level(logging.WARNING):
+            crashed = run_benchmark(_spec(workers=4, faults=("crash@0",)))
+        assert _comparable(crashed.cells) == _comparable(clean.cells)
+        assert crashed.diagnostics["worker_crashes_recovered"] >= 1
+        assert shared_pool_generation() > generation_before  # pool was rebuilt
+        assert "demoting" not in caplog.text
+        # Every ship was a handle (a few hundred bytes); a demotion would
+        # push this past the >10_000-byte pickle payloads.
+        assert crashed.diagnostics["payload_bytes_shipped"] < 10_000
+
+    def test_dead_handle_raises_worker_data_miss(self):
+        graph = load_dataset("minnesota", scale=0.05)
+        handle, _ = shm.publish_dataset(("fp-dead", "minnesota"), graph, {"num_edges": 1.0})
+        shm.release_dataset(("fp-dead", "minnesota"))
+        with pytest.raises(_WorkerDataMiss):
+            _execute_repetition_remote(
+                ("fp-dead", "minnesota"), handle, "tmf", "minnesota", 1.0,
+                ("num_edges",), 0, 7, True,
+            )
+
+    def test_unattachable_segment_demotes_to_pickle_transport(self, monkeypatch):
+        """A shipped handle whose segment is gone misses on a
+        payload-carrying submission; the runner demotes the dataset to the
+        pickle transport and the run still completes bit-identically."""
+        clean = run_benchmark(_spec(workers=2))
+        shutdown_shared_pool()  # fresh workers with empty caches
+        real_publish = shm.publish_dataset
+
+        def broken_publish(key, graph, values):
+            handle, created = real_publish(key, graph, values)
+            return (
+                shm.DatasetSegmentHandle(
+                    segment_name="psm_repro_gone",
+                    num_nodes=handle.num_nodes,
+                    arrays=handle.arrays,
+                    values_offset=handle.values_offset,
+                    values_size=handle.values_size,
+                    total_bytes=handle.total_bytes,
+                ),
+                created,
+            )
+
+        monkeypatch.setattr(shm, "publish_dataset", broken_publish)
+        demoted = run_benchmark(_spec(workers=2))
+        assert _comparable(demoted.cells) == _comparable(clean.cells)
+        # every dataset fell back: the pickle bytes dwarf any handle traffic
+        assert demoted.diagnostics["payload_bytes_shipped"] > 10_000
+
+    def test_failed_publish_falls_back_to_pickle(self, monkeypatch):
+        clean = run_benchmark(_spec(workers=2))
+        shutdown_shared_pool()
+
+        def failing_publish(key, graph, values):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(shm, "publish_dataset", failing_publish)
+        fallback = run_benchmark(_spec(workers=2))
+        assert _comparable(fallback.cells) == _comparable(clean.cells)
+        assert "shm_segments_created" not in fallback.diagnostics
+
+
+# -- leak guarantees ----------------------------------------------------------
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+class TestLeakGuarantees:
+    def _run_child(self, code: str, expect_kill: bool = False):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", code], cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        out, err = process.communicate(timeout=240)
+        names = [line for line in out.splitlines() if line.startswith("psm_")]
+        assert names, f"child printed no segment names; stderr:\n{err}"
+        if expect_kill:
+            assert process.returncode == -signal.SIGKILL
+        else:
+            assert process.returncode == 0, err
+        return names, err
+
+    @staticmethod
+    def _wait_gone(names, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        paths = [Path("/dev/shm") / name for name in names]
+        while time.monotonic() < deadline:
+            if not any(path.exists() for path in paths):
+                return True
+            time.sleep(0.2)
+        return False
+
+    def test_normal_exit_unlinks_every_segment(self):
+        """atexit cleanup: a parallel run's segments are gone after exit,
+        with no resource-tracker leak warnings."""
+        names, err = self._run_child(
+            "from repro.core.runner import run_benchmark\n"
+            "from repro.core.spec import BenchmarkSpec\n"
+            "from repro.core import shm\n"
+            "spec = BenchmarkSpec(algorithms=('tmf',), datasets=('minnesota',),\n"
+            "                     epsilons=(1.0,), queries=('num_edges',),\n"
+            "                     repetitions=2, scale=0.03, seed=7, workers=2)\n"
+            "results = run_benchmark(spec)\n"
+            "assert results.diagnostics.get('shm_segments_created', 0) >= 1\n"
+            "for name in shm.published_segment_names():\n"
+            "    print(name, flush=True)\n"
+        )
+        assert self._wait_gone(names), f"segments leaked after normal exit: {names}"
+        assert "leaked shared_memory" not in err
+
+    def test_parent_sigkill_leaves_no_segment_behind(self):
+        """Hard parent death: the forked workers' shared resource tracker
+        outlives the SIGKILL and unlinks every registered segment."""
+        names, _ = self._run_child(
+            # The pool is shut down before the kill: orphaned workers would
+            # keep the stdio pipes open forever.  The segments themselves stay
+            # published — exactly the state a hard parent death leaves behind;
+            # only the forked resource tracker remains to clean them up.
+            "import os, signal\n"
+            "from repro.core.runner import run_benchmark\n"
+            "from repro.core.pool import shutdown_shared_pool\n"
+            "from repro.core.spec import BenchmarkSpec\n"
+            "from repro.core import shm\n"
+            "spec = BenchmarkSpec(algorithms=('tmf',), datasets=('minnesota',),\n"
+            "                     epsilons=(1.0,), queries=('num_edges',),\n"
+            "                     repetitions=2, scale=0.03, seed=7, workers=2)\n"
+            "run_benchmark(spec)\n"
+            "shutdown_shared_pool()\n"
+            "assert shm.published_count() >= 1\n"
+            "for name in shm.published_segment_names():\n"
+            "    print(name, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n",
+            expect_kill=True,
+        )
+        assert self._wait_gone(names), f"segments leaked after parent SIGKILL: {names}"

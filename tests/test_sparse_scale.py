@@ -19,10 +19,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.der import DER
+from repro.algorithms.dp_dk import DPdK
 from repro.algorithms.privgraph import PrivGraph
+from repro.algorithms.privhrg import PrivHRG
 from repro.algorithms.privskg import PrivSKG
 from repro.algorithms.registry import get_algorithm
 from repro.dp.mechanisms import ExponentialMechanism, LaplaceMechanism
+from repro.generators.dk_series import dk2_series, dk2_series_arrays, graph_from_dk2
+from repro.generators.hrg import ArrayDendrogram, Dendrogram
 from repro.generators.kronecker import KroneckerInitiator, sample_kronecker_graph
 from repro.graphs.graph import Graph
 from repro.utils.sampling import block_ranges, rejection_sample_codes
@@ -228,6 +232,112 @@ class TestPrivSKGBlocked:
         )
 
 
+# -- PrivHRG ------------------------------------------------------------------
+
+
+class TestPrivHRGArrayDendrogram:
+    @given(connected_ish_graphs(), epsilons, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_array_engine_bit_identical(self, graph, epsilon, seed):
+        dense = PrivHRG(dense=True).generate(graph, epsilon, rng=seed)
+        sparse = PrivHRG(dense=False).generate(graph, epsilon, rng=seed)
+        assert sparse.graph == dense.graph
+        assert sparse.diagnostics == dense.diagnostics
+
+    @given(connected_ish_graphs(), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_array_dendrogram_replays_dense_mcmc(self, graph, seed):
+        """Construction, proposals, deltas, applications and per-node stats
+        replay the pointer-tree reference move for move."""
+        rng_dense = np.random.default_rng(seed)
+        rng_array = np.random.default_rng(seed)
+        dense = Dendrogram(graph, rng=rng_dense)
+        array = ArrayDendrogram(graph, rng=rng_array)
+        assert array.log_likelihood == pytest.approx(dense.log_likelihood, abs=0.0)
+        for _ in range(60):
+            move_dense = dense.propose_swap(rng_dense)
+            move_array = array.propose_swap(rng_array)
+            assert move_array == move_dense
+            delta_dense = dense.swap_log_likelihood_delta(move_dense)
+            delta_array = array.swap_log_likelihood_delta(move_array)
+            assert delta_array == delta_dense  # bit-identical floats
+            assert array.apply_swap(move_array) == dense.apply_swap(move_dense)
+        assert array.log_likelihood == dense.log_likelihood
+        for node_dense, node_array in zip(dense.internal_nodes(), array.internal_nodes()):
+            assert (node_array.index, node_array.left, node_array.right,
+                    node_array.edges_across) == (
+                node_dense.index, node_dense.left, node_dense.right,
+                node_dense.edges_across)
+            assert array.leaves_under(node_array.left) == dense.leaves_under(node_dense.left)
+            assert array.leaves_under(node_array.right) == dense.leaves_under(node_dense.right)
+
+    def test_array_dendrogram_memory_linear(self):
+        """The flattened tree is a handful of O(n) int64 arrays — far below
+        the pointer tree's per-node Python objects."""
+        n = 50_000
+        rng = np.random.default_rng(4)
+        graph = Graph.from_edge_array(rng.integers(0, n, size=(3 * n, 2)), n)
+        graph.to_sparse_adjacency()  # pre-build the shared CSR outside the window
+
+        def build_and_sweep():
+            dendrogram = ArrayDendrogram(graph, rng=7)
+            mcmc = np.random.default_rng(8)
+            for _ in range(50):
+                move = dendrogram.propose_swap(mcmc)
+                dendrogram.apply_swap(move)
+            return dendrogram
+
+        _, peak = _peak_bytes(build_and_sweep)
+        assert peak < 64 * 2**20, (
+            f"array dendrogram peaked at {peak / 2**20:.1f} MiB at n={n}"
+        )
+
+
+# -- DP-dK --------------------------------------------------------------------
+
+
+class TestDPdKArrayEngine:
+    @given(connected_ish_graphs(), epsilons, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_array_engine_bit_identical(self, graph, epsilon, seed):
+        dense = DPdK(dense=True).generate(graph, epsilon, rng=seed)
+        sparse = DPdK(dense=False).generate(graph, epsilon, rng=seed)
+        assert sparse.graph == dense.graph
+        assert sparse.diagnostics == dense.diagnostics
+
+    @given(connected_ish_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_dk2_series_arrays_matches_reference(self, graph):
+        reference = dk2_series(graph)
+        vectorized = dk2_series_arrays(graph)
+        assert vectorized == reference
+        assert list(vectorized) == list(reference)  # insertion order too
+
+    @given(connected_ish_graphs(), seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_construction_engines_bit_identical(self, graph, seed):
+        """The 2K constructors alone (no noise) agree on the same target
+        series — placement quotas, dedup and the rewiring loop included."""
+        series = dk2_series(graph)
+        dense = graph_from_dk2(series, num_nodes=graph.num_nodes,
+                               rng=np.random.default_rng(seed), dense=True)
+        sparse = graph_from_dk2(series, num_nodes=graph.num_nodes,
+                                rng=np.random.default_rng(seed), dense=False)
+        assert sparse == dense
+
+    def test_array_construction_handles_scale(self):
+        """The vectorized builder realises a large 2K series without the
+        scalar engine's per-candidate Python costs blowing the window."""
+        n = 30_000
+        rng = np.random.default_rng(11)
+        graph = Graph.from_edge_array(rng.integers(0, n, size=(4 * n, 2)), n)
+        series = dk2_series_arrays(graph)
+        _, peak = _peak_bytes(lambda: graph_from_dk2(
+            series, num_nodes=n, rng=np.random.default_rng(12)
+        ))
+        assert peak < 256 * 2**20
+
+
 # -- shared plumbing ----------------------------------------------------------
 
 
@@ -260,7 +370,8 @@ class TestSamplingPlumbing:
 
     def test_dense_reference_registry_entries(self):
         for name, cls in (("privgraph-dense", PrivGraph), ("der-dense", DER),
-                          ("privskg-dense", PrivSKG)):
+                          ("privskg-dense", PrivSKG), ("privhrg-dense", PrivHRG),
+                          ("dp-dk-dense", DPdK)):
             algorithm = get_algorithm(name)
             assert isinstance(algorithm, cls)
             assert algorithm.dense is True

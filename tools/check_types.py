@@ -32,6 +32,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "tools" / "mypy_baseline.txt"
 SENTINEL = "# seeded-unverified"
+#: src/repro/core covers the whole execution layer, including the
+#: shared-memory dataset plane (core/shm.py) added alongside the zero-copy
+#: transport — new core modules are picked up here without listing them.
 TARGETS = ("src/repro/core", "src/repro/dp", "src/repro/registry")
 
 #: Normalise ``path:line:col: error: message  [code]`` → ``path:line: [code] message``
